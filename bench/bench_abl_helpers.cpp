@@ -1,0 +1,71 @@
+// Ablation: bounded vs unbounded helper time.  The paper notes that with
+// more processors helpers get more time, and that "in simulations of an
+// unbounded number of processors, some loops were shown to have potential
+// speedups as high as 30".  This bench sweeps processor counts under the
+// bounded model and compares against the unbounded ceiling, reporting helper
+// coverage along the way.  It also includes HelperKind::kNone to isolate the
+// pure cost of cascading (transfers + cold per-processor caches).
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace {
+using namespace casc;         // NOLINT(build/namespaces)
+using namespace casc::bench;  // NOLINT(build/namespaces)
+}  // namespace
+
+int main() {
+  print_scale_banner();
+  const unsigned scale = workload_scale();
+
+  // The paper's "up to 30" refers to individual loops; use the most
+  // conflict-heavy loop (8) plus the overall suite.
+  const auto nest = wave5::make_parmvr_loop(8, scale);
+
+  for (auto base : {sim::MachineConfig::pentium_pro(4), sim::MachineConfig::r10000(8)}) {
+    report::Table table({"Model", "Procs", "Helper", "Speedup", "Helper coverage"});
+    table.set_title("Ablation (" + base.name + "): helper-time models, loop 8, 64 KB");
+    for (unsigned procs : {1u, 2u, 4u, 8u, 16u}) {
+      sim::MachineConfig cfg = base;
+      cfg.num_processors = procs;
+      cascade::CascadeSimulator sim(cfg);
+      // Cold start everywhere so rows are comparable across processor counts
+      // (a distributed start changes the *baseline* with the machine size).
+      const std::uint64_t seq =
+          sim.run_sequential(nest, cascade::StartState::kCold).total_cycles;
+      for (cascade::HelperKind helper :
+           {cascade::HelperKind::kNone, cascade::HelperKind::kPrefetch,
+            cascade::HelperKind::kRestructure}) {
+        cascade::CascadeOptions opt;
+        opt.helper = helper;
+        opt.chunk_bytes = 64 * 1024;
+        opt.start_state = cascade::StartState::kCold;
+        const auto r = sim.run_cascaded(nest, opt);
+        table.add_row({"bounded", std::to_string(procs), to_string(helper),
+                       report::fmt_double(ratio(seq, r.total_cycles)),
+                       report::fmt_percent(r.helper_coverage())});
+      }
+    }
+    // Unbounded ceiling (single-processor alternation, helpers always finish).
+    sim::MachineConfig cfg = base;
+    cfg.num_processors = 1;
+    cascade::CascadeSimulator sim(cfg);
+    const std::uint64_t seq =
+        sim.run_sequential(nest, cascade::StartState::kCold).total_cycles;
+    for (cascade::HelperKind helper :
+         {cascade::HelperKind::kPrefetch, cascade::HelperKind::kRestructure}) {
+      cascade::CascadeOptions opt;
+      opt.helper = helper;
+      opt.chunk_bytes = 64 * 1024;
+      opt.time_model = cascade::HelperTimeModel::kUnbounded;
+      opt.start_state = cascade::StartState::kCold;
+      const auto r = sim.run_cascaded(nest, opt);
+      table.add_row({"unbounded", "inf", to_string(helper),
+                     report::fmt_double(ratio(seq, r.total_cycles)),
+                     report::fmt_percent(r.helper_coverage())});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

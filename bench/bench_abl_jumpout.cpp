@@ -1,0 +1,50 @@
+// Ablation: the §3.3 jump-out modification ("performance is improved by
+// causing a processor to jump out of a helper phase, if necessary, as soon
+// as it is signaled to begin execution").  Runs PARMVR with and without
+// jump-out and reports total cycles and stall time.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace {
+using namespace casc;         // NOLINT(build/namespaces)
+using namespace casc::bench;  // NOLINT(build/namespaces)
+}  // namespace
+
+int main() {
+  print_scale_banner();
+  const unsigned scale = workload_scale();
+
+  for (const auto& cfg :
+       {sim::MachineConfig::pentium_pro(4), sim::MachineConfig::r10000(8)}) {
+    cascade::CascadeSimulator sim(cfg);
+    report::Table table(
+        {"Helper", "Jump-out", "Total cycles", "Stall cycles", "Speedup vs seq"});
+    table.set_title("Ablation (" + cfg.name + "): jump-out on/off, 64 KB chunks");
+    std::uint64_t seq_total = 0;
+    std::vector<loopir::LoopNest> loops = wave5::make_parmvr(scale);
+    for (const auto& nest : loops) seq_total += sim.run_sequential(nest).total_cycles;
+
+    for (cascade::HelperKind helper :
+         {cascade::HelperKind::kPrefetch, cascade::HelperKind::kRestructure}) {
+      for (bool jump : {true, false}) {
+        cascade::CascadeOptions opt;
+        opt.helper = helper;
+        opt.chunk_bytes = 64 * 1024;
+        opt.jump_out = jump;
+        std::uint64_t total = 0, stalls = 0;
+        for (const auto& nest : loops) {
+          const auto r = sim.run_cascaded(nest, opt);
+          total += r.total_cycles;
+          stalls += r.stall_cycles;
+        }
+        table.add_row({to_string(helper), jump ? "yes" : "no",
+                       report::fmt_count(total), report::fmt_count(stalls),
+                       report::fmt_double(ratio(seq_total, total))});
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

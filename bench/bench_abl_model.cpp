@@ -1,0 +1,56 @@
+// Ablation: analytic model vs full simulation.  The closed-form model of
+// cascaded execution (coverage fixed point + per-chunk overhead) should
+// track the simulator's speedups within a factor ~2 across loops, machines,
+// and helper strategies; this bench quantifies the agreement.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "casc/cascade/analytic.hpp"
+#include "casc/common/stats.hpp"
+
+namespace {
+using namespace casc;         // NOLINT(build/namespaces)
+using namespace casc::bench;  // NOLINT(build/namespaces)
+}  // namespace
+
+int main() {
+  print_scale_banner();
+  const unsigned scale = workload_scale();
+
+  common::RunningStats error_stats;
+  for (const auto& cfg :
+       {sim::MachineConfig::pentium_pro(4), sim::MachineConfig::r10000(8)}) {
+    cascade::CascadeSimulator sim(cfg);
+    report::Table table({"Loop", "Helper", "Simulated", "Predicted", "Pred/Sim",
+                         "Coverage (sim)", "Coverage (model)"});
+    table.set_title("Analytic model vs simulation (" + cfg.name + ", 64 KB chunks)");
+    for (int id = 1; id <= wave5::kNumParmvrLoops; ++id) {
+      const loopir::LoopNest nest = wave5::make_parmvr_loop(id, scale);
+      const auto seq = sim.run_sequential(nest);
+      for (cascade::HelperKind helper :
+           {cascade::HelperKind::kPrefetch, cascade::HelperKind::kRestructure}) {
+        cascade::CascadeOptions opt;
+        opt.helper = helper;
+        opt.chunk_bytes = 64 * 1024;
+        const auto casc_result = sim.run_cascaded(nest, opt);
+        const double simulated = ratio(seq.total_cycles, casc_result.total_cycles);
+        const auto pred = cascade::predict(nest, cfg, opt, seq);
+        const double rel = pred.predicted_speedup / simulated;
+        error_stats.add(rel);
+        table.add_row({std::to_string(id), to_string(helper),
+                       report::fmt_double(simulated),
+                       report::fmt_double(pred.predicted_speedup),
+                       report::fmt_double(rel),
+                       report::fmt_percent(casc_result.helper_coverage()),
+                       report::fmt_percent(pred.helper_coverage)});
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "prediction/simulation ratio: mean "
+            << report::fmt_double(error_stats.mean()) << ", min "
+            << report::fmt_double(error_stats.min()) << ", max "
+            << report::fmt_double(error_stats.max()) << "\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Ablation: sensitivity to control-transfer cost.  The paper measures ~120
+// cycles (Pentium Pro) and ~500 cycles (R10000) per transfer and argues this
+// is why chunk sizes larger than L1 win.  This bench sweeps the transfer
+// cost and reports the best chunk size the tuner finds for each.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "casc/cascade/chunk_tuner.hpp"
+
+namespace {
+using namespace casc;         // NOLINT(build/namespaces)
+using namespace casc::bench;  // NOLINT(build/namespaces)
+}  // namespace
+
+int main() {
+  print_scale_banner();
+  const unsigned scale = workload_scale();
+  const auto nest = wave5::make_parmvr_loop(8, scale);
+
+  report::Table table({"Transfer cycles", "Best chunk", "Best speedup",
+                       "Speedup @4KB", "Speedup @256KB"});
+  table.set_title("Ablation (Pentium Pro base): control-transfer cost sweep, loop 8");
+  for (std::uint32_t transfer : {0u, 120u, 500u, 2000u, 8000u}) {
+    sim::MachineConfig cfg = sim::MachineConfig::pentium_pro(4);
+    cfg.control_transfer_cycles = transfer;
+    cascade::CascadeSimulator sim(cfg);
+    cascade::CascadeOptions opt;
+    opt.helper = cascade::HelperKind::kRestructure;
+    const auto tune =
+        cascade::tune_chunk_size(sim, nest, opt, 4 * 1024, 256 * 1024);
+    table.add_row({std::to_string(transfer), report::fmt_bytes(tune.best_chunk_bytes),
+                   report::fmt_double(tune.best_speedup),
+                   report::fmt_double(tune.points.front().speedup),
+                   report::fmt_double(tune.points.back().speedup)});
+  }
+  table.print(std::cout);
+  std::cout << "expectation: higher transfer cost pushes the optimum chunk larger\n";
+  return 0;
+}

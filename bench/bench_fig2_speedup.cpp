@@ -1,0 +1,60 @@
+// Figure 2: overall speedup of PARMVR under cascaded execution with 64 KB
+// chunks, versus number of processors — Pentium Pro (2-4 processors) and
+// R10000 (2-8 processors), Prefetched and Restructured variants.
+// Also prints the paper's §3.3 headline numbers: overall speedup at the full
+// machine size, and the fraction of L2 misses eliminated.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace casc;          // NOLINT(build/namespaces)
+using namespace casc::bench;   // NOLINT(build/namespaces)
+
+void run_machine(const char* label, sim::MachineConfig (*make)(unsigned),
+                 unsigned min_procs, unsigned max_procs, unsigned scale) {
+  report::Table table({"Processors", "Prefetched speedup", "Restructured speedup"});
+  table.set_title(std::string("Figure 2 (") + label +
+                  "): overall PARMVR speedup, 64 KB chunks");
+  StudyTotals full_totals;
+  std::vector<LoopStudy> full_study;
+  for (unsigned procs = min_procs; procs <= max_procs; ++procs) {
+    const auto study = run_parmvr_study(make(procs), 64 * 1024, scale);
+    const StudyTotals t = totals(study);
+    table.add_row({std::to_string(procs),
+                   report::fmt_double(ratio(t.seq, t.prefetched)),
+                   report::fmt_double(ratio(t.seq, t.restructured))});
+    if (procs == max_procs) {
+      full_totals = t;
+      full_study = study;
+    }
+  }
+  table.print(std::cout);
+
+  // Headline claims at the full machine size.
+  std::uint64_t seq_l2 = 0, pre_l2 = 0, restr_l2 = 0;
+  for (const LoopStudy& s : full_study) {
+    seq_l2 += s.seq.l2.misses;
+    pre_l2 += s.prefetched.l2_exec.misses;
+    restr_l2 += s.restructured.l2_exec.misses;
+  }
+  std::cout << "overall speedup @" << max_procs
+            << " procs: prefetched=" << report::fmt_double(ratio(full_totals.seq, full_totals.prefetched))
+            << " restructured=" << report::fmt_double(ratio(full_totals.seq, full_totals.restructured))
+            << "\n";
+  std::cout << "execution-phase L2 misses eliminated: prefetched="
+            << report::fmt_percent(1.0 - ratio(pre_l2, seq_l2))
+            << " restructured=" << report::fmt_percent(1.0 - ratio(restr_l2, seq_l2))
+            << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  print_scale_banner();
+  const unsigned scale = workload_scale();
+  run_machine("Pentium Pro", &sim::MachineConfig::pentium_pro, 2, 4, scale);
+  run_machine("R10000", &sim::MachineConfig::r10000, 2, 8, scale);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 3: execution time in cycles of the fifteen PARMVR loops — Original
+// Sequential vs Prefetched vs Restructured (4 processors, 64 KB chunks), on
+// both machines.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace casc;         // NOLINT(build/namespaces)
+using namespace casc::bench;  // NOLINT(build/namespaces)
+
+void run_machine(const sim::MachineConfig& cfg, unsigned scale) {
+  const auto study = run_parmvr_study(cfg, 64 * 1024, scale);
+  report::Table table({"Loop", "Original Sequential", "Prefetched", "Restructured",
+                       "Speedup (restr)"});
+  table.set_title("Figure 3 (" + cfg.name +
+                  "): PARMVR loop execution times, cycles — 4 procs, 64 KB chunks");
+  for (const LoopStudy& s : study) {
+    table.add_row({std::to_string(s.loop_id), report::fmt_count(s.seq.total_cycles),
+                   report::fmt_count(s.prefetched.total_cycles),
+                   report::fmt_count(s.restructured.total_cycles),
+                   report::fmt_double(ratio(s.seq.total_cycles,
+                                            s.restructured.total_cycles))});
+  }
+  table.print(std::cout);
+
+  double best = 0, worst = 1e30;
+  for (const LoopStudy& s : study) {
+    const double sp = ratio(s.seq.total_cycles,
+                            std::min(s.prefetched.total_cycles,
+                                     s.restructured.total_cycles));
+    best = std::max(best, sp);
+    worst = std::min(worst, sp);
+  }
+  std::cout << "per-loop best-variant speedup range: " << report::fmt_double(worst)
+            << " .. " << report::fmt_double(best) << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  print_scale_banner();
+  const unsigned scale = workload_scale();
+  run_machine(sim::MachineConfig::pentium_pro(4), scale);
+  run_machine(sim::MachineConfig::r10000(4), scale);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 7: cascaded-execution speedups with increased memory access costs —
+// the §3.4 synthetic loop X(IJ(i)) = X(IJ(i)) + A(i) + B(i), dense (k=1) and
+// sparse (k=8), chunk sizes 1 KB .. 256 KB, Prefetched and Restructured.
+//
+// Methodology follows the paper exactly: cascaded execution is simulated on
+// a single processor that alternates between helper and execution phases,
+// with helpers always running to completion (a model of "enough processors
+// that each completes each helper phase before being signaled"), and one
+// control transfer charged per chunk.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "casc/synth/synthetic_loop.hpp"
+
+namespace {
+
+using namespace casc;         // NOLINT(build/namespaces)
+using namespace casc::bench;  // NOLINT(build/namespaces)
+using synth::Density;
+
+void run_machine(const sim::MachineConfig& base, unsigned scale) {
+  sim::MachineConfig cfg = base;
+  cfg.num_processors = 1;  // the paper's single-processor alternation model
+  // §3.4's methodology is strictly additive: "overall execution time is
+  // calculated by summing the time spent in the execution phases".  Disable
+  // the latency-hiding refinements used for the hardware-measured PARMVR
+  // figures so the model matches the paper's own.
+  cfg.miss_overlap_fraction = 1.0;
+  cfg.compiler_prefetch = false;
+  cascade::CascadeSimulator sim(cfg);
+
+  const std::uint64_t n = std::max<std::uint64_t>(64 * 1024, (4ull << 20) / scale);
+  const auto dense = synth::make_synthetic_loop(Density::kDense, n);
+  const auto sparse = synth::make_synthetic_loop(Density::kSparse, n);
+
+  report::Table table({"KBytes per chunk", "Prefetched, Dense", "Restructured, Dense",
+                       "Prefetched, Sparse", "Restructured, Sparse"});
+  table.set_title("Figure 7 (" + base.name +
+                  "): synthetic-loop speedup, unbounded helpers");
+
+  cascade::CascadeOptions opt;
+  opt.time_model = cascade::HelperTimeModel::kUnbounded;
+  opt.start_state = cascade::StartState::kCold;
+
+  const std::uint64_t seq_dense = sim.run_sequential(dense, opt.start_state).total_cycles;
+  const std::uint64_t seq_sparse =
+      sim.run_sequential(sparse, opt.start_state).total_cycles;
+
+  double peak_sparse = 0;
+  for (std::uint64_t kb = 1; kb <= 256; kb *= 2) {
+    opt.chunk_bytes = kb * 1024;
+    std::vector<std::string> row{std::to_string(kb)};
+    for (const auto* nest : {&dense, &sparse}) {
+      const std::uint64_t seq = nest == &dense ? seq_dense : seq_sparse;
+      for (cascade::HelperKind kind :
+           {cascade::HelperKind::kPrefetch, cascade::HelperKind::kRestructure}) {
+        opt.helper = kind;
+        const auto casc_result = sim.run_cascaded(*nest, opt);
+        const double speedup = ratio(seq, casc_result.total_cycles);
+        row.push_back(report::fmt_double(speedup));
+        if (nest == &sparse) peak_sparse = std::max(peak_sparse, speedup);
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "peak sparse speedup: " << report::fmt_double(peak_sparse) << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  print_scale_banner();
+  const unsigned scale = workload_scale();
+  run_machine(sim::MachineConfig::pentium_pro(1), scale);
+  run_machine(sim::MachineConfig::r10000(1), scale);
+  return 0;
+}

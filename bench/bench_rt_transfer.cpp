@@ -1,0 +1,92 @@
+// Real-runtime microbenchmarks (google-benchmark): the cost of a control
+// transfer on this host — the quantity the paper measured at ~120 cycles on
+// the Pentium Pro and ~500 cycles on the R10000 (§3.3 footnote 2) — plus
+// token primitives and sequential-buffer throughput.
+//
+// NOTE: on a single-core host the hand-off between *threads* includes an OS
+// reschedule, so the measured figure is an upper bound; the single-threaded
+// token ping-pong below isolates the shared-memory flag cost itself.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "casc/rt/executor.hpp"
+#include "casc/rt/helpers.hpp"
+#include "casc/rt/seq_buffer.hpp"
+#include "casc/rt/token.hpp"
+
+namespace {
+
+using casc::rt::CascadeExecutor;
+using casc::rt::ExecutorConfig;
+using casc::rt::SequentialBuffer;
+using casc::rt::Token;
+
+// The raw shared-memory flag update + observation, single-threaded: the
+// floor for any control transfer.
+void BM_TokenPassAndObserve(benchmark::State& state) {
+  Token token;
+  token.reset();
+  std::uint64_t chunk = 0;
+  for (auto _ : state) {
+    token.pass(chunk);
+    benchmark::DoNotOptimize(token.current());
+    ++chunk;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TokenPassAndObserve);
+
+// Full cross-thread hand-off: empty chunks cascaded over N threads; the
+// per-chunk time is dominated by transfer cost.
+void BM_CrossThreadTransfer(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  CascadeExecutor ex(ExecutorConfig{threads, false});
+  constexpr std::uint64_t kChunks = 256;
+  for (auto _ : state) {
+    ex.run(kChunks, 1, [](std::uint64_t, std::uint64_t) {});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kChunks);
+  state.counters["transfers/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kChunks, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CrossThreadTransfer)->Arg(1)->Arg(2)->Arg(4);
+
+// Sequential-buffer stage/drain throughput (the restructuring helper's inner
+// loop on real hardware).
+void BM_SequentialBufferRoundTrip(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  SequentialBuffer buf(n * sizeof(double));
+  std::vector<double> src(n, 1.5);
+  double sink = 0;
+  for (auto _ : state) {
+    buf.reset();
+    for (std::size_t i = 0; i < n; ++i) buf.push(src[i]);
+    for (std::size_t i = 0; i < n; ++i) sink += buf.pop<double>();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 2 *
+                          static_cast<std::int64_t>(sizeof(double)));
+}
+BENCHMARK(BM_SequentialBufferRoundTrip)->Arg(1024)->Arg(8192)->Arg(65536);
+
+// Forced-load prefetch sweep speed (helper-phase cache warming).
+void BM_PrefetchSpan(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> data(n, 2.0);
+  Token token;
+  token.reset();
+  const casc::rt::TokenWatch watch(&token, 1);  // never signalled
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(casc::rt::prefetch_span(data.data(), 0, n, watch));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(double)));
+}
+BENCHMARK(BM_PrefetchSpan)->Arg(8192)->Arg(262144);
+
+}  // namespace
+
+BENCHMARK_MAIN();

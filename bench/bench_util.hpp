@@ -1,0 +1,91 @@
+// Shared helpers for the figure/table bench binaries.
+//
+// Every bench honours the CASC_SCALE environment variable (default 1 = the
+// paper's full enlarged problem).  CASC_SCALE=16 shrinks the PARMVR data set
+// ~16x for quick smoke runs; the qualitative shapes survive, magnitudes
+// shrink with the footprints.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "casc/cascade/engine.hpp"
+#include "casc/cascade/options.hpp"
+#include "casc/report/table.hpp"
+#include "casc/sim/machine.hpp"
+#include "casc/wave5/parmvr.hpp"
+
+namespace casc::bench {
+
+/// Workload scale divisor from CASC_SCALE (>= 1; default 1 = full scale).
+inline unsigned workload_scale() {
+  if (const char* env = std::getenv("CASC_SCALE")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  return 1;
+}
+
+inline void print_scale_banner(std::ostream& os = std::cout) {
+  const unsigned scale = workload_scale();
+  os << "# workload scale: 1/" << scale
+     << (scale == 1 ? " (paper's enlarged problem)" : " (reduced; set CASC_SCALE=1 for full scale)")
+     << "\n\n";
+}
+
+/// Sequential + both cascaded variants for one loop on one machine.
+struct LoopStudy {
+  int loop_id = 0;
+  cascade::SequentialResult seq;
+  cascade::CascadeResult prefetched;
+  cascade::CascadeResult restructured;
+};
+
+/// Runs the full 15-loop PARMVR study on `config` with the given chunk size.
+inline std::vector<LoopStudy> run_parmvr_study(const sim::MachineConfig& config,
+                                               std::uint64_t chunk_bytes,
+                                               unsigned scale) {
+  cascade::CascadeSimulator sim(config);
+  std::vector<LoopStudy> out;
+  out.reserve(wave5::kNumParmvrLoops);
+  for (int id = 1; id <= wave5::kNumParmvrLoops; ++id) {
+    const loopir::LoopNest nest = wave5::make_parmvr_loop(id, scale);
+    LoopStudy study;
+    study.loop_id = id;
+    study.seq = sim.run_sequential(nest);
+    cascade::CascadeOptions opt;
+    opt.chunk_bytes = chunk_bytes;
+    opt.helper = cascade::HelperKind::kPrefetch;
+    study.prefetched = sim.run_cascaded(nest, opt);
+    opt.helper = cascade::HelperKind::kRestructure;
+    study.restructured = sim.run_cascaded(nest, opt);
+    out.push_back(study);
+  }
+  return out;
+}
+
+/// Sums total cycles over a study.
+struct StudyTotals {
+  std::uint64_t seq = 0;
+  std::uint64_t prefetched = 0;
+  std::uint64_t restructured = 0;
+};
+
+inline StudyTotals totals(const std::vector<LoopStudy>& study) {
+  StudyTotals t;
+  for (const LoopStudy& s : study) {
+    t.seq += s.seq.total_cycles;
+    t.prefetched += s.prefetched.total_cycles;
+    t.restructured += s.restructured.total_cycles;
+  }
+  return t;
+}
+
+inline double ratio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace casc::bench

@@ -1,0 +1,44 @@
+// Example: choose a chunk size for a loop (paper §2.2).  Combines the
+// analytic floor (a chunk must amortize one control transfer) with an
+// empirical sweep through the simulator, and prints the tuner's choice.
+#include <iostream>
+
+#include "casc/cascade/chunk_tuner.hpp"
+#include "casc/report/table.hpp"
+#include "casc/sim/machine.hpp"
+#include "casc/wave5/parmvr.hpp"
+
+int main() {
+  using namespace casc;  // NOLINT(build/namespaces)
+  const int loop_id = 8;  // five-stream PARMVR loop
+  const loopir::LoopNest nest = wave5::make_parmvr_loop(loop_id, /*scale=*/8);
+
+  for (const auto& cfg :
+       {sim::MachineConfig::pentium_pro(4), sim::MachineConfig::r10000(8)}) {
+    cascade::CascadeSimulator sim(cfg);
+    cascade::CascadeOptions opt;
+    opt.helper = cascade::HelperKind::kRestructure;
+
+    const std::uint64_t floor = cascade::min_profitable_chunk_bytes(nest, cfg);
+    const auto tune = cascade::tune_chunk_size(sim, nest, opt, 2 * 1024, 512 * 1024);
+
+    report::Table table({"Chunk", "Speedup", "Transfers", "Helper coverage"});
+    table.set_title(cfg.name + ": chunk sweep for PARMVR loop " +
+                    std::to_string(loop_id) + " (" +
+                    wave5::parmvr_loop_info(loop_id).name + ")");
+    for (const auto& p : tune.points) {
+      table.add_row({report::fmt_bytes(p.chunk_bytes), report::fmt_double(p.speedup),
+                     std::to_string(p.transfers),
+                     report::fmt_percent(p.helper_coverage)});
+    }
+    table.print(std::cout);
+    std::cout << "analytic minimum profitable chunk: " << report::fmt_bytes(floor)
+              << "\n"
+              << "tuner's choice: " << report::fmt_bytes(tune.best_chunk_bytes)
+              << " (speedup " << report::fmt_double(tune.best_speedup) << ")\n"
+              << "note: the optimum exceeds the L1 size ("
+              << report::fmt_bytes(cfg.l1.size_bytes)
+              << ") because transfers are expensive — the paper's §3.3 finding.\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: cascade a sequential loop across threads with a prefetch
+// helper.
+//
+// The loop below has a loop-carried dependence (a running checksum folded
+// into every element), so it cannot be parallelized — exactly the situation
+// cascaded execution targets.  The runtime keeps execution sequential while
+// idle threads pre-warm their caches for their upcoming chunks.
+//
+// Build & run:   ./build/examples/quickstart
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "casc/common/stopwatch.hpp"
+#include "casc/rt/executor.hpp"
+#include "casc/rt/helpers.hpp"
+
+int main() {
+  constexpr std::uint64_t kN = 1 << 22;          // 4M elements, 32 MB of doubles
+  constexpr std::uint64_t kChunkIters = 8192;    // 64 KB of operand data per chunk
+
+  std::vector<double> data(kN);
+  for (std::uint64_t i = 0; i < kN; ++i) data[i] = static_cast<double>(i % 977);
+  std::vector<double> out(kN);
+
+  // --- sequential reference --------------------------------------------------
+  casc::common::Stopwatch seq_timer;
+  double checksum = 0.0;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    checksum += data[i];                       // loop-carried dependence
+    out[i] = checksum * 0.5;
+  }
+  const double seq_seconds = seq_timer.elapsed_seconds();
+  const double want = out[kN - 1];
+
+  // --- cascaded --------------------------------------------------------------
+  casc::rt::CascadeExecutor executor;  // one worker per hardware thread
+  std::fill(out.begin(), out.end(), 0.0);
+  double casc_checksum = 0.0;
+
+  casc::common::Stopwatch casc_timer;
+  executor.run(
+      kN, kChunkIters,
+      // Execution phase: the original loop body, one chunk at a time.
+      [&](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t i = begin; i < end; ++i) {
+          casc_checksum += data[i];
+          out[i] = casc_checksum * 0.5;
+        }
+      },
+      // Helper phase: warm this worker's cache with its chunk's operands,
+      // jumping out as soon as the execution token arrives.
+      [&](std::uint64_t begin, std::uint64_t end, const casc::rt::TokenWatch& watch) {
+        return casc::rt::prefetch_span(data.data(), begin, end, watch);
+      });
+  const double casc_seconds = casc_timer.elapsed_seconds();
+
+  const auto& stats = executor.last_run_stats();
+  std::cout << "threads:            " << executor.num_threads() << "\n"
+            << "chunks:             " << stats.num_chunks << "\n"
+            << "helpers completed:  " << stats.helpers_completed << "\n"
+            << "helpers jumped out: " << stats.helpers_jumped_out << "\n"
+            << "sequential:         " << seq_seconds << " s\n"
+            << "cascaded:           " << casc_seconds << " s\n";
+
+  if (out[kN - 1] != want) {
+    std::cerr << "FAIL: cascaded result differs from sequential\n";
+    return 1;
+  }
+  std::cout << "result check:       OK (bit-identical to sequential)\n";
+  if (executor.num_threads() == 1) {
+    std::cout << "note: single-core host — helpers time-share the core, so no "
+                 "speedup is expected here; see the simulator examples.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "casc/cascade/chunk_tuner.hpp"
+
+#include <algorithm>
+
+#include "casc/common/check.hpp"
+
+namespace casc::cascade {
+
+ChunkTuneResult tune_chunk_size(CascadeSimulator& sim, const loopir::LoopNest& nest,
+                                CascadeOptions opt, std::uint64_t min_bytes,
+                                std::uint64_t max_bytes) {
+  CASC_CHECK(min_bytes > 0 && min_bytes <= max_bytes, "invalid chunk sweep range");
+  ChunkTuneResult result;
+  const SequentialResult seq = sim.run_sequential(nest, opt.start_state);
+  for (std::uint64_t bytes = min_bytes; bytes <= max_bytes; bytes *= 2) {
+    opt.chunk_bytes = bytes;
+    const CascadeResult casc = sim.run_cascaded(nest, opt);
+    ChunkSweepPoint point;
+    point.chunk_bytes = bytes;
+    point.cascaded_cycles = casc.total_cycles;
+    point.transfers = casc.transfers;
+    point.helper_coverage = casc.helper_coverage();
+    point.speedup =
+        static_cast<double>(seq.total_cycles) / static_cast<double>(casc.total_cycles);
+    if (point.speedup > result.best_speedup) {
+      result.best_speedup = point.speedup;
+      result.best_chunk_bytes = bytes;
+    }
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+std::uint64_t min_profitable_chunk_bytes(const loopir::LoopNest& nest,
+                                         const sim::MachineConfig& config) {
+  // Per iteration, the largest possible saving is every reference going from
+  // a memory access to an L1 hit.  A chunk of k iterations must satisfy
+  //   k * max_saving_per_iter > control_transfer_cycles
+  // to have any chance of profit.
+  std::uint64_t refs_per_iter = 0;
+  for (const loopir::AccessSpec& acc : nest.accesses()) {
+    refs_per_iter += acc.index_via ? 2 : 1;
+  }
+  const std::uint64_t max_saving_per_iter =
+      refs_per_iter * (config.memory_latency - config.l1.hit_latency);
+  CASC_CHECK(max_saving_per_iter > 0, "memory must be slower than L1");
+  const std::uint64_t min_iters =
+      config.control_transfer_cycles / max_saving_per_iter + 1;
+  return std::max<std::uint64_t>(1, min_iters * nest.bytes_per_iteration());
+}
+
+}  // namespace casc::cascade

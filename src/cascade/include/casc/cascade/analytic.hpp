@@ -1,0 +1,60 @@
+// A closed-form analytic model of cascaded execution, in the spirit of the
+// paper's §2 reasoning: total time = Σ execution phases + per-chunk control
+// overhead, where each execution phase runs at cache speed for the fraction
+// of iterations its helper managed to stage, and at sequential speed for the
+// rest.  Helper coverage is itself a fixed point — helpers run only while the
+// other P-1 processors execute, and the faster execution gets, the less
+// helper time there is.
+//
+// The model predicts speedup from four per-iteration quantities (sequential
+// cost, staged execution cost, helper cost, control overhead per iteration)
+// that can be derived from one measured sequential run plus static loop
+// properties.  bench_abl_model validates it against full simulation.
+#pragma once
+
+#include <cstdint>
+
+#include "casc/cascade/options.hpp"
+#include "casc/loopir/loop_nest.hpp"
+#include "casc/sim/machine.hpp"
+
+namespace casc::cascade {
+
+/// Per-iteration cost decomposition feeding the model.
+struct AnalyticInputs {
+  double seq_cycles_per_iter = 0;     ///< measured sequential cost
+  double staged_cycles_per_iter = 0;  ///< execution-phase cost when fully staged
+  double helper_cycles_per_iter = 0;  ///< helper-phase cost per iteration
+  double overhead_cycles_per_iter = 0;  ///< (transfer + startup) / iters-per-chunk
+  unsigned num_processors = 1;
+};
+
+/// Model output.
+struct AnalyticPrediction {
+  double helper_coverage = 0;       ///< fixed-point staged fraction in [0,1]
+  double exec_cycles_per_iter = 0;  ///< blended execution-phase cost
+  double predicted_speedup = 0;
+  AnalyticInputs inputs;
+};
+
+/// Solves the coverage fixed point and returns the predicted speedup.
+AnalyticPrediction predict(const AnalyticInputs& inputs);
+
+/// Derives the model inputs for `nest` on `config` under `opt`, using a
+/// measured (or simulated) sequential result as the baseline cost:
+///   - staged execution cost: restructured/prefetched refs served at the
+///     level the chunk fits in (L1 if chunk <= L1, else L2) plus compute;
+///   - helper cost: the sequential memory time (the helper absorbs the
+///     misses) plus buffer-staging writes for the restructuring helper;
+///   - overhead: (control transfer + chunk startup) amortized per iteration.
+AnalyticInputs derive_inputs(const loopir::LoopNest& nest,
+                             const sim::MachineConfig& config,
+                             const CascadeOptions& opt,
+                             const SequentialResult& sequential);
+
+/// Convenience: derive + predict.
+AnalyticPrediction predict(const loopir::LoopNest& nest,
+                           const sim::MachineConfig& config, const CascadeOptions& opt,
+                           const SequentialResult& sequential);
+
+}  // namespace casc::cascade

@@ -1,0 +1,45 @@
+// Empirical chunk-size selection (paper §2.2 notes the trade-off; §3.3 finds
+// the optimum empirically).  The tuner sweeps a geometric range of chunk
+// sizes through the simulator and reports the best, alongside the analytic
+// lower bound implied by the control-transfer overhead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "casc/cascade/engine.hpp"
+#include "casc/cascade/options.hpp"
+#include "casc/loopir/loop_nest.hpp"
+
+namespace casc::cascade {
+
+/// One sweep point.
+struct ChunkSweepPoint {
+  std::uint64_t chunk_bytes = 0;
+  double speedup = 0.0;
+  std::uint64_t cascaded_cycles = 0;
+  std::uint64_t transfers = 0;
+  double helper_coverage = 0.0;
+};
+
+/// Result of a tuning sweep.
+struct ChunkTuneResult {
+  std::vector<ChunkSweepPoint> points;
+  std::uint64_t best_chunk_bytes = 0;
+  double best_speedup = 0.0;
+};
+
+/// Sweeps chunk sizes from `min_bytes` to `max_bytes` (geometric, ×2) and
+/// returns all points plus the argmax.  Options' chunk_bytes is overridden
+/// per point; everything else is honoured.
+ChunkTuneResult tune_chunk_size(CascadeSimulator& sim, const loopir::LoopNest& nest,
+                                CascadeOptions opt, std::uint64_t min_bytes,
+                                std::uint64_t max_bytes);
+
+/// Analytic floor for sensible chunk sizes: a chunk must amortize one control
+/// transfer against the cycles its iterations save; below this the transfer
+/// overhead alone exceeds the largest possible benefit.  Returns bytes.
+std::uint64_t min_profitable_chunk_bytes(const loopir::LoopNest& nest,
+                                         const sim::MachineConfig& config);
+
+}  // namespace casc::cascade

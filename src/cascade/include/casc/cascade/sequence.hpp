@@ -1,0 +1,41 @@
+// Multi-call workload sequences.  wave5 calls PARMVR roughly 5000 times per
+// run; the paper reports "the timings for the 12th call (out of 5000 calls)
+// ... other calls perform similarly".  A sequence runs a list of loop nests
+// repeatedly through ONE persistent simulated machine, so cache state carries
+// across calls exactly as it does in the real program, and per-call costs
+// expose the warm-up transient.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "casc/cascade/engine.hpp"
+#include "casc/cascade/options.hpp"
+#include "casc/loopir/loop_nest.hpp"
+
+namespace casc::cascade {
+
+/// Per-call cycle counts for a repeated workload.
+struct SequenceResult {
+  std::vector<std::uint64_t> per_call_cycles;
+
+  [[nodiscard]] std::uint64_t total_cycles() const noexcept;
+  /// Cycles of call `i` (1-based, matching the paper's "12th call" wording).
+  [[nodiscard]] std::uint64_t call(unsigned i) const;
+  /// Steady-state estimate: the last call's cost.
+  [[nodiscard]] std::uint64_t steady_state_cycles() const;
+};
+
+/// Runs `calls` sequential invocations of the loop list.  The first call
+/// starts from `start`; later calls inherit whatever the caches hold.
+SequenceResult run_sequence_sequential(CascadeSimulator& sim,
+                                       const std::vector<loopir::LoopNest>& loops,
+                                       unsigned calls,
+                                       StartState start = StartState::kDistributed);
+
+/// Cascaded counterpart; `opt.start_state` seeds only the first call.
+SequenceResult run_sequence_cascaded(CascadeSimulator& sim,
+                                     const std::vector<loopir::LoopNest>& loops,
+                                     unsigned calls, const CascadeOptions& opt);
+
+}  // namespace casc::cascade

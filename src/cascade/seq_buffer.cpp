@@ -1,0 +1,20 @@
+#include "casc/cascade/seq_buffer.hpp"
+
+#include "casc/common/check.hpp"
+
+namespace casc::cascade {
+
+SequentialBufferModel::SequentialBufferModel(std::uint64_t base, std::uint64_t capacity)
+    : base_(base), capacity_(capacity) {
+  CASC_CHECK(capacity_ > 0, "sequential buffer must have nonzero capacity");
+}
+
+std::uint64_t SequentialBufferModel::alloc(std::uint32_t size) {
+  CASC_CHECK(cursor_ + size <= capacity_,
+             "sequential buffer overflow: engine under-sized the buffer");
+  const std::uint64_t addr = base_ + cursor_;
+  cursor_ += size;
+  return addr;
+}
+
+}  // namespace casc::cascade

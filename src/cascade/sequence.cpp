@@ -1,0 +1,64 @@
+#include "casc/cascade/sequence.hpp"
+
+#include <numeric>
+
+#include "casc/common/check.hpp"
+
+namespace casc::cascade {
+
+std::uint64_t SequenceResult::total_cycles() const noexcept {
+  return std::accumulate(per_call_cycles.begin(), per_call_cycles.end(),
+                         std::uint64_t{0});
+}
+
+std::uint64_t SequenceResult::call(unsigned i) const {
+  CASC_CHECK(i >= 1 && i <= per_call_cycles.size(), "call index out of range");
+  return per_call_cycles[i - 1];
+}
+
+std::uint64_t SequenceResult::steady_state_cycles() const {
+  CASC_CHECK(!per_call_cycles.empty(), "empty sequence");
+  return per_call_cycles.back();
+}
+
+SequenceResult run_sequence_sequential(CascadeSimulator& sim,
+                                       const std::vector<loopir::LoopNest>& loops,
+                                       unsigned calls, StartState start) {
+  CASC_CHECK(calls >= 1, "need at least one call");
+  CASC_CHECK(!loops.empty(), "empty loop list");
+  SequenceResult result;
+  result.per_call_cycles.reserve(calls);
+  for (unsigned c = 0; c < calls; ++c) {
+    std::uint64_t call_cycles = 0;
+    for (std::size_t l = 0; l < loops.size(); ++l) {
+      const SequentialResult r = (c == 0 && l == 0)
+                                     ? sim.run_sequential(loops[l], start)
+                                     : sim.continue_sequential(loops[l]);
+      call_cycles += r.total_cycles;
+    }
+    result.per_call_cycles.push_back(call_cycles);
+  }
+  return result;
+}
+
+SequenceResult run_sequence_cascaded(CascadeSimulator& sim,
+                                     const std::vector<loopir::LoopNest>& loops,
+                                     unsigned calls, const CascadeOptions& opt) {
+  CASC_CHECK(calls >= 1, "need at least one call");
+  CASC_CHECK(!loops.empty(), "empty loop list");
+  SequenceResult result;
+  result.per_call_cycles.reserve(calls);
+  for (unsigned c = 0; c < calls; ++c) {
+    std::uint64_t call_cycles = 0;
+    for (std::size_t l = 0; l < loops.size(); ++l) {
+      const CascadeResult r = (c == 0 && l == 0)
+                                  ? sim.run_cascaded(loops[l], opt)
+                                  : sim.continue_cascaded(loops[l], opt);
+      call_cycles += r.total_cycles;
+    }
+    result.per_call_cycles.push_back(call_cycles);
+  }
+  return result;
+}
+
+}  // namespace casc::cascade

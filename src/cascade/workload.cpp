@@ -1,0 +1,50 @@
+#include "casc/cascade/workload.hpp"
+
+#include "casc/common/check.hpp"
+
+namespace casc::cascade {
+
+LoopWorkload::LoopWorkload(const loopir::LoopNest& nest) : nest_(&nest) {
+  CASC_CHECK(nest.finalized(), "loop nest must be finalized");
+}
+
+std::uint64_t LoopWorkload::num_iterations() const { return nest_->num_iterations(); }
+
+std::uint32_t LoopWorkload::compute_cycles() const { return nest_->compute_cycles(); }
+
+std::uint32_t LoopWorkload::restructured_compute_cycles() const {
+  return nest_->restructured_compute_cycles();
+}
+
+std::uint64_t LoopWorkload::bytes_per_iteration() const {
+  return nest_->bytes_per_iteration();
+}
+
+std::uint64_t LoopWorkload::buffer_bytes_per_iteration() const {
+  std::uint64_t bytes = 0;
+  for (const loopir::AccessSpec& acc : nest_->accesses()) {
+    const loopir::ArraySpec& target = nest_->array(acc.array);
+    if (target.read_only && !acc.is_write) {
+      bytes += target.elem_size;  // the operand value itself is staged
+    } else if (acc.index_via) {
+      bytes += 4;  // resolved index for a read-write target
+    }
+  }
+  return bytes;
+}
+
+void LoopWorkload::refs_for_iteration(std::uint64_t it,
+                                      std::vector<loopir::Ref>& out) const {
+  nest_->refs_for_iteration(it, out);
+}
+
+std::vector<AddressRange> LoopWorkload::data_ranges() const {
+  std::vector<AddressRange> ranges;
+  ranges.reserve(nest_->num_arrays());
+  for (loopir::ArrayId a = 0; a < nest_->num_arrays(); ++a) {
+    ranges.push_back({nest_->array_base(a), nest_->array(a).size_bytes()});
+  }
+  return ranges;
+}
+
+}  // namespace casc::cascade

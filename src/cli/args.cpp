@@ -1,0 +1,136 @@
+#include "casc/cli/args.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "casc/common/check.hpp"
+
+namespace casc::cli {
+
+namespace {
+
+std::uint64_t parse_u64_or_throw(const std::string& token, const std::string& what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  CASC_CHECK(ec == std::errc{} && ptr == token.data() + token.size(),
+             what + ": expected an integer, got '" + token + "'");
+  return value;
+}
+
+}  // namespace
+
+std::uint64_t parse_bytes(const std::string& token) {
+  CASC_CHECK(!token.empty(), "empty size");
+  std::uint64_t multiplier = 1;
+  std::string digits = token;
+  switch (token.back()) {
+    case 'k': case 'K': multiplier = 1024ull; digits.pop_back(); break;
+    case 'm': case 'M': multiplier = 1024ull * 1024; digits.pop_back(); break;
+    case 'g': case 'G': multiplier = 1024ull * 1024 * 1024; digits.pop_back(); break;
+    default: break;
+  }
+  return parse_u64_or_throw(digits, "size '" + token + "'") * multiplier;
+}
+
+Args Args::parse(const std::vector<std::string>& argv,
+                 const std::vector<OptionSpec>& specs) {
+  Args args;
+  args.specs_ = specs;
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string& arg = argv[i];
+    CASC_CHECK(arg.rfind("--", 0) == 0, "unexpected positional argument '" + arg + "'");
+    std::string name = arg.substr(2);
+    std::optional<std::string> inline_value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    const OptionSpec* spec = nullptr;
+    for (const OptionSpec& s : specs) {
+      if (s.name == name) {
+        spec = &s;
+        break;
+      }
+    }
+    CASC_CHECK(spec != nullptr, "unknown option '--" + name + "'");
+    if (spec->value_hint.empty()) {
+      CASC_CHECK(!inline_value, "flag '--" + name + "' does not take a value");
+      args.values_[name] = "true";
+    } else if (inline_value) {
+      args.values_[name] = *inline_value;
+    } else {
+      CASC_CHECK(i + 1 < argv.size(), "option '--" + name + "' needs a value");
+      args.values_[name] = argv[++i];
+    }
+  }
+  return args;
+}
+
+const OptionSpec& Args::spec_for(const std::string& name) const {
+  for (const OptionSpec& s : specs_) {
+    if (s.name == name) return s;
+  }
+  CASC_CHECK(false, "query for undeclared option '--" + name + "'");
+  // Unreachable; silences the compiler.
+  static const OptionSpec dummy{};
+  return dummy;
+}
+
+bool Args::has(const std::string& name) const {
+  spec_for(name);  // validate the query
+  return values_.contains(name);
+}
+
+std::string Args::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  return spec_for(name).default_value;
+}
+
+std::uint64_t Args::get_u64(const std::string& name) const {
+  return parse_u64_or_throw(get(name), "option '--" + name + "'");
+}
+
+double Args::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(v, &pos);
+    CASC_CHECK(pos == v.size(), "trailing junk");
+    return d;
+  } catch (const common::CheckFailure&) {
+    throw;
+  } catch (...) {
+    CASC_CHECK(false, "option '--" + name + "': expected a number, got '" + v + "'");
+  }
+  return 0;  // unreachable
+}
+
+std::uint64_t Args::get_bytes(const std::string& name) const {
+  return parse_bytes(get(name));
+}
+
+std::string Args::help(const std::string& program, const std::string& description,
+                       const std::vector<OptionSpec>& specs) {
+  std::ostringstream os;
+  os << program << " — " << description << "\n\noptions:\n";
+  std::size_t width = 0;
+  std::vector<std::string> lhs;
+  for (const OptionSpec& s : specs) {
+    std::string left = "  --" + s.name;
+    if (!s.value_hint.empty()) left += "=<" + s.value_hint + ">";
+    width = std::max(width, left.size());
+    lhs.push_back(std::move(left));
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    os << lhs[i] << std::string(width - lhs[i].size() + 2, ' ') << specs[i].help;
+    if (!specs[i].default_value.empty()) {
+      os << " (default: " << specs[i].default_value << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace casc::cli

@@ -1,0 +1,59 @@
+// A small, dependency-free command-line parser for the cascsim tool:
+// --key=value and --key value options, boolean --flags, size suffixes
+// (K/M/G), and generated --help text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace casc::cli {
+
+/// Declares one accepted option.
+struct OptionSpec {
+  std::string name;          ///< without the leading "--"
+  std::string value_hint;    ///< empty => boolean flag
+  std::string help;
+  std::string default_value; ///< shown in help; used when absent
+};
+
+/// Parsed command line.
+class Args {
+ public:
+  /// Parses `argv` (excluding the program name) against `specs`.  Throws
+  /// CheckFailure on unknown options, missing values, or stray positionals.
+  static Args parse(const std::vector<std::string>& argv,
+                    const std::vector<OptionSpec>& specs);
+
+  /// True if the option was given (flags) or given a value (options).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Value of an option, or its declared default.
+  [[nodiscard]] std::string get(const std::string& name) const;
+
+  /// Integer value; accepts plain numbers only.
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name) const;
+
+  /// Double value.
+  [[nodiscard]] double get_double(const std::string& name) const;
+
+  /// Byte size with optional K/M/G suffix (powers of 1024): "64K" -> 65536.
+  [[nodiscard]] std::uint64_t get_bytes(const std::string& name) const;
+
+  /// Renders a help screen for the spec list.
+  static std::string help(const std::string& program, const std::string& description,
+                          const std::vector<OptionSpec>& specs);
+
+ private:
+  const OptionSpec& spec_for(const std::string& name) const;
+
+  std::vector<OptionSpec> specs_;
+  std::map<std::string, std::string> values_;
+};
+
+/// Parses a standalone byte-size token ("64K", "2M", "512").  Throws on junk.
+std::uint64_t parse_bytes(const std::string& token);
+
+}  // namespace casc::cli

@@ -1,0 +1,14 @@
+#include "casc/common/check.hpp"
+
+#include <sstream>
+
+namespace casc::common {
+
+void check_failed(const char* expr, const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CASC_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace casc::common

@@ -1,0 +1,55 @@
+// Cache-line alignment utilities shared by the simulator and the real runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+
+namespace casc::common {
+
+/// Size, in bytes, we assume for a destructive-interference-free boundary.
+/// std::hardware_destructive_interference_size is not universally available
+/// (and is an ABI hazard in headers), so we pin the conventional x86 value.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps a value so that it occupies its own cache line(s).  Used for
+/// per-processor state (token slots, counters) that must not false-share.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  static_assert(std::is_object_v<T>, "CacheAligned requires an object type");
+
+  T value{};
+
+  CacheAligned() = default;
+  explicit CacheAligned(const T& v) : value(v) {}
+  explicit CacheAligned(T&& v) : value(static_cast<T&&>(v)) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+/// Rounds `n` up to the next multiple of `alignment` (which must be a power
+/// of two).
+constexpr std::uint64_t round_up(std::uint64_t n, std::uint64_t alignment) noexcept {
+  return (n + alignment - 1) & ~(alignment - 1);
+}
+
+/// Rounds `n` down to a multiple of `alignment` (power of two).
+constexpr std::uint64_t round_down(std::uint64_t n, std::uint64_t alignment) noexcept {
+  return n & ~(alignment - 1);
+}
+
+/// True iff `n` is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t n) noexcept { return n != 0 && (n & (n - 1)) == 0; }
+
+/// floor(log2(n)) for n >= 1.
+constexpr unsigned log2_floor(std::uint64_t n) noexcept {
+  unsigned r = 0;
+  while (n >>= 1) ++r;
+  return r;
+}
+
+}  // namespace casc::common

@@ -1,0 +1,46 @@
+// Streaming summary statistics (Welford) plus percentile helpers; used by
+// benches and by the report layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace casc::common {
+
+/// Single-pass mean / variance / min / max accumulator (Welford's algorithm,
+/// numerically stable).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-combine form).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` using linear
+/// interpolation between closest ranks.  Copies and sorts internally; meant
+/// for bench post-processing, not hot paths.  Empty input yields 0.
+double quantile(std::vector<double> values, double q);
+
+/// Geometric mean of strictly positive values; 0 on empty input.
+double geometric_mean(const std::vector<double>& values);
+
+}  // namespace casc::common

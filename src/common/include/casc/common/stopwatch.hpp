@@ -1,0 +1,31 @@
+// Wall-clock stopwatch for the real-thread runtime benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace casc::common {
+
+/// Monotonic stopwatch.  Construction starts it; `elapsed_ns()` reads without
+/// stopping, `restart()` rebases.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] std::int64_t elapsed_ns() const noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+        .count();
+  }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace casc::common

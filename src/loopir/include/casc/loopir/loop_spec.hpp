@@ -1,0 +1,75 @@
+// A declarative, textual form of a loop nest.  LoopNest materializes index
+// arrays and locks addresses at finalize time, so it cannot be faithfully
+// serialized; LoopSpec is the builder-level description that can — it round
+// trips through a simple line-oriented text format and instantiates into a
+// fresh LoopNest.  This is what the cascsim command-line tool consumes.
+//
+// Format (one directive per line; '#' starts a comment):
+//
+//   loop <name>
+//   trip <n> [<step>]
+//   compute <cycles> [<restructured>]
+//   layout conflicting|staggered
+//   array <name> <elem_size> <num_elems> ro|rw
+//   index <name> <num_elems> identity|strided|perm|random|blocks [<seed>] [<param>]
+//   access <array> read|write [stride <s>] [offset <o>] [via <index>]
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "casc/loopir/loop_nest.hpp"
+
+namespace casc::loopir {
+
+/// Declarative description of one loop nest.
+struct LoopSpec {
+  struct ArrayDecl {
+    std::string name;
+    std::uint32_t elem_size = 4;
+    std::uint64_t num_elems = 0;
+    bool read_only = false;
+    /// Set for index arrays; plain arrays leave it empty.
+    std::optional<IndexPattern> pattern;
+    std::uint64_t seed = 1;
+    std::uint64_t param = 1;
+  };
+
+  struct AccessDecl {
+    std::string array;
+    bool is_write = false;
+    std::int64_t stride = 1;
+    std::int64_t offset = 0;
+    std::optional<std::string> index_via;
+  };
+
+  std::string name = "loop";
+  std::uint64_t trip = 0;
+  std::uint64_t step = 1;
+  std::uint32_t compute_cycles = 1;
+  std::optional<std::uint32_t> restructured_compute;
+  LayoutPolicy layout = LayoutPolicy::kStaggered;
+  std::vector<ArrayDecl> arrays;
+  std::vector<AccessDecl> accesses;
+
+  /// Builds and finalizes the LoopNest this spec describes.  Throws
+  /// CheckFailure on semantic errors (unknown array names, writes to
+  /// read-only arrays, ...).
+  [[nodiscard]] LoopNest instantiate() const;
+
+  /// Renders the spec back into the text format (parse(to_text(s)) == s up to
+  /// formatting).
+  [[nodiscard]] std::string to_text() const;
+
+  /// Parses the text format.  Throws CheckFailure with a line number on
+  /// syntax errors.
+  static LoopSpec parse(std::string_view text);
+};
+
+[[nodiscard]] std::string to_string(IndexPattern pattern);
+[[nodiscard]] std::string to_string(LayoutPolicy policy);
+
+}  // namespace casc::loopir

@@ -1,0 +1,232 @@
+#include "casc/loopir/loop_spec.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <unordered_map>
+
+#include "casc/common/check.hpp"
+
+namespace casc::loopir {
+
+namespace {
+
+/// Splits a line into whitespace-separated tokens, dropping '#' comments.
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : line) {
+    if (ch == '#') break;
+    if (ch == ' ' || ch == '\t' || ch == '\r') {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(ch);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+template <typename T>
+T parse_number(const std::string& token, int line_no) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  CASC_CHECK(ec == std::errc{} && ptr == token.data() + token.size(),
+             "line " + std::to_string(line_no) + ": expected a number, got '" +
+                 token + "'");
+  return value;
+}
+
+IndexPattern parse_pattern(const std::string& token, int line_no) {
+  if (token == "identity") return IndexPattern::kIdentity;
+  if (token == "strided") return IndexPattern::kStrided;
+  if (token == "perm") return IndexPattern::kRandomPerm;
+  if (token == "random") return IndexPattern::kRandom;
+  if (token == "blocks") return IndexPattern::kBlockShuffle;
+  CASC_CHECK(false, "line " + std::to_string(line_no) + ": unknown index pattern '" +
+                        token + "'");
+  return IndexPattern::kIdentity;  // unreachable
+}
+
+}  // namespace
+
+std::string to_string(IndexPattern pattern) {
+  switch (pattern) {
+    case IndexPattern::kIdentity: return "identity";
+    case IndexPattern::kStrided: return "strided";
+    case IndexPattern::kRandomPerm: return "perm";
+    case IndexPattern::kRandom: return "random";
+    case IndexPattern::kBlockShuffle: return "blocks";
+  }
+  return "?";
+}
+
+std::string to_string(LayoutPolicy policy) {
+  return policy == LayoutPolicy::kConflicting ? "conflicting" : "staggered";
+}
+
+LoopNest LoopSpec::instantiate() const {
+  CASC_CHECK(trip > 0, "loop spec '" + name + "' has no trip count");
+  LoopNest nest(name);
+  std::unordered_map<std::string, ArrayId> ids;
+  for (const ArrayDecl& decl : arrays) {
+    CASC_CHECK(!ids.contains(decl.name), "duplicate array '" + decl.name + "'");
+    if (decl.pattern) {
+      ids[decl.name] = nest.add_index_array(decl.name, decl.num_elems, *decl.pattern,
+                                            decl.seed, decl.param);
+    } else {
+      ids[decl.name] =
+          nest.add_array({decl.name, decl.elem_size, decl.num_elems, decl.read_only});
+    }
+  }
+  for (const AccessDecl& acc : accesses) {
+    CASC_CHECK(ids.contains(acc.array), "access names unknown array '" + acc.array + "'");
+    AccessSpec spec;
+    spec.array = ids.at(acc.array);
+    spec.is_write = acc.is_write;
+    spec.stride = acc.stride;
+    spec.offset = acc.offset;
+    if (acc.index_via) {
+      CASC_CHECK(ids.contains(*acc.index_via),
+                 "access via unknown index array '" + *acc.index_via + "'");
+      spec.index_via = ids.at(*acc.index_via);
+    }
+    nest.add_access(spec);
+  }
+  nest.set_trip(trip, step);
+  nest.set_compute_cycles(compute_cycles, restructured_compute);
+  nest.finalize(layout);
+  return nest;
+}
+
+std::string LoopSpec::to_text() const {
+  std::ostringstream os;
+  os << "loop " << name << "\n";
+  os << "trip " << trip << ' ' << step << "\n";
+  os << "compute " << compute_cycles;
+  if (restructured_compute) os << ' ' << *restructured_compute;
+  os << "\n";
+  os << "layout " << to_string(layout) << "\n";
+  for (const ArrayDecl& decl : arrays) {
+    if (decl.pattern) {
+      os << "index " << decl.name << ' ' << decl.num_elems << ' '
+         << to_string(*decl.pattern) << ' ' << decl.seed << ' ' << decl.param << "\n";
+    } else {
+      os << "array " << decl.name << ' ' << decl.elem_size << ' ' << decl.num_elems
+         << ' ' << (decl.read_only ? "ro" : "rw") << "\n";
+    }
+  }
+  for (const AccessDecl& acc : accesses) {
+    os << "access " << acc.array << ' ' << (acc.is_write ? "write" : "read");
+    if (acc.stride != 1) os << " stride " << acc.stride;
+    if (acc.offset != 0) os << " offset " << acc.offset;
+    if (acc.index_via) os << " via " << *acc.index_via;
+    os << "\n";
+  }
+  return os.str();
+}
+
+LoopSpec LoopSpec::parse(std::string_view text) {
+  LoopSpec spec;
+  bool saw_trip = false;
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t end = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, end == std::string_view::npos ? text.size() - pos : end - pos);
+    pos = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    ++line_no;
+    const std::vector<std::string> tok = tokenize(line);
+    if (tok.empty()) continue;
+    const std::string& head = tok[0];
+    auto require = [&](std::size_t min_args, std::size_t max_args) {
+      CASC_CHECK(tok.size() - 1 >= min_args && tok.size() - 1 <= max_args,
+                 "line " + std::to_string(line_no) + ": '" + head +
+                     "' takes between " + std::to_string(min_args) + " and " +
+                     std::to_string(max_args) + " arguments");
+    };
+
+    if (head == "loop") {
+      require(1, 1);
+      spec.name = tok[1];
+    } else if (head == "trip") {
+      require(1, 2);
+      spec.trip = parse_number<std::uint64_t>(tok[1], line_no);
+      spec.step = tok.size() > 2 ? parse_number<std::uint64_t>(tok[2], line_no) : 1;
+      saw_trip = true;
+    } else if (head == "compute") {
+      require(1, 2);
+      spec.compute_cycles = parse_number<std::uint32_t>(tok[1], line_no);
+      if (tok.size() > 2) {
+        spec.restructured_compute = parse_number<std::uint32_t>(tok[2], line_no);
+      }
+    } else if (head == "layout") {
+      require(1, 1);
+      if (tok[1] == "conflicting") {
+        spec.layout = LayoutPolicy::kConflicting;
+      } else if (tok[1] == "staggered") {
+        spec.layout = LayoutPolicy::kStaggered;
+      } else {
+        CASC_CHECK(false, "line " + std::to_string(line_no) + ": unknown layout '" +
+                              tok[1] + "'");
+      }
+    } else if (head == "array") {
+      require(4, 4);
+      ArrayDecl decl;
+      decl.name = tok[1];
+      decl.elem_size = parse_number<std::uint32_t>(tok[2], line_no);
+      decl.num_elems = parse_number<std::uint64_t>(tok[3], line_no);
+      CASC_CHECK(tok[4] == "ro" || tok[4] == "rw",
+                 "line " + std::to_string(line_no) + ": expected ro|rw");
+      decl.read_only = tok[4] == "ro";
+      spec.arrays.push_back(std::move(decl));
+    } else if (head == "index") {
+      require(3, 5);
+      ArrayDecl decl;
+      decl.name = tok[1];
+      decl.elem_size = 4;
+      decl.num_elems = parse_number<std::uint64_t>(tok[2], line_no);
+      decl.read_only = true;
+      decl.pattern = parse_pattern(tok[3], line_no);
+      if (tok.size() > 4) decl.seed = parse_number<std::uint64_t>(tok[4], line_no);
+      if (tok.size() > 5) decl.param = parse_number<std::uint64_t>(tok[5], line_no);
+      spec.arrays.push_back(std::move(decl));
+    } else if (head == "access") {
+      require(2, 8);
+      AccessDecl acc;
+      acc.array = tok[1];
+      CASC_CHECK(tok[2] == "read" || tok[2] == "write",
+                 "line " + std::to_string(line_no) + ": expected read|write");
+      acc.is_write = tok[2] == "write";
+      std::size_t i = 3;
+      while (i < tok.size()) {
+        if (tok[i] == "stride" && i + 1 < tok.size()) {
+          acc.stride = parse_number<std::int64_t>(tok[i + 1], line_no);
+          i += 2;
+        } else if (tok[i] == "offset" && i + 1 < tok.size()) {
+          acc.offset = parse_number<std::int64_t>(tok[i + 1], line_no);
+          i += 2;
+        } else if (tok[i] == "via" && i + 1 < tok.size()) {
+          acc.index_via = tok[i + 1];
+          i += 2;
+        } else {
+          CASC_CHECK(false, "line " + std::to_string(line_no) +
+                                ": unexpected token '" + tok[i] + "'");
+        }
+      }
+      spec.accesses.push_back(std::move(acc));
+    } else {
+      CASC_CHECK(false,
+                 "line " + std::to_string(line_no) + ": unknown directive '" + head + "'");
+    }
+  }
+  CASC_CHECK(saw_trip, "loop spec is missing a 'trip' directive");
+  CASC_CHECK(!spec.accesses.empty(), "loop spec has no accesses");
+  return spec;
+}
+
+}  // namespace casc::loopir

@@ -1,0 +1,86 @@
+#include "casc/report/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "casc/common/check.hpp"
+#include "casc/report/table.hpp"
+
+namespace casc::report {
+
+namespace {
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+}
+
+std::string render_plot(const std::vector<double>& xs, const std::vector<Series>& series,
+                        const PlotOptions& options) {
+  CASC_CHECK(!xs.empty(), "plot needs at least one x sample");
+  CASC_CHECK(!series.empty(), "plot needs at least one series");
+  CASC_CHECK(options.width >= 8 && options.height >= 4, "plot area too small");
+  for (const Series& s : series) {
+    CASC_CHECK(s.ys.size() == xs.size(),
+               "series '" + s.name + "' length does not match x samples");
+  }
+
+  auto x_coord = [&](double x) {
+    return options.log_x ? std::log2(std::max(x, 1e-12)) : x;
+  };
+  double x_lo = x_coord(xs.front()), x_hi = x_coord(xs.front());
+  for (double x : xs) {
+    x_lo = std::min(x_lo, x_coord(x));
+    x_hi = std::max(x_hi, x_coord(x));
+  }
+  double y_lo = options.y_min, y_hi = options.y_min;
+  for (const Series& s : series) {
+    for (double y : s.ys) y_hi = std::max(y_hi, y);
+  }
+  if (x_hi == x_lo) x_hi = x_lo + 1;
+  if (y_hi == y_lo) y_hi = y_lo + 1;
+
+  const int W = options.width, H = options.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(H), std::string(W, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof(kGlyphs) / sizeof(kGlyphs[0]))];
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double fx = (x_coord(xs[i]) - x_lo) / (x_hi - x_lo);
+      const double fy = (series[si].ys[i] - y_lo) / (y_hi - y_lo);
+      if (fy < 0) continue;  // below the configured floor
+      const int col = std::clamp(static_cast<int>(std::lround(fx * (W - 1))), 0, W - 1);
+      const int row =
+          std::clamp(H - 1 - static_cast<int>(std::lround(fy * (H - 1))), 0, H - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = glyph;
+    }
+  }
+
+  std::ostringstream os;
+  if (!options.y_label.empty()) os << options.y_label << "\n";
+  for (int row = 0; row < H; ++row) {
+    const double y = y_hi - (y_hi - y_lo) * row / (H - 1);
+    os << std::setw(8) << fmt_double(y, 2) << " |" << grid[static_cast<std::size_t>(row)]
+       << "\n";
+  }
+  os << std::string(8, ' ') << " +" << std::string(static_cast<std::size_t>(W), '-')
+     << "\n";
+  // x-axis end labels.
+  const std::string lo_label = fmt_double(xs.front(), xs.front() < 10 ? 1 : 0);
+  const std::string hi_label = fmt_double(xs.back(), xs.back() < 10 ? 1 : 0);
+  os << std::string(10, ' ') << lo_label
+     << std::string(std::max<std::size_t>(
+            1, static_cast<std::size_t>(W) - lo_label.size() - hi_label.size()),
+        ' ')
+     << hi_label;
+  if (!options.x_label.empty()) os << "  (" << options.x_label << ")";
+  os << "\n";
+  // Legend.
+  os << "legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "  " << kGlyphs[si % (sizeof(kGlyphs) / sizeof(kGlyphs[0]))] << " = "
+       << series[si].name;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace casc::report

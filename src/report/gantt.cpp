@@ -1,0 +1,52 @@
+#include "casc/report/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "casc/common/check.hpp"
+#include "casc/report/table.hpp"
+
+namespace casc::report {
+
+std::string render_gantt(unsigned num_rows, const std::vector<std::string>& row_labels,
+                         const std::vector<GanttSpan>& spans, std::uint64_t total_time,
+                         const GanttOptions& options) {
+  CASC_CHECK(num_rows >= 1, "need at least one row");
+  CASC_CHECK(row_labels.size() == num_rows, "one label per row required");
+  CASC_CHECK(total_time > 0, "total time must be positive");
+  CASC_CHECK(options.width >= 8, "chart too narrow");
+
+  const int W = options.width;
+  std::vector<std::string> rows(num_rows, std::string(static_cast<std::size_t>(W),
+                                                      options.idle));
+  auto column = [&](std::uint64_t t) {
+    const double f = static_cast<double>(t) / static_cast<double>(total_time);
+    return std::clamp(static_cast<int>(f * W), 0, W - 1);
+  };
+  for (const GanttSpan& span : spans) {
+    CASC_CHECK(span.row < num_rows, "span row out of range");
+    CASC_CHECK(span.end >= span.begin, "span ends before it begins");
+    const int lo = column(span.begin);
+    const int hi = std::max(lo, column(span.end == span.begin ? span.end
+                                                              : span.end - 1));
+    for (int c = lo; c <= hi; ++c) {
+      rows[span.row][static_cast<std::size_t>(c)] = span.glyph;
+    }
+  }
+
+  std::size_t label_width = 0;
+  for (const std::string& label : row_labels) {
+    label_width = std::max(label_width, label.size());
+  }
+
+  std::ostringstream os;
+  for (unsigned r = 0; r < num_rows; ++r) {
+    os << row_labels[r] << std::string(label_width - row_labels[r].size(), ' ')
+       << " |" << rows[r] << "|\n";
+  }
+  os << std::string(label_width, ' ') << " 0" << std::string(static_cast<std::size_t>(W) - 2, ' ')
+     << fmt_count(total_time) << " " << options.time_unit << "\n";
+  return os.str();
+}
+
+}  // namespace casc::report

@@ -1,0 +1,32 @@
+// Terminal line plots for the figure benches: renders one or more (x, y)
+// series into a character grid with axes, so the benches can show the
+// *curves* the paper's figures plot, not just the numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace casc::report {
+
+/// One named curve; ys must align with the shared x vector.
+struct Series {
+  std::string name;
+  std::vector<double> ys;
+};
+
+/// Plot configuration.
+struct PlotOptions {
+  int width = 64;    ///< interior columns
+  int height = 16;   ///< interior rows
+  bool log_x = false;  ///< place x samples on a log scale (chunk-size sweeps)
+  double y_min = 0.0;  ///< lower bound of the y axis (paper figures start at 0 or 1)
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders the series over the shared `xs`.  Each series gets a distinct
+/// glyph, shown in the legend line.  Throws CheckFailure on size mismatches.
+std::string render_plot(const std::vector<double>& xs, const std::vector<Series>& series,
+                        const PlotOptions& options = {});
+
+}  // namespace casc::report

@@ -1,0 +1,33 @@
+// ASCII Gantt rendering of per-processor activity over time — used to
+// reproduce the paper's Figure 1 (standard vs cascaded execution of a
+// sequential section) from actual simulated timelines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace casc::report {
+
+/// One activity interval on one row of the chart.
+struct GanttSpan {
+  unsigned row = 0;       ///< 0-based row (processor) index
+  char glyph = 'E';       ///< character used to fill the interval
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+/// Chart configuration.
+struct GanttOptions {
+  int width = 72;          ///< time-axis columns
+  char idle = '.';         ///< fill for uncovered time
+  std::string time_unit = "cycles";
+};
+
+/// Renders the spans onto `num_rows` labelled rows scaled to [0, total_time].
+/// Later spans overwrite earlier ones where they overlap (they should not).
+std::string render_gantt(unsigned num_rows, const std::vector<std::string>& row_labels,
+                         const std::vector<GanttSpan>& spans, std::uint64_t total_time,
+                         const GanttOptions& options = {});
+
+}  // namespace casc::report

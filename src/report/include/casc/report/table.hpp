@@ -1,0 +1,41 @@
+// Plain-text table/series rendering used by every bench binary to print the
+// rows and curves the paper's tables and figures report.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace casc::report {
+
+/// Column-aligned ASCII table with an optional title.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& set_title(std::string title);
+  Table& add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const noexcept { return headers_.size(); }
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double → string.
+std::string fmt_double(double value, int precision = 2);
+/// 1234567 → "1,234,567".
+std::string fmt_count(std::uint64_t value);
+/// 65536 → "64 KB"; falls back to raw bytes for non-multiples.
+std::string fmt_bytes(std::uint64_t bytes);
+/// 0.4731 → "47.3%".
+std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace casc::report

@@ -1,0 +1,100 @@
+#include "casc/report/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "casc/common/check.hpp"
+
+namespace casc::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CASC_CHECK(!headers_.empty(), "a table needs at least one column");
+}
+
+Table& Table::set_title(std::string title) {
+  title_ = std::move(title);
+  return *this;
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  CASC_CHECK(cells.size() == headers_.size(),
+             "row width does not match header width");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[c]))
+         << cells[c];
+    }
+    os << " |\n";
+  };
+  auto print_rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << (c == 0 ? "+-" : "-+-") << std::string(widths[c], '-');
+    }
+    os << "-+\n";
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string fmt_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string fmt_count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int since_sep = static_cast<int>(digits.size() % 3);
+  if (since_sep == 0) since_sep = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && since_sep == 0) {
+      out.push_back(',');
+      since_sep = 3;
+    }
+    out.push_back(digits[i]);
+    --since_sep;
+  }
+  return out;
+}
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  constexpr std::uint64_t kKiB = 1024;
+  constexpr std::uint64_t kMiB = 1024 * kKiB;
+  if (bytes >= kMiB && bytes % kMiB == 0) return std::to_string(bytes / kMiB) + " MB";
+  if (bytes >= kKiB && bytes % kKiB == 0) return std::to_string(bytes / kKiB) + " KB";
+  return std::to_string(bytes) + " B";
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  return fmt_double(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace casc::report

@@ -1,0 +1,41 @@
+#include "casc/rt/adaptive.hpp"
+
+#include <algorithm>
+
+namespace casc::rt {
+
+std::uint64_t AdaptiveChunker::to_pow2(std::uint64_t v) noexcept {
+  std::uint64_t p = 1;
+  while (p < v && p < (1ull << 62)) p <<= 1;
+  return p;
+}
+
+AdaptiveChunker::AdaptiveChunker(std::uint64_t initial, std::uint64_t min_iters,
+                                 std::uint64_t max_iters)
+    : min_(to_pow2(min_iters)), max_(to_pow2(max_iters)) {
+  CASC_CHECK(min_iters > 0, "minimum chunk must be positive");
+  CASC_CHECK(min_ <= max_, "min chunk exceeds max chunk");
+  current_ = std::clamp(to_pow2(initial), min_, max_);
+}
+
+void AdaptiveChunker::record(double seconds, std::uint64_t total_iters) {
+  CASC_CHECK(seconds > 0.0, "a run cannot take zero time");
+  CASC_CHECK(total_iters > 0, "a run must cover at least one iteration");
+  const double throughput = static_cast<double>(total_iters) / seconds;
+
+  if (throughput >= best_throughput_) {
+    // The last move (or the starting point) helped: keep going.
+    best_throughput_ = throughput;
+  } else {
+    // The last move hurt: turn around.  The climber re-crosses the optimum
+    // and oscillates gently around it, which also lets it track drift.
+    direction_ = -direction_;
+    ++reversals_;
+    best_throughput_ = throughput;
+  }
+  const std::uint64_t next =
+      direction_ > 0 ? std::min(max_, current_ << 1) : std::max(min_, current_ >> 1);
+  current_ = std::max(min_, next);
+}
+
+}  // namespace casc::rt

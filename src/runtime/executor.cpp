@@ -1,0 +1,143 @@
+#include "casc/rt/executor.hpp"
+
+#include <algorithm>
+
+#include "casc/common/check.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace casc::rt {
+
+namespace {
+
+void try_pin_to_cpu(unsigned cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % std::max(1u, std::thread::hardware_concurrency()), &set);
+  // Best-effort: failure (e.g. restricted cpuset) is not an error.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
+}
+
+}  // namespace
+
+CascadeExecutor::CascadeExecutor(ExecutorConfig config) {
+  num_threads_ = config.num_threads != 0 ? config.num_threads
+                                         : std::max(1u, std::thread::hardware_concurrency());
+  if (config.pin_threads) try_pin_to_cpu(0);
+  pool_.reserve(num_threads_ - 1);
+  for (unsigned id = 1; id < num_threads_; ++id) {
+    pool_.emplace_back([this, id, pin = config.pin_threads] {
+      if (pin) try_pin_to_cpu(id);
+      worker_main(id);
+    });
+  }
+}
+
+CascadeExecutor::~CascadeExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : pool_) t.join();
+}
+
+void CascadeExecutor::worker_main(unsigned id) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stopping_ || epoch_ != seen_epoch; });
+      if (stopping_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    const WorkerOutcome outcome = participate(id, job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pooled_outcome_.helpers_completed += outcome.helpers_completed;
+      pooled_outcome_.helpers_jumped_out += outcome.helpers_jumped_out;
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+CascadeExecutor::WorkerOutcome CascadeExecutor::participate(unsigned id, const Job& job) {
+  WorkerOutcome outcome;
+  const unsigned P = num_threads_;
+  for (std::uint64_t c = id; c < job.num_chunks; c += P) {
+    const std::uint64_t begin = c * job.iters_per_chunk;
+    const std::uint64_t end = std::min(begin + job.iters_per_chunk, job.total_iters);
+    if (job.helper != nullptr && *job.helper) {
+      const TokenWatch watch(&token_, c);
+      // A helper that starts after the signal would only steal execution
+      // time; skip it entirely in that case (degenerate jump-out).
+      if (!watch.signalled()) {
+        const bool completed = (*job.helper)(begin, end, watch);
+        (completed ? outcome.helpers_completed : outcome.helpers_jumped_out)++;
+      } else {
+        ++outcome.helpers_jumped_out;
+      }
+    }
+    token_.await(c);
+    (*job.exec)(begin, end);
+    token_.pass(c);
+  }
+  return outcome;
+}
+
+void CascadeExecutor::run(std::uint64_t total_iters, std::uint64_t iters_per_chunk,
+                          ExecFn exec, HelperFn helper) {
+  CASC_CHECK(static_cast<bool>(exec), "run() requires an execution function");
+  CASC_CHECK(iters_per_chunk > 0, "iters_per_chunk must be positive");
+  if (total_iters == 0) {
+    stats_ = RunStats{};
+    return;
+  }
+
+  Job job;
+  job.total_iters = total_iters;
+  job.iters_per_chunk = iters_per_chunk;
+  job.num_chunks = (total_iters + iters_per_chunk - 1) / iters_per_chunk;
+  job.exec = &exec;
+  job.helper = helper ? &helper : nullptr;
+
+  token_.reset();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    workers_done_ = 0;
+    pooled_outcome_ = WorkerOutcome{};
+    ++epoch_;
+  }
+  cv_.notify_all();
+
+  // The calling thread is worker 0; it executes chunk 0 without waiting.
+  const WorkerOutcome mine = participate(0, job);
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return workers_done_ == num_threads_ - 1; });
+    CASC_CHECK(token_.current() == job.num_chunks,
+               "cascade finished with an unexecuted chunk");
+    stats_ = RunStats{};
+    stats_.total_iters = total_iters;
+    stats_.num_chunks = job.num_chunks;
+    stats_.iters_per_chunk = iters_per_chunk;
+    stats_.transfers = job.num_chunks;  // one pass() per chunk, incl. the final one
+    stats_.helpers_completed = pooled_outcome_.helpers_completed + mine.helpers_completed;
+    stats_.helpers_jumped_out =
+        pooled_outcome_.helpers_jumped_out + mine.helpers_jumped_out;
+  }
+}
+
+}  // namespace casc::rt

@@ -1,0 +1,115 @@
+// The real-thread cascaded-execution runtime.
+//
+// CascadeExecutor owns a persistent pool of worker threads.  run() partitions
+// an iteration space [0, n) into contiguous chunks, assigns chunk c to worker
+// c mod P, and drives the cascade: each worker runs its helper for its next
+// chunk (watching the token so it can jump out when signalled), awaits the
+// token, runs the chunk's execution phase, and passes the token on.  Exactly
+// one worker is in an execution phase at any instant, so the loop's
+// sequential semantics are preserved while the other P-1 workers optimize
+// their memory state.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "casc/rt/token.hpp"
+
+namespace casc::rt {
+
+/// Executes iterations [begin, end) of the loop body.  Runs with the token
+/// held; must not block indefinitely.
+using ExecFn = std::function<void(std::uint64_t begin, std::uint64_t end)>;
+
+/// Optimizes memory state for the coming execution of [begin, end).
+/// Should poll `watch.signalled()` at a reasonable granularity and return
+/// early (jump out) once it is true.  Returns true iff the helper work ran to
+/// completion (used for statistics only).
+using HelperFn =
+    std::function<bool(std::uint64_t begin, std::uint64_t end, const TokenWatch& watch)>;
+
+/// Pool/behaviour configuration.
+struct ExecutorConfig {
+  /// Worker count (the calling thread is one of them); 0 means
+  /// hardware_concurrency.
+  unsigned num_threads = 0;
+  /// Best-effort: pin worker i to CPU i (Linux only; ignored elsewhere or on
+  /// failure).
+  bool pin_threads = false;
+};
+
+/// Statistics from the most recent run().
+struct RunStats {
+  std::uint64_t total_iters = 0;
+  std::uint64_t num_chunks = 0;
+  std::uint64_t iters_per_chunk = 0;
+  std::uint64_t transfers = 0;               ///< token hand-offs performed
+  std::uint64_t helpers_completed = 0;       ///< helper phases that finished
+  std::uint64_t helpers_jumped_out = 0;      ///< helper phases cut short by the token
+};
+
+/// The runtime.  Thread-safe for sequential use (one run() at a time from the
+/// owning thread); not reentrant.
+class CascadeExecutor {
+ public:
+  explicit CascadeExecutor(ExecutorConfig config = {});
+  ~CascadeExecutor();
+
+  CascadeExecutor(const CascadeExecutor&) = delete;
+  CascadeExecutor& operator=(const CascadeExecutor&) = delete;
+
+  /// Cascades `exec` over [0, total_iters) in chunks of `iters_per_chunk`.
+  /// `helper`, if provided, is invoked on each worker for its next chunk
+  /// before that chunk's execution phase.  Blocks until the whole loop has
+  /// executed.  The calling thread participates as worker 0 (it executes
+  /// chunk 0 immediately, so a cascade over fewer iterations than one chunk
+  /// degenerates to a plain sequential loop).
+  void run(std::uint64_t total_iters, std::uint64_t iters_per_chunk, ExecFn exec,
+           HelperFn helper = nullptr);
+
+  /// Number of workers (including the calling thread).
+  [[nodiscard]] unsigned num_threads() const noexcept { return num_threads_; }
+
+  [[nodiscard]] const RunStats& last_run_stats() const noexcept { return stats_; }
+
+ private:
+  struct Job {
+    std::uint64_t total_iters = 0;
+    std::uint64_t iters_per_chunk = 0;
+    std::uint64_t num_chunks = 0;
+    const ExecFn* exec = nullptr;
+    const HelperFn* helper = nullptr;
+  };
+
+  /// Worker body for ids 1..P-1 (id 0 is the caller inside run()).
+  void worker_main(unsigned id);
+  /// Runs worker `id`'s share of the current job; returns its helper stats.
+  struct WorkerOutcome {
+    std::uint64_t helpers_completed = 0;
+    std::uint64_t helpers_jumped_out = 0;
+  };
+  WorkerOutcome participate(unsigned id, const Job& job);
+
+  unsigned num_threads_;
+  std::vector<std::thread> pool_;
+
+  // Job hand-off: guarded by mutex_/cv_; workers wake on epoch_ changes.
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_ = 0;
+  bool stopping_ = false;
+  Job job_;
+  unsigned workers_done_ = 0;
+  WorkerOutcome pooled_outcome_;  // accumulated under mutex_
+
+  Token token_;
+  RunStats stats_;
+};
+
+}  // namespace casc::rt

@@ -1,0 +1,116 @@
+// High-level restructuring adapter for the real runtime.  Wires together the
+// executor, per-worker sequential buffers, staged-chunk tracking, and
+// jump-out so that user code only supplies two lambdas:
+//
+//   gather(i)  -> V   resolve iteration i's read-only operand value
+//                     (the helper runs this and stages the result)
+//   consume(i, v)     the execution body, given the operand value
+//
+// If a chunk's helper could not finish before the token arrived (jump-out),
+// its execution phase simply re-resolves operands via gather() — the
+// original sequential data path — so results are always identical to the
+// plain loop `for i: consume(i, gather(i))`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "casc/common/check.hpp"
+#include "casc/rt/executor.hpp"
+#include "casc/rt/helpers.hpp"
+#include "casc/rt/seq_buffer.hpp"
+
+namespace casc::rt {
+
+/// Statistics of the last restructured run.
+struct RestructuredStats {
+  std::uint64_t chunks = 0;
+  std::uint64_t chunks_staged = 0;    ///< execution consumed the buffer
+  std::uint64_t chunks_fallback = 0;  ///< helper jumped out; original path used
+
+  [[nodiscard]] double staged_fraction() const noexcept {
+    return chunks ? static_cast<double>(chunks_staged) / static_cast<double>(chunks)
+                  : 0.0;
+  }
+};
+
+/// Reusable restructured-cascade driver for staged values of type V.
+template <typename V>
+class RestructuredLoop {
+  static_assert(std::is_trivially_copyable_v<V>,
+                "staged values must be trivially copyable");
+
+ public:
+  /// `iters_per_chunk` fixes the chunk geometry (and buffer capacity) for
+  /// every run() through this instance.
+  RestructuredLoop(CascadeExecutor& executor, std::uint64_t iters_per_chunk)
+      : executor_(executor),
+        iters_per_chunk_(iters_per_chunk),
+        buffers_(executor.num_threads(), iters_per_chunk * sizeof(V),
+                 iters_per_chunk) {
+    CASC_CHECK(iters_per_chunk > 0, "iters_per_chunk must be positive");
+  }
+
+  /// Runs `consume(i, gather(i))` for i in [0, n), sequentially, cascaded
+  /// across the executor's workers with a restructuring helper.
+  template <typename Gather, typename Consume>
+  void run(std::uint64_t n, Gather&& gather, Consume&& consume) {
+    const std::uint64_t num_chunks =
+        n == 0 ? 0 : (n + iters_per_chunk_ - 1) / iters_per_chunk_;
+    staged_.assign(num_chunks, 0);
+    stats_ = RestructuredStats{};
+    stats_.chunks = num_chunks;
+
+    executor_.run(
+        n, iters_per_chunk_,
+        [&](std::uint64_t begin, std::uint64_t end) {
+          const std::uint64_t chunk = begin / iters_per_chunk_;
+          SequentialBuffer& buf = buffers_.for_chunk(begin);
+          // The staged flag is written by this same worker (helper and
+          // execution phases of a chunk share a thread), so a plain read is
+          // race-free.
+          if (staged_[chunk] != 0) {
+            for (std::uint64_t i = begin; i < end; ++i) {
+              consume(i, buf.pop<V>());
+            }
+            ++stats_local_staged_;
+          } else {
+            for (std::uint64_t i = begin; i < end; ++i) {
+              consume(i, gather(i));
+            }
+          }
+        },
+        [&](std::uint64_t begin, std::uint64_t end, const TokenWatch& watch) {
+          const std::uint64_t chunk = begin / iters_per_chunk_;
+          SequentialBuffer& buf = buffers_.for_chunk(begin);
+          buf.reset();
+          for (std::uint64_t i = begin; i < end; ++i) {
+            if ((i & 0x3f) == 0 && watch.signalled()) return false;  // jump out
+            buf.push(gather(i));
+          }
+          staged_[chunk] = 1;  // set only after the whole chunk is staged
+          return true;
+        });
+
+    // chunks_staged is tallied on worker threads via a relaxed counter; fold
+    // it into the stats now that all workers have finished.
+    stats_.chunks_staged = stats_local_staged_.exchange(0);
+    stats_.chunks_fallback = stats_.chunks - stats_.chunks_staged;
+  }
+
+  [[nodiscard]] const RestructuredStats& last_run_stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  CascadeExecutor& executor_;
+  std::uint64_t iters_per_chunk_;
+  PerWorkerBuffers buffers_;
+  std::vector<char> staged_;  // distinct bytes written by distinct workers
+  std::atomic<std::uint64_t> stats_local_staged_{0};
+  RestructuredStats stats_;
+};
+
+}  // namespace casc::rt

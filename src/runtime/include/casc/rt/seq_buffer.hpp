@@ -1,0 +1,76 @@
+// The real sequential buffer (paper §2.1): a per-thread, cache-line-aligned
+// byte arena the restructuring helper fills in dynamic reference order and
+// the execution phase drains strictly sequentially.  Reuse across chunks
+// keeps the same lines hot in the owning processor's caches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+#include "casc/common/align.hpp"
+#include "casc/common/check.hpp"
+
+namespace casc::rt {
+
+/// FIFO arena of trivially-copyable values.  Writes (helper phase) and reads
+/// (execution phase) each keep their own cursor; reset() rewinds both at the
+/// start of a chunk.  Not thread-safe — by construction it is only ever
+/// touched by its owning thread (helper and execution phases of the same
+/// processor never overlap).
+class SequentialBuffer {
+ public:
+  explicit SequentialBuffer(std::size_t capacity_bytes)
+      : capacity_(common::round_up(capacity_bytes, common::kCacheLineSize)),
+        storage_(static_cast<std::byte*>(
+            ::operator new[](capacity_, std::align_val_t{common::kCacheLineSize}))) {
+    CASC_CHECK(capacity_bytes > 0, "buffer capacity must be positive");
+  }
+
+  ~SequentialBuffer() {
+    ::operator delete[](storage_, std::align_val_t{common::kCacheLineSize});
+  }
+
+  SequentialBuffer(const SequentialBuffer&) = delete;
+  SequentialBuffer& operator=(const SequentialBuffer&) = delete;
+
+  /// Rewinds both cursors; contents become dead.
+  void reset() noexcept { write_pos_ = read_pos_ = 0; }
+
+  /// Appends one value (helper phase).
+  template <typename T>
+  void push(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CASC_CHECK(write_pos_ + sizeof(T) <= capacity_, "sequential buffer overflow");
+    std::memcpy(storage_ + write_pos_, &value, sizeof(T));
+    write_pos_ += sizeof(T);
+  }
+
+  /// Pops the next value in FIFO order (execution phase).
+  template <typename T>
+  T pop() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CASC_CHECK(read_pos_ + sizeof(T) <= write_pos_, "sequential buffer underflow");
+    T value;
+    std::memcpy(&value, storage_ + read_pos_, sizeof(T));
+    read_pos_ += sizeof(T);
+    return value;
+  }
+
+  [[nodiscard]] std::size_t bytes_written() const noexcept { return write_pos_; }
+  [[nodiscard]] std::size_t bytes_read() const noexcept { return read_pos_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// True when every staged value has been consumed — a useful invariant to
+  /// assert at the end of a restructured chunk.
+  [[nodiscard]] bool drained() const noexcept { return read_pos_ == write_pos_; }
+
+ private:
+  std::size_t capacity_;
+  std::byte* storage_;
+  std::size_t write_pos_ = 0;
+  std::size_t read_pos_ = 0;
+};
+
+}  // namespace casc::rt

@@ -1,0 +1,45 @@
+// Adaptive spin-wait used by the token ring.  Starts with cheap pause
+// instructions and escalates to OS yields so that the runtime stays correct
+// (and acceptably fast) even when threads outnumber cores — including the
+// degenerate single-core case, where pure spinning would deadlock-by-slowness
+// against the thread holding the token.
+#pragma once
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace casc::rt {
+
+/// Call wait() repeatedly inside a polling loop.
+class SpinWait {
+ public:
+  void wait() noexcept {
+    if (spins_ < kSpinLimit) {
+      ++spins_;
+      cpu_pause();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { spins_ = 0; }
+
+  static void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#elif defined(__aarch64__)
+    asm volatile("isb" ::: "memory");
+#else
+    // No pause primitive: fall through; the caller's loop still makes progress.
+#endif
+  }
+
+ private:
+  static constexpr int kSpinLimit = 64;
+  int spins_ = 0;
+};
+
+}  // namespace casc::rt

@@ -1,0 +1,71 @@
+// The execution token.  Control transfer in cascaded execution "requires only
+// that a shared-memory flag be set and that the target processor see its new
+// value" (paper §3.3, footnote 2).  The flag here is a monotonically
+// increasing chunk counter on its own cache line: chunk c may execute when
+// the counter equals c, and passing control is a single release-store of c+1.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "casc/common/align.hpp"
+#include "casc/rt/spin_wait.hpp"
+
+namespace casc::rt {
+
+/// Shared token state.  One instance per executor; all workers poll it.
+class Token {
+ public:
+  /// Resets the token to chunk 0 (single-threaded context only).
+  void reset() noexcept { current_.value.store(0, std::memory_order_relaxed); }
+
+  /// Chunk currently allowed to execute (acquire: pairs with pass()).
+  [[nodiscard]] std::uint64_t current() const noexcept {
+    return current_.value.load(std::memory_order_acquire);
+  }
+
+  /// Cheap check used inside helper loops for jump-out; relaxed is fine
+  /// because a late observation only delays the jump-out by one poll.
+  [[nodiscard]] std::uint64_t current_relaxed() const noexcept {
+    return current_.value.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks (spin, then yield) until it is chunk `c`'s turn.
+  void await(std::uint64_t c) const noexcept {
+    SpinWait spin;
+    while (current() != c) spin.wait();
+  }
+
+  /// Passes control to chunk `c + 1`; the release pairs with await()'s
+  /// acquire so every write made while executing chunk c is visible to the
+  /// next executor.  Precondition: the caller holds the token for c.
+  void pass(std::uint64_t c) noexcept {
+    current_.value.store(c + 1, std::memory_order_release);
+  }
+
+ private:
+  common::CacheAligned<std::atomic<std::uint64_t>> current_;
+};
+
+/// Read-only view a helper receives so it can jump out as soon as its own
+/// execution phase is signalled (paper §3.3: "performance is improved by
+/// causing a processor to jump out of a helper phase ... as soon as it is
+/// signaled to begin execution").
+class TokenWatch {
+ public:
+  TokenWatch(const Token* token, std::uint64_t my_chunk) noexcept
+      : token_(token), my_chunk_(my_chunk) {}
+
+  /// True once the helper's processor has been signalled to execute.
+  [[nodiscard]] bool signalled() const noexcept {
+    return token_->current_relaxed() >= my_chunk_;
+  }
+
+  [[nodiscard]] std::uint64_t chunk() const noexcept { return my_chunk_; }
+
+ private:
+  const Token* token_;
+  std::uint64_t my_chunk_;
+};
+
+}  // namespace casc::rt

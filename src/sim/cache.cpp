@@ -1,0 +1,140 @@
+#include "casc/sim/cache.hpp"
+
+#include "casc/common/align.hpp"
+#include "casc/common/check.hpp"
+
+namespace casc::sim {
+
+using common::is_pow2;
+using common::log2_floor;
+
+CacheStats& CacheStats::operator+=(const CacheStats& o) noexcept {
+  accesses += o.accesses;
+  hits += o.hits;
+  misses += o.misses;
+  read_misses += o.read_misses;
+  write_misses += o.write_misses;
+  evictions += o.evictions;
+  writebacks += o.writebacks;
+  invalidations += o.invalidations;
+  upgrades += o.upgrades;
+  return *this;
+}
+
+CacheStats operator+(CacheStats a, const CacheStats& b) noexcept { return a += b; }
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  CASC_CHECK(config_.size_bytes > 0, "cache size must be positive");
+  CASC_CHECK(is_pow2(config_.line_size), "line size must be a power of two");
+  CASC_CHECK(config_.associativity > 0, "associativity must be positive");
+  CASC_CHECK(config_.size_bytes %
+                     (static_cast<std::uint64_t>(config_.line_size) * config_.associativity) ==
+                 0,
+             "capacity must be a whole number of sets");
+  const std::uint64_t sets = config_.num_sets();
+  CASC_CHECK(is_pow2(sets), "number of sets must be a power of two");
+  set_mask_ = sets - 1;
+  line_shift_ = log2_floor(config_.line_size);
+  ways_.resize(sets * config_.associativity);
+}
+
+std::uint64_t Cache::set_index(std::uint64_t addr) const noexcept {
+  return (addr >> line_shift_) & set_mask_;
+}
+
+const Cache::Way* Cache::find(std::uint64_t addr) const noexcept {
+  const std::uint64_t tag = addr >> line_shift_;
+  const Way* set = &ways_[set_index(addr) * config_.associativity];
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    if (set[w].state != LineState::kInvalid && set[w].tag == tag) return &set[w];
+  }
+  return nullptr;
+}
+
+Cache::Way* Cache::find(std::uint64_t addr) noexcept {
+  return const_cast<Way*>(static_cast<const Cache*>(this)->find(addr));
+}
+
+Cache::Lookup Cache::peek(std::uint64_t addr) const noexcept {
+  const Way* way = find(addr);
+  if (way == nullptr) return {};
+  return {true, way->state};
+}
+
+Cache::Lookup Cache::touch(std::uint64_t addr) noexcept {
+  Way* way = find(addr);
+  if (way == nullptr) return {};
+  way->lru_stamp = ++lru_clock_;
+  return {true, way->state};
+}
+
+Cache::Victim Cache::insert(std::uint64_t addr, LineState state) {
+  CASC_CHECK(state != LineState::kInvalid, "cannot insert an invalid line");
+  CASC_CHECK(find(addr) == nullptr, "line already present; use set_state");
+  Way* set = &ways_[set_index(addr) * config_.associativity];
+  Way* slot = nullptr;
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    if (set[w].state == LineState::kInvalid) {
+      slot = &set[w];
+      break;
+    }
+  }
+  Victim victim;
+  if (slot == nullptr) {
+    // Evict the least-recently-used way of the set.
+    slot = &set[0];
+    for (std::uint32_t w = 1; w < config_.associativity; ++w) {
+      if (set[w].lru_stamp < slot->lru_stamp) slot = &set[w];
+    }
+    victim.valid = true;
+    victim.line_addr = slot->tag << line_shift_;
+    victim.state = slot->state;
+  }
+  slot->tag = addr >> line_shift_;
+  slot->state = state;
+  slot->lru_stamp = ++lru_clock_;
+  return victim;
+}
+
+void Cache::set_state(std::uint64_t addr, LineState state) {
+  Way* way = find(addr);
+  CASC_CHECK(way != nullptr, "set_state on a line that is not present");
+  way->state = state;
+}
+
+LineState Cache::invalidate(std::uint64_t addr) noexcept {
+  Way* way = find(addr);
+  if (way == nullptr) return LineState::kInvalid;
+  const LineState old = way->state;
+  way->state = LineState::kInvalid;
+  return old;
+}
+
+std::uint64_t Cache::flush_all() noexcept {
+  std::uint64_t dirty = 0;
+  for (Way& way : ways_) {
+    if (way.state == LineState::kModified) ++dirty;
+    way.state = LineState::kInvalid;
+  }
+  return dirty;
+}
+
+std::uint64_t Cache::valid_line_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const Way& way : ways_) {
+    if (way.state != LineState::kInvalid) ++n;
+  }
+  return n;
+}
+
+CacheStats Cache::total_stats() const noexcept {
+  CacheStats total;
+  for (const CacheStats& s : stats_) total += s;
+  return total;
+}
+
+void Cache::reset_stats() noexcept {
+  for (CacheStats& s : stats_) s = CacheStats{};
+}
+
+}  // namespace casc::sim

@@ -1,0 +1,37 @@
+// Basic vocabulary types for the execution-driven memory simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace casc::sim {
+
+/// Direction of a memory reference.
+enum class AccessType : std::uint8_t { kRead, kWrite };
+
+/// A single dynamic memory reference issued by a (simulated) processor.
+struct MemRef {
+  std::uint64_t addr = 0;   ///< byte address
+  std::uint32_t size = 4;   ///< bytes touched (split across lines if needed)
+  AccessType type = AccessType::kRead;
+};
+
+/// Where an access was serviced from.
+enum class HitLevel : std::uint8_t {
+  kL1,           ///< hit in the local first-level cache
+  kL2,           ///< hit in the local second-level cache
+  kRemoteCache,  ///< supplied by another processor's cache (dirty line)
+  kMemory,       ///< serviced from main memory
+};
+
+/// Result of pushing one reference through a processor's hierarchy.
+struct AccessOutcome {
+  HitLevel level = HitLevel::kL1;
+  std::uint64_t latency = 0;  ///< cycles charged to the issuing processor
+};
+
+/// Statistic bucket: which phase of cascaded execution issued the reference.
+/// Plain sequential execution accounts everything to kExec.
+enum class Phase : std::uint8_t { kExec = 0, kHelper = 1 };
+inline constexpr int kNumPhases = 2;
+
+}  // namespace casc::sim

@@ -1,0 +1,144 @@
+// Set-associative cache with true-LRU replacement, write-back/write-allocate
+// policy, and MSI line states.  One instance models one level of one
+// processor's private hierarchy; coherence decisions are made by the Machine,
+// which drives the state-transition API exposed here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "casc/sim/access.hpp"
+
+namespace casc::sim {
+
+/// Geometry and timing of one cache level (one row of the paper's Table 1).
+struct CacheConfig {
+  std::string name;                ///< e.g. "L1", for diagnostics
+  std::uint64_t size_bytes = 0;    ///< total capacity; must be a multiple of line*assoc
+  std::uint32_t line_size = 32;    ///< bytes per line; power of two
+  std::uint32_t associativity = 2; ///< ways per set
+  std::uint32_t hit_latency = 1;   ///< cycles charged when an access is serviced here
+
+  [[nodiscard]] std::uint64_t num_sets() const noexcept {
+    return size_bytes / (static_cast<std::uint64_t>(line_size) * associativity);
+  }
+};
+
+/// MESI coherence state of a cached line.  kExclusive (clean, sole copy)
+/// exists so that a write to data nobody else caches does not pay a bus
+/// upgrade — essential for read-modify-write loops.
+enum class LineState : std::uint8_t { kInvalid, kShared, kExclusive, kModified };
+
+/// Per-level event counters, kept separately per cascaded-execution phase so
+/// benches can report execution-phase misses (the critical path) apart from
+/// helper-phase misses (hidden behind another processor's execution).
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;       ///< dirty lines pushed down / out
+  std::uint64_t invalidations = 0;    ///< lines killed by remote writes
+  std::uint64_t upgrades = 0;         ///< Shared->Modified transitions
+
+  CacheStats& operator+=(const CacheStats& o) noexcept;
+  [[nodiscard]] double miss_rate() const noexcept {
+    return accesses ? static_cast<double>(misses) / static_cast<double>(accesses) : 0.0;
+  }
+};
+
+CacheStats operator+(CacheStats a, const CacheStats& b) noexcept;
+
+/// One set-associative cache array.  The cache stores tags and states only —
+/// the simulator is execution-driven over synthetic address streams, so no
+/// data payloads are kept.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Result of a tag probe.
+  struct Lookup {
+    bool hit = false;
+    LineState state = LineState::kInvalid;
+  };
+
+  /// Probes for the line containing `addr` without modifying LRU or state.
+  [[nodiscard]] Lookup peek(std::uint64_t addr) const noexcept;
+
+  /// Probes for the line and, on a hit, promotes it to MRU.
+  Lookup touch(std::uint64_t addr) noexcept;
+
+  /// Describes a line displaced by insert().
+  struct Victim {
+    bool valid = false;              ///< a line was displaced
+    std::uint64_t line_addr = 0;     ///< its base address
+    LineState state = LineState::kInvalid;  ///< state at displacement time
+  };
+
+  /// Inserts the line containing `addr` in `state`, returning any displaced
+  /// line (LRU victim of the set).  Precondition: the line is not present.
+  Victim insert(std::uint64_t addr, LineState state);
+
+  /// Sets the state of a present line.  Precondition: the line is present.
+  void set_state(std::uint64_t addr, LineState state);
+
+  /// Invalidates the line if present.  Returns the state it had (kInvalid if
+  /// it was not present), so the caller can schedule a writeback for kModified.
+  LineState invalidate(std::uint64_t addr) noexcept;
+
+  /// Drops every line, returning the number that were Modified (the caller
+  /// accounts for the implied writebacks).  Statistics are *not* reset.
+  std::uint64_t flush_all() noexcept;
+
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+
+  /// Base address of the line containing `addr`.
+  [[nodiscard]] std::uint64_t line_base(std::uint64_t addr) const noexcept {
+    return addr & ~static_cast<std::uint64_t>(config_.line_size - 1);
+  }
+
+  /// Number of currently valid lines (test/diagnostic aid).
+  [[nodiscard]] std::uint64_t valid_line_count() const noexcept;
+
+  /// Set index the given address maps to (exposed for conflict-analysis
+  /// tooling and tests).
+  [[nodiscard]] std::uint64_t set_index(std::uint64_t addr) const noexcept;
+
+  /// Mutable per-phase statistics; the Machine routes events into the bucket
+  /// of the phase that issued the triggering access.
+  CacheStats& stats(Phase phase) noexcept { return stats_[static_cast<int>(phase)]; }
+  [[nodiscard]] const CacheStats& stats(Phase phase) const noexcept {
+    return stats_[static_cast<int>(phase)];
+  }
+  /// Sum over phases.
+  [[nodiscard]] CacheStats total_stats() const noexcept;
+
+  void reset_stats() noexcept;
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru_stamp = 0;
+    LineState state = LineState::kInvalid;
+  };
+
+  struct Slot {
+    Way* way = nullptr;
+  };
+
+  [[nodiscard]] const Way* find(std::uint64_t addr) const noexcept;
+  [[nodiscard]] Way* find(std::uint64_t addr) noexcept;
+
+  CacheConfig config_;
+  std::uint64_t set_mask_;
+  std::uint32_t line_shift_;
+  std::uint64_t lru_clock_ = 0;
+  std::vector<Way> ways_;  // num_sets * associativity, set-major
+  CacheStats stats_[kNumPhases];
+};
+
+}  // namespace casc::sim

@@ -1,0 +1,189 @@
+// The simulated shared-memory multiprocessor: P processors, each with a
+// private L1/L2 write-back hierarchy, joined by a snooping bus running an MSI
+// invalidation protocol over main memory.  Latencies follow Table 1 of the
+// paper; out-of-order/non-blocking overlap is approximated by an optional
+// stream-prefetch discount (used to model the MIPSpro compiler's software
+// prefetching on the R10000 — see DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "casc/sim/access.hpp"
+#include "casc/sim/cache.hpp"
+
+namespace casc::sim {
+
+/// Full description of a simulated machine (Table 1 plus the knobs the paper
+/// reports in the text: control-transfer cost, compiler prefetching).
+struct MachineConfig {
+  std::string name;
+  unsigned num_processors = 4;
+
+  CacheConfig l1;  ///< per-processor first-level data cache
+  CacheConfig l2;  ///< per-processor second-level cache (inclusive of L1)
+
+  std::uint32_t memory_latency = 58;   ///< cycles to service an access from DRAM
+  std::uint32_t c2c_latency = 58;      ///< cycles when a remote dirty line supplies data
+  std::uint32_t upgrade_latency = 12;  ///< bus transaction for a Shared->Modified upgrade
+
+  /// Cost of passing the execution token between processors (paper §3.3:
+  /// ~120 cycles on the Pentium Pro, ~500 on the R10000).
+  std::uint32_t control_transfer_cycles = 120;
+
+  /// Fixed per-chunk cost of entering an execution phase beyond the flag
+  /// itself: loop prologue/epilogue, register and loop-state reload, branch
+  /// mispredictions on the fresh control path.  Together with the transfer
+  /// cost this is what pushes the optimal chunk size above the L1 size
+  /// (paper §3.3 / Figure 6).
+  std::uint32_t chunk_startup_cycles = 250;
+
+  /// Models compiler-inserted software prefetching (MIPSpro on the R10000):
+  /// when successive memory-level misses walk consecutive lines, the miss
+  /// penalty is discounted because the prefetch issued ahead of use.
+  bool compiler_prefetch = false;
+  /// Fraction of memory latency still charged on a detected-stream miss.
+  double stream_miss_discount = 0.25;
+
+  /// Models the machines' non-blocking caches ("allowing up to four
+  /// outstanding requests to the L2 cache and to main memory", paper §3.2):
+  /// within a chain of back-to-back bus-level misses, all but every
+  /// `miss_overlap_window`-th miss overlap with their predecessors and are
+  /// charged `miss_overlap_fraction` of the full latency.  A fraction of 1
+  /// disables the model (the strict in-order default used by unit tests).
+  double miss_overlap_fraction = 1.0;
+  std::uint32_t miss_overlap_window = 4;
+
+  /// Table 1 preset: 4-processor 200 MHz Pentium Pro PC server.
+  static MachineConfig pentium_pro(unsigned procs = 4);
+  /// Table 1 preset: 8-processor 194 MHz R10000 SGI Power Onyx.
+  static MachineConfig r10000(unsigned procs = 8);
+  /// A hypothetical future machine: Pentium Pro geometry with memory latency
+  /// scaled by `memory_scale` (paper §3.4 motivation).
+  static MachineConfig future(double memory_scale, unsigned procs = 4);
+};
+
+/// Aggregated machine-level coherence/bus counters.
+struct BusStats {
+  std::uint64_t transactions = 0;          ///< misses that reached the bus
+  std::uint64_t cache_to_cache = 0;        ///< supplied by a remote dirty line
+  std::uint64_t invalidations_sent = 0;    ///< remote copies killed by writes
+  std::uint64_t memory_reads = 0;          ///< lines fetched from DRAM
+  std::uint64_t memory_writebacks = 0;     ///< dirty lines written to DRAM
+  std::uint64_t stream_discounted = 0;     ///< misses charged the prefetch discount
+  std::uint64_t overlapped_misses = 0;     ///< misses charged the MLP overlap discount
+};
+
+/// One simulated processor: private L1 + L2 and a stream-detection register.
+class Processor {
+ public:
+  Processor(unsigned id, const MachineConfig& config);
+
+  [[nodiscard]] unsigned id() const noexcept { return id_; }
+  [[nodiscard]] Cache& l1() noexcept { return l1_; }
+  [[nodiscard]] Cache& l2() noexcept { return l2_; }
+  [[nodiscard]] const Cache& l1() const noexcept { return l1_; }
+  [[nodiscard]] const Cache& l2() const noexcept { return l2_; }
+
+ private:
+  friend class Machine;
+
+  /// Slots in the stream detector: the MIPSpro prefetch model recognizes up
+  /// to this many concurrent streams per processor.
+  static constexpr unsigned kStreamSlots = 8;
+  /// Direct-mapped filter of recently missed lines, used to classify a miss
+  /// as a *re-miss* (conflict/capacity victim fetched again) — software
+  /// prefetching cannot hide those, because the prefetched line is displaced
+  /// before use.
+  static constexpr std::size_t kReMissTableSize = 8192;
+
+  unsigned id_;
+  Cache l1_;
+  Cache l2_;
+  std::uint64_t stream_slots_[kStreamSlots];       ///< last miss line per stream
+  unsigned stream_replace_ = 0;                    ///< round-robin victim slot
+  std::vector<std::uint64_t> recent_miss_lines_;   ///< re-miss filter
+  std::uint32_t miss_chain_ = 0;  ///< consecutive bus-level misses (MLP model)
+};
+
+/// The multiprocessor.  All accesses are issued through this class so that
+/// coherence (snooping, invalidation, dirty supply) is applied globally.
+/// The simulation is logically sequential — cascaded execution guarantees a
+/// single execution phase at a time, and helper phases are interleaved by the
+/// cascade engine — so no internal locking is needed or provided.
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] unsigned num_processors() const noexcept {
+    return static_cast<unsigned>(procs_.size());
+  }
+  [[nodiscard]] Processor& processor(unsigned p);
+  [[nodiscard]] const Processor& processor(unsigned p) const;
+
+  /// Pushes one reference through processor `p`'s hierarchy, applying MSI
+  /// coherence against all other processors, and returns where it hit and the
+  /// cycles charged.  References larger than a line are split and the worst
+  /// (slowest) constituent outcome is returned with summed latency.
+  AccessOutcome access(unsigned p, const MemRef& ref, Phase phase);
+
+  /// Convenience: read/write `size` bytes at `addr` on processor `p`.
+  AccessOutcome read(unsigned p, std::uint64_t addr, std::uint32_t size = 4,
+                     Phase phase = Phase::kExec) {
+    return access(p, {addr, size, AccessType::kRead}, phase);
+  }
+  AccessOutcome write(unsigned p, std::uint64_t addr, std::uint32_t size = 4,
+                      Phase phase = Phase::kExec) {
+    return access(p, {addr, size, AccessType::kWrite}, phase);
+  }
+
+  /// Invalidates every line of every cache (cold restart).  Statistics are
+  /// preserved; call reset_stats() separately if desired.
+  void flush_all_caches() noexcept;
+
+  [[nodiscard]] const BusStats& bus_stats() const noexcept { return bus_stats_; }
+
+  /// Zeroes every cache's and the bus's statistics.
+  void reset_stats() noexcept;
+
+  /// Sum of a given level's stats across all processors, per phase.
+  [[nodiscard]] CacheStats l1_stats(Phase phase) const noexcept;
+  [[nodiscard]] CacheStats l2_stats(Phase phase) const noexcept;
+  [[nodiscard]] CacheStats l1_stats_total() const noexcept;
+  [[nodiscard]] CacheStats l2_stats_total() const noexcept;
+
+ private:
+  /// Handles a single within-line reference.
+  AccessOutcome access_line(unsigned p, std::uint64_t addr, AccessType type, Phase phase);
+
+  /// Fetches a line into processor `p`'s L2 via the bus; returns the latency
+  /// and whether it came from a remote cache.  `for_write` requests exclusive
+  /// (Modified) ownership.
+  struct BusFetch {
+    std::uint64_t latency = 0;
+    bool from_remote = false;
+    /// State the line installs in: Modified for writes, Exclusive for reads
+    /// with no other cached copy, Shared otherwise.
+    LineState install = LineState::kShared;
+  };
+  BusFetch bus_fetch(unsigned p, std::uint64_t line_addr, bool for_write, Phase phase);
+
+  /// Broadcasts a Shared->Modified upgrade for the L2 line, invalidating all
+  /// remote copies; returns the bus latency charged.
+  std::uint64_t bus_upgrade(unsigned p, std::uint64_t l2_line, Phase phase);
+
+  /// Installs a line into L2 (and handles the inclusion back-invalidate +
+  /// writeback of the victim).
+  void fill_l2(Processor& proc, std::uint64_t line_addr, LineState state, Phase phase);
+  /// Installs a line into L1, propagating a dirty victim into L2.
+  void fill_l1(Processor& proc, std::uint64_t line_addr, bool dirty, Phase phase);
+
+  MachineConfig config_;
+  std::vector<std::unique_ptr<Processor>> procs_;
+  BusStats bus_stats_;
+};
+
+}  // namespace casc::sim

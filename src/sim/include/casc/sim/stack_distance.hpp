@@ -1,0 +1,64 @@
+// Reuse (LRU stack) distance analysis.  The stack distance of a reference is
+// the number of *distinct* lines touched since the previous reference to the
+// same line; a fully-associative LRU cache of C lines hits exactly the
+// references with distance < C.  The histogram therefore predicts the miss
+// ratio of every capacity at once — a compact way to characterize a loop's
+// locality and to size chunks (the knee of the curve is the natural chunk
+// footprint).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "casc/sim/cache.hpp"
+
+namespace casc::sim {
+
+/// Streaming stack-distance histogram over line-granular references.
+/// O(log n) per access via an order-statistic structure built on a Fenwick
+/// tree over access timestamps.
+class StackDistance {
+ public:
+  /// `line_size` must be a power of two.
+  explicit StackDistance(std::uint32_t line_size);
+
+  /// Feeds one reference (split across lines if needed).
+  void access(std::uint64_t addr, std::uint32_t size = 4);
+
+  /// Number of references with finite stack distance exactly `d` is
+  /// histogram()[d]; cold (first-touch) references are counted separately.
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>& histogram() const noexcept {
+    return histogram_;
+  }
+  [[nodiscard]] std::uint64_t cold_references() const noexcept { return cold_; }
+  [[nodiscard]] std::uint64_t total_references() const noexcept { return total_; }
+
+  /// Predicted miss ratio of a fully-associative LRU cache holding
+  /// `capacity_lines` lines: (cold + refs with distance >= capacity) / total.
+  [[nodiscard]] double predicted_miss_ratio(std::uint64_t capacity_lines) const;
+
+  /// Smallest capacity (in lines) whose predicted miss ratio is at most
+  /// `target`; returns 0 if even infinite capacity cannot reach it (cold
+  /// misses alone exceed the target).
+  [[nodiscard]] std::uint64_t capacity_for_miss_ratio(double target) const;
+
+ private:
+  void access_line(std::uint64_t line);
+  void fenwick_add(std::size_t pos, int delta);
+  [[nodiscard]] std::uint64_t fenwick_sum(std::size_t pos) const;  // prefix sum [0, pos]
+
+  std::uint32_t line_size_;
+  std::uint64_t total_ = 0;
+  std::uint64_t cold_ = 0;
+  std::map<std::uint64_t, std::uint64_t> histogram_;
+
+  // Timestamped LRU bookkeeping: each line's last access time; the Fenwick
+  // tree marks which timestamps are "live" (most recent for their line), so
+  // the stack distance is the count of live timestamps after the line's own.
+  std::unordered_map<std::uint64_t, std::uint64_t> last_time_;
+  std::vector<std::uint64_t> fenwick_;  // grows with the access count
+};
+
+}  // namespace casc::sim

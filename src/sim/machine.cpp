@@ -1,0 +1,386 @@
+#include "casc/sim/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "casc/common/check.hpp"
+
+namespace casc::sim {
+
+MachineConfig MachineConfig::pentium_pro(unsigned procs) {
+  MachineConfig c;
+  c.name = "PentiumPro";
+  c.num_processors = procs;
+  c.l1 = {"L1", 8 * 1024, 32, 2, 3};
+  c.l2 = {"L2", 512 * 1024, 32, 4, 7};
+  c.memory_latency = 58;
+  c.c2c_latency = 70;
+  c.upgrade_latency = 12;
+  c.control_transfer_cycles = 120;
+  c.chunk_startup_cycles = 250;
+  c.compiler_prefetch = false;
+  // Non-blocking caches, four outstanding requests (paper §3.2).
+  c.miss_overlap_fraction = 0.4;
+  c.miss_overlap_window = 4;
+  return c;
+}
+
+MachineConfig MachineConfig::r10000(unsigned procs) {
+  MachineConfig c;
+  c.name = "R10000";
+  c.num_processors = procs;
+  c.l1 = {"L1", 32 * 1024, 32, 2, 3};
+  c.l2 = {"L2", 2 * 1024 * 1024, 128, 2, 6};
+  // Table 1 reports 100-200 cycles; we charge a value in the lower half of
+  // that band (the R10000's aggressive overlap makes the effective cost of a
+  // serialized miss land below the worst case).
+  c.memory_latency = 115;
+  c.c2c_latency = 180;
+  c.upgrade_latency = 20;
+  c.control_transfer_cycles = 500;
+  c.chunk_startup_cycles = 600;
+  // The MIPSpro compiler inserts software prefetches in optimized code
+  // (paper §3.3), hiding much of the latency of streaming misses.
+  c.compiler_prefetch = true;
+  c.stream_miss_discount = 0.25;
+  c.miss_overlap_fraction = 0.4;
+  c.miss_overlap_window = 4;
+  return c;
+}
+
+MachineConfig MachineConfig::future(double memory_scale, unsigned procs) {
+  CASC_CHECK(memory_scale >= 1.0, "future machines have slower memory, not faster");
+  MachineConfig c = pentium_pro(procs);
+  c.name = "Future-x" + std::to_string(static_cast<int>(memory_scale));
+  c.memory_latency = static_cast<std::uint32_t>(std::lround(58.0 * memory_scale));
+  c.c2c_latency = static_cast<std::uint32_t>(std::lround(70.0 * memory_scale));
+  // Control transfer is itself a memory round trip, so it scales too.
+  c.control_transfer_cycles =
+      static_cast<std::uint32_t>(std::lround(120.0 * memory_scale));
+  c.chunk_startup_cycles =
+      static_cast<std::uint32_t>(std::lround(250.0 * memory_scale));
+  return c;
+}
+
+Processor::Processor(unsigned id, const MachineConfig& config)
+    : id_(id), l1_(config.l1), l2_(config.l2),
+      recent_miss_lines_(kReMissTableSize, ~std::uint64_t{0}) {
+  for (auto& slot : stream_slots_) slot = ~std::uint64_t{0};
+}
+
+Machine::Machine(const MachineConfig& config) : config_(config) {
+  CASC_CHECK(config_.num_processors >= 1, "need at least one processor");
+  CASC_CHECK(config_.l1.line_size <= config_.l2.line_size,
+             "inclusion requires L2 lines at least as large as L1 lines");
+  procs_.reserve(config_.num_processors);
+  for (unsigned p = 0; p < config_.num_processors; ++p) {
+    procs_.push_back(std::make_unique<Processor>(p, config_));
+  }
+}
+
+Processor& Machine::processor(unsigned p) {
+  CASC_CHECK(p < procs_.size(), "processor id out of range");
+  return *procs_[p];
+}
+
+const Processor& Machine::processor(unsigned p) const {
+  CASC_CHECK(p < procs_.size(), "processor id out of range");
+  return *procs_[p];
+}
+
+AccessOutcome Machine::access(unsigned p, const MemRef& ref, Phase phase) {
+  CASC_CHECK(p < procs_.size(), "processor id out of range");
+  CASC_CHECK(ref.size > 0, "zero-size access");
+  const std::uint64_t line_size = config_.l1.line_size;
+  const std::uint64_t first_line = ref.addr & ~(line_size - 1);
+  const std::uint64_t last_line = (ref.addr + ref.size - 1) & ~(line_size - 1);
+  if (first_line == last_line) {
+    return access_line(p, ref.addr, ref.type, phase);
+  }
+  // Rare path: the reference straddles L1 lines; issue one access per line
+  // and report the slowest service level with the summed latency.
+  AccessOutcome total;
+  for (std::uint64_t line = first_line; line <= last_line; line += line_size) {
+    const AccessOutcome part = access_line(p, line, ref.type, phase);
+    total.latency += part.latency;
+    if (static_cast<int>(part.level) > static_cast<int>(total.level)) {
+      total.level = part.level;
+    }
+  }
+  return total;
+}
+
+AccessOutcome Machine::access_line(unsigned p, std::uint64_t addr, AccessType type,
+                                   Phase phase) {
+  Processor& proc = *procs_[p];
+  const bool is_write = type == AccessType::kWrite;
+  Cache& l1 = proc.l1();
+  Cache& l2 = proc.l2();
+  CacheStats& s1 = l1.stats(phase);
+  CacheStats& s2 = l2.stats(phase);
+
+  ++s1.accesses;
+  const Cache::Lookup h1 = l1.touch(addr);
+  if (h1.hit) {
+    proc.miss_chain_ = 0;
+    ++s1.hits;
+    std::uint64_t latency = config_.l1.hit_latency;
+    if (is_write && h1.state != LineState::kModified) {
+      // Write to a clean L1 line: obtain exclusive ownership at L2 if needed,
+      // then mark both levels dirty.
+      const Cache::Lookup h2 = l2.peek(addr);
+      CASC_CHECK(h2.hit, "inclusion violated: L1 line missing from L2");
+      if (h2.state == LineState::kShared) {
+        latency += bus_upgrade(p, l2.line_base(addr), phase);
+        ++s2.upgrades;
+        l2.set_state(addr, LineState::kModified);
+      }
+      l1.set_state(addr, LineState::kModified);
+      if (l2.peek(addr).state != LineState::kModified) {
+        l2.set_state(addr, LineState::kModified);
+      }
+    }
+    return {HitLevel::kL1, latency};
+  }
+  ++s1.misses;
+  (is_write ? s1.write_misses : s1.read_misses)++;
+
+  ++s2.accesses;
+  const Cache::Lookup h2 = l2.touch(addr);
+  if (h2.hit) {
+    proc.miss_chain_ = 0;
+    ++s2.hits;
+    std::uint64_t latency = config_.l2.hit_latency;
+    if (is_write && h2.state != LineState::kModified) {
+      if (h2.state == LineState::kShared) {
+        latency += bus_upgrade(p, l2.line_base(addr), phase);
+        ++s2.upgrades;
+      }
+      // Exclusive -> Modified is silent (the MESI payoff).
+      l2.set_state(addr, LineState::kModified);
+    }
+    fill_l1(proc, l1.line_base(addr), is_write, phase);
+    return {HitLevel::kL2, latency};
+  }
+  ++s2.misses;
+  (is_write ? s2.write_misses : s2.read_misses)++;
+
+  const BusFetch fetch = bus_fetch(p, l2.line_base(addr), is_write, phase);
+  fill_l2(proc, l2.line_base(addr), fetch.install, phase);
+  fill_l1(proc, l1.line_base(addr), is_write, phase);
+  return {fetch.from_remote ? HitLevel::kRemoteCache : HitLevel::kMemory, fetch.latency};
+}
+
+std::uint64_t Machine::bus_upgrade(unsigned p, std::uint64_t l2_line, Phase phase) {
+  ++bus_stats_.transactions;
+  for (auto& qp : procs_) {
+    Processor& q = *qp;
+    if (q.id() == p) continue;
+    const LineState st2 = q.l2().invalidate(l2_line);
+    if (st2 != LineState::kInvalid) {
+      CASC_CHECK(st2 == LineState::kShared,
+                 "MESI violation: upgrade while a remote non-Shared copy exists");
+      ++q.l2().stats(phase).invalidations;
+      ++bus_stats_.invalidations_sent;
+      // Kill any L1 fragments of the (possibly larger) L2 line.
+      for (std::uint64_t a = l2_line; a < l2_line + config_.l2.line_size;
+           a += config_.l1.line_size) {
+        if (q.l1().invalidate(a) != LineState::kInvalid) {
+          ++q.l1().stats(phase).invalidations;
+        }
+      }
+    }
+  }
+  return config_.upgrade_latency;
+}
+
+Machine::BusFetch Machine::bus_fetch(unsigned p, std::uint64_t line_addr, bool for_write,
+                                     Phase phase) {
+  Processor& proc = *procs_[p];
+  ++bus_stats_.transactions;
+  BusFetch result;
+  bool remote_copy_exists = false;
+
+  // Snoop: look for a remote Modified copy to supply the data, and downgrade
+  // or invalidate other copies as the request demands.
+  for (auto& qp : procs_) {
+    Processor& q = *qp;
+    if (q.id() == p) continue;
+    const Cache::Lookup remote = q.l2().peek(line_addr);
+    if (!remote.hit) continue;
+    remote_copy_exists = true;
+    if (remote.state == LineState::kModified) {
+      // Remote dirty line: it is written back and supplied cache-to-cache.
+      ++q.l2().stats(phase).writebacks;
+      ++bus_stats_.memory_writebacks;
+      ++bus_stats_.cache_to_cache;
+      result.from_remote = true;
+      result.latency = config_.c2c_latency;
+      if (for_write) {
+        q.l2().invalidate(line_addr);
+        ++q.l2().stats(phase).invalidations;
+        ++bus_stats_.invalidations_sent;
+      } else {
+        q.l2().set_state(line_addr, LineState::kShared);
+      }
+      // The supplier's L1 fragments are stale either way for a write, and may
+      // hold the dirty data for a read; conservatively invalidate them (the
+      // L2 line just carried the merged data to memory).
+      for (std::uint64_t a = line_addr; a < line_addr + config_.l2.line_size;
+           a += config_.l1.line_size) {
+        if (q.l1().invalidate(a) != LineState::kInvalid) {
+          ++q.l1().stats(phase).invalidations;
+        }
+      }
+    } else if (for_write) {
+      // Remote Shared/Exclusive copy under a write request: invalidate.
+      q.l2().invalidate(line_addr);
+      ++q.l2().stats(phase).invalidations;
+      ++bus_stats_.invalidations_sent;
+      for (std::uint64_t a = line_addr; a < line_addr + config_.l2.line_size;
+           a += config_.l1.line_size) {
+        if (q.l1().invalidate(a) != LineState::kInvalid) {
+          ++q.l1().stats(phase).invalidations;
+        }
+      }
+    } else if (remote.state == LineState::kExclusive) {
+      // A read joins a clean sole owner: both end up Shared.
+      q.l2().set_state(line_addr, LineState::kShared);
+    }
+  }
+
+  result.install = for_write ? LineState::kModified
+                   : remote_copy_exists ? LineState::kShared
+                                        : LineState::kExclusive;
+
+  // Classify the miss for the latency-hiding models.
+  //
+  // Re-miss: the line missed recently, i.e. it was fetched and then displaced
+  // (a conflict or capacity victim).  Software prefetching cannot hide these
+  // — a prefetch issued ahead of use is displaced just the same (paper §3.3:
+  // prefetching hides latency "other than those [accesses] required for
+  // conflict misses").
+  // Multiplicative hash decorrelates the filter index from the address bits
+  // — conflict-aligned streams would otherwise collide in the filter exactly
+  // as they do in the cache it is trying to diagnose.
+  static_assert(Processor::kReMissTableSize == 8192, "shift below assumes 2^13 slots");
+  const std::size_t filter_idx = static_cast<std::size_t>(
+      (line_addr * 0x9e3779b97f4a7c15ULL) >> (64 - 13));
+  const bool re_miss = proc.recent_miss_lines_[filter_idx] == line_addr;
+  proc.recent_miss_lines_[filter_idx] = line_addr;
+
+  // Stream detection: does this line extend any of the processor's active
+  // streams?  (The MIPSpro model prefetches multiple concurrent streams.)
+  bool stream_hit = false;
+  for (auto& slot : proc.stream_slots_) {
+    if (line_addr == slot + config_.l2.line_size) {
+      slot = line_addr;
+      stream_hit = true;
+      break;
+    }
+  }
+  if (!stream_hit) {
+    proc.stream_slots_[proc.stream_replace_] = line_addr;
+    proc.stream_replace_ = (proc.stream_replace_ + 1) % Processor::kStreamSlots;
+  }
+
+  auto discounted = [](std::uint64_t latency, double fraction) {
+    return std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(latency) * fraction));
+  };
+
+  if (!result.from_remote) {
+    ++bus_stats_.memory_reads;
+    result.latency = config_.memory_latency;
+  }
+  if (config_.compiler_prefetch && stream_hit && !re_miss && !result.from_remote) {
+    // The compiler's prefetch ran ahead on this stream and the line survived
+    // until use.
+    result.latency = discounted(config_.memory_latency, config_.stream_miss_discount);
+    ++bus_stats_.stream_discounted;
+  } else if (config_.miss_overlap_fraction < 1.0 && proc.miss_chain_ > 0 &&
+             proc.miss_chain_ % config_.miss_overlap_window != 0) {
+    // Non-blocking-cache overlap: this miss pipelines behind the previous one
+    // instead of serializing after it (4 outstanding requests, paper §3.2).
+    result.latency = discounted(result.latency, config_.miss_overlap_fraction);
+    ++bus_stats_.overlapped_misses;
+  }
+  ++proc.miss_chain_;
+  return result;
+}
+
+void Machine::fill_l2(Processor& proc, std::uint64_t line_addr, LineState state,
+                      Phase phase) {
+  const Cache::Victim victim = proc.l2().insert(line_addr, state);
+  if (!victim.valid) return;
+  ++proc.l2().stats(phase).evictions;
+  // Inclusion: any L1 fragments of the victim must be dropped; a dirty L1
+  // fragment means the victim carries the newest data out.
+  bool victim_dirty = victim.state == LineState::kModified;
+  for (std::uint64_t a = victim.line_addr; a < victim.line_addr + config_.l2.line_size;
+       a += config_.l1.line_size) {
+    const LineState l1_state = proc.l1().invalidate(a);
+    if (l1_state != LineState::kInvalid) {
+      ++proc.l1().stats(phase).invalidations;
+      if (l1_state == LineState::kModified) victim_dirty = true;
+    }
+  }
+  if (victim_dirty) {
+    ++proc.l2().stats(phase).writebacks;
+    ++bus_stats_.memory_writebacks;
+  }
+}
+
+void Machine::fill_l1(Processor& proc, std::uint64_t line_addr, bool dirty, Phase phase) {
+  const Cache::Victim victim =
+      proc.l1().insert(line_addr, dirty ? LineState::kModified : LineState::kShared);
+  if (!victim.valid) return;
+  ++proc.l1().stats(phase).evictions;
+  if (victim.state == LineState::kModified) {
+    ++proc.l1().stats(phase).writebacks;
+    // Inclusion guarantees the owning L2 line is still present; fold the
+    // dirty data down into it.
+    proc.l2().set_state(victim.line_addr, LineState::kModified);
+  }
+}
+
+void Machine::flush_all_caches() noexcept {
+  for (auto& proc : procs_) {
+    proc->l1().flush_all();
+    proc->l2().flush_all();
+    for (auto& slot : proc->stream_slots_) slot = ~std::uint64_t{0};
+    std::fill(proc->recent_miss_lines_.begin(), proc->recent_miss_lines_.end(),
+              ~std::uint64_t{0});
+    proc->miss_chain_ = 0;
+  }
+}
+
+void Machine::reset_stats() noexcept {
+  for (auto& proc : procs_) {
+    proc->l1().reset_stats();
+    proc->l2().reset_stats();
+  }
+  bus_stats_ = BusStats{};
+}
+
+CacheStats Machine::l1_stats(Phase phase) const noexcept {
+  CacheStats total;
+  for (const auto& proc : procs_) total += proc->l1().stats(phase);
+  return total;
+}
+
+CacheStats Machine::l2_stats(Phase phase) const noexcept {
+  CacheStats total;
+  for (const auto& proc : procs_) total += proc->l2().stats(phase);
+  return total;
+}
+
+CacheStats Machine::l1_stats_total() const noexcept {
+  return l1_stats(Phase::kExec) + l1_stats(Phase::kHelper);
+}
+
+CacheStats Machine::l2_stats_total() const noexcept {
+  return l2_stats(Phase::kExec) + l2_stats(Phase::kHelper);
+}
+
+}  // namespace casc::sim

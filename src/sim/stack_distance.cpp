@@ -1,0 +1,93 @@
+#include "casc/sim/stack_distance.hpp"
+
+#include "casc/common/align.hpp"
+#include "casc/common/check.hpp"
+
+namespace casc::sim {
+
+StackDistance::StackDistance(std::uint32_t line_size) : line_size_(line_size) {
+  CASC_CHECK(common::is_pow2(line_size), "line size must be a power of two");
+}
+
+void StackDistance::access(std::uint64_t addr, std::uint32_t size) {
+  CASC_CHECK(size > 0, "zero-size access");
+  const std::uint64_t first = addr & ~static_cast<std::uint64_t>(line_size_ - 1);
+  const std::uint64_t last =
+      (addr + size - 1) & ~static_cast<std::uint64_t>(line_size_ - 1);
+  for (std::uint64_t line = first; line <= last; line += line_size_) {
+    access_line(line);
+  }
+}
+
+void StackDistance::fenwick_add(std::size_t pos, int delta) {
+  for (std::size_t i = pos + 1; i <= fenwick_.size(); i += i & (~i + 1)) {
+    fenwick_[i - 1] += static_cast<std::uint64_t>(static_cast<std::int64_t>(delta));
+  }
+}
+
+std::uint64_t StackDistance::fenwick_sum(std::size_t pos) const {
+  std::uint64_t sum = 0;
+  for (std::size_t i = pos + 1; i > 0; i -= i & (~i + 1)) {
+    sum += fenwick_[i - 1];
+  }
+  return sum;
+}
+
+void StackDistance::access_line(std::uint64_t line) {
+  const std::uint64_t now = total_;
+  ++total_;
+  // Grow the Fenwick tree to cover timestamp `now`.
+  if (fenwick_.size() <= now) {
+    // Rebuild into the next power-of-two capacity, preserving live marks.
+    std::vector<std::uint64_t> live_positions;
+    live_positions.reserve(last_time_.size());
+    for (const auto& [l, t] : last_time_) live_positions.push_back(t);
+    std::size_t capacity = fenwick_.empty() ? 1024 : fenwick_.size() * 2;
+    while (capacity <= now) capacity *= 2;
+    fenwick_.assign(capacity, 0);
+    for (std::uint64_t t : live_positions) {
+      fenwick_add(static_cast<std::size_t>(t), +1);
+    }
+  }
+
+  const auto it = last_time_.find(line);
+  if (it == last_time_.end()) {
+    ++cold_;
+  } else {
+    // Distance = number of live (distinct-line latest) timestamps strictly
+    // after this line's previous access.
+    const std::uint64_t later = fenwick_sum(static_cast<std::size_t>(now - 1)) -
+                                fenwick_sum(static_cast<std::size_t>(it->second));
+    ++histogram_[later];
+    fenwick_add(static_cast<std::size_t>(it->second), -1);
+  }
+  fenwick_add(static_cast<std::size_t>(now), +1);
+  last_time_[line] = now;
+}
+
+double StackDistance::predicted_miss_ratio(std::uint64_t capacity_lines) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t misses = cold_;
+  for (const auto& [distance, count] : histogram_) {
+    if (distance >= capacity_lines) misses += count;
+  }
+  return static_cast<double>(misses) / static_cast<double>(total_);
+}
+
+std::uint64_t StackDistance::capacity_for_miss_ratio(double target) const {
+  CASC_CHECK(target >= 0.0 && target <= 1.0, "target miss ratio out of [0,1]");
+  if (total_ == 0) return 1;
+  if (static_cast<double>(cold_) / static_cast<double>(total_) > target) return 0;
+  // Walk capacities at histogram breakpoints (distances + 1).
+  std::uint64_t candidate = 1;
+  for (const auto& [distance, count] : histogram_) {
+    (void)count;
+    if (predicted_miss_ratio(candidate) <= target) return candidate;
+    candidate = distance + 1;
+  }
+  // Beyond the largest observed distance only cold misses remain, and those
+  // were checked against the target above.
+  return candidate;
+}
+
+}  // namespace casc::sim

@@ -1,0 +1,55 @@
+#include "casc/sim/three_cs.hpp"
+
+#include "casc/common/check.hpp"
+
+namespace casc::sim {
+
+MissClassifier::MissClassifier(const CacheConfig& config)
+    : cache_(config), capacity_lines_(config.size_bytes / config.line_size) {
+  CASC_CHECK(capacity_lines_ > 0, "cache must hold at least one line");
+}
+
+void MissClassifier::access(std::uint64_t addr, std::uint32_t size) {
+  CASC_CHECK(size > 0, "zero-size access");
+  const std::uint64_t line_size = cache_.config().line_size;
+  const std::uint64_t first = addr & ~(line_size - 1);
+  const std::uint64_t last = (addr + size - 1) & ~(line_size - 1);
+  for (std::uint64_t line = first; line <= last; line += line_size) {
+    access_line(line);
+  }
+}
+
+void MissClassifier::access_line(std::uint64_t line_addr) {
+  ++counts_.accesses;
+
+  // Fully-associative shadow: check membership, then promote/insert.
+  const auto fa_it = in_fa_.find(line_addr);
+  const bool fa_hit = fa_it != in_fa_.end();
+  if (fa_hit) {
+    lru_.splice(lru_.begin(), lru_, fa_it->second);
+  } else {
+    lru_.push_front(line_addr);
+    in_fa_[line_addr] = lru_.begin();
+    if (lru_.size() > capacity_lines_) {
+      in_fa_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+
+  // Real set-associative cache.
+  if (cache_.touch(line_addr).hit) {
+    ++counts_.hits;
+  } else {
+    if (!ever_seen_.contains(line_addr)) {
+      ++counts_.compulsory;
+    } else if (fa_hit) {
+      ++counts_.conflict;
+    } else {
+      ++counts_.capacity;
+    }
+    cache_.insert(line_addr, LineState::kShared);
+  }
+  ever_seen_.insert(line_addr);
+}
+
+}  // namespace casc::sim

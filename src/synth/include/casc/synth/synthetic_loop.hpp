@@ -1,0 +1,32 @@
+// The paper's §3.4 synthetic loop, used to project cascaded execution onto
+// future machines where memory access dominates instruction execution:
+//
+//     do i = 1, n, k
+//        X(IJ(i)) = X(IJ(i)) + A(i) + B(i)
+//     end do
+//
+// All operands are integers and IJ is the identity vector 1..n.  "Dense"
+// (k = 1) walks every word; "sparse" (k = 8, one L1 line per iteration on
+// both modeled machines) destroys spatial locality entirely, magnifying the
+// memory-access-to-computation ratio.
+#pragma once
+
+#include <cstdint>
+
+#include "casc/loopir/loop_nest.hpp"
+
+namespace casc::synth {
+
+/// Step variants of the synthetic loop.
+enum class Density : std::uint8_t {
+  kDense,   ///< k = 1
+  kSparse,  ///< k = 8 — integers per 32-byte L1 line on both machines
+};
+
+/// Builds the synthetic loop over n elements (default sized well past both
+/// machines' L2 capacities, as the paper requires).  `compute_cycles` models
+/// the deliberately tiny computational demand (default 1).
+loopir::LoopNest make_synthetic_loop(Density density, std::uint64_t n = 4 * 1024 * 1024,
+                                     std::uint32_t compute_cycles = 1);
+
+}  // namespace casc::synth

@@ -1,0 +1,35 @@
+#include "casc/synth/synthetic_loop.hpp"
+
+#include "casc/common/check.hpp"
+
+namespace casc::synth {
+
+using loopir::IndexPattern;
+using loopir::LayoutPolicy;
+using loopir::LoopNest;
+
+LoopNest make_synthetic_loop(Density density, std::uint64_t n,
+                             std::uint32_t compute_cycles) {
+  CASC_CHECK(n > 0, "synthetic loop needs a positive extent");
+  const std::uint64_t step = density == Density::kDense ? 1 : 8;
+  LoopNest nest(density == Density::kDense ? "synthetic_dense" : "synthetic_sparse");
+  const loopir::ArrayId x = nest.add_array({"X", 4, n, false});
+  const loopir::ArrayId a = nest.add_array({"A", 4, n, true});
+  const loopir::ArrayId b = nest.add_array({"B", 4, n, true});
+  const loopir::ArrayId ij = nest.add_index_array("IJ", n, IndexPattern::kIdentity);
+  // X(IJ(i)) = X(IJ(i)) + A(i) + B(i): read A, read B, read X via IJ, write X
+  // via IJ.  The second IJ use hits the line loaded by the first.  The loop
+  // step (density) is applied by the trip, so access strides stay 1.
+  nest.add_access({a, false, 1, 0, {}});
+  nest.add_access({b, false, 1, 0, {}});
+  nest.add_access({x, false, 1, 0, ij});
+  nest.add_access({x, true, 1, 0, ij});
+  nest.set_trip(n, step);
+  nest.set_compute_cycles(compute_cycles, compute_cycles);
+  // Natural (consecutive) layout: the paper's synthetic loop is about memory
+  // *latency*, not pathological set conflicts.
+  nest.finalize(LayoutPolicy::kStaggered);
+  return nest;
+}
+
+}  // namespace casc::synth

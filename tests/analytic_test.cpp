@@ -1,0 +1,146 @@
+// Tests for the closed-form analytic model of cascaded execution.
+#include <gtest/gtest.h>
+
+#include "casc/cascade/analytic.hpp"
+#include "casc/cascade/engine.hpp"
+#include "casc/common/check.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using casc::cascade::AnalyticInputs;
+using casc::cascade::AnalyticPrediction;
+using casc::cascade::CascadeOptions;
+using casc::cascade::CascadeResult;
+using casc::cascade::CascadeSimulator;
+using casc::cascade::derive_inputs;
+using casc::cascade::HelperKind;
+using casc::cascade::predict;
+using casc::cascade::SequentialResult;
+using casc::common::CheckFailure;
+using casc::loopir::LayoutPolicy;
+using casc::test::make_stream_loop;
+using casc::test::mini_machine;
+
+AnalyticInputs basic_inputs() {
+  AnalyticInputs in;
+  in.seq_cycles_per_iter = 100;
+  in.staged_cycles_per_iter = 20;
+  in.helper_cycles_per_iter = 60;
+  in.overhead_cycles_per_iter = 2;
+  in.num_processors = 4;
+  return in;
+}
+
+TEST(AnalyticModel, FullCoverageWhenHelpersHaveAmpleTime) {
+  AnalyticInputs in = basic_inputs();
+  // Three helpers' worth of window vs 60 cycles of helper work per iter:
+  // coverage saturates at 1.
+  const AnalyticPrediction p = predict(in);
+  EXPECT_DOUBLE_EQ(p.helper_coverage, 1.0);
+  EXPECT_DOUBLE_EQ(p.exec_cycles_per_iter, 20.0);
+  EXPECT_NEAR(p.predicted_speedup, 100.0 / 22.0, 1e-9);
+}
+
+TEST(AnalyticModel, PartialCoverageSolvesFixedPoint) {
+  AnalyticInputs in = basic_inputs();
+  in.num_processors = 2;
+  in.helper_cycles_per_iter = 200;  // helper needs more than one exec window
+  const AnalyticPrediction p = predict(in);
+  ASSERT_GT(p.helper_coverage, 0.0);
+  ASSERT_LT(p.helper_coverage, 1.0);
+  // The fixed point must satisfy c = (P-1)(exec(c)+overhead)/helper.
+  const double exec = p.exec_cycles_per_iter;
+  EXPECT_NEAR(p.helper_coverage, (exec + in.overhead_cycles_per_iter) / 200.0, 1e-9);
+  EXPECT_NEAR(exec, p.helper_coverage * 20 + (1 - p.helper_coverage) * 100, 1e-9);
+}
+
+TEST(AnalyticModel, SingleProcessorHasNoCoverage) {
+  AnalyticInputs in = basic_inputs();
+  in.num_processors = 1;
+  const AnalyticPrediction p = predict(in);
+  EXPECT_DOUBLE_EQ(p.helper_coverage, 0.0);
+  EXPECT_DOUBLE_EQ(p.exec_cycles_per_iter, 100.0);
+  EXPECT_LT(p.predicted_speedup, 1.0);  // overhead makes it a slowdown
+}
+
+TEST(AnalyticModel, MoreProcessorsNeverHurt) {
+  AnalyticInputs in = basic_inputs();
+  in.helper_cycles_per_iter = 500;
+  double prev = 0;
+  for (unsigned procs : {2u, 3u, 4u, 8u, 16u}) {
+    in.num_processors = procs;
+    const AnalyticPrediction p = predict(in);
+    EXPECT_GE(p.predicted_speedup, prev);
+    prev = p.predicted_speedup;
+  }
+}
+
+TEST(AnalyticModel, OverheadReducesSpeedup) {
+  AnalyticInputs cheap = basic_inputs();
+  AnalyticInputs dear = basic_inputs();
+  dear.overhead_cycles_per_iter = 20;
+  EXPECT_GT(predict(cheap).predicted_speedup, predict(dear).predicted_speedup);
+}
+
+TEST(AnalyticModel, RejectsDegenerateInputs) {
+  AnalyticInputs in = basic_inputs();
+  in.seq_cycles_per_iter = 0;
+  EXPECT_THROW(predict(in), CheckFailure);
+  in = basic_inputs();
+  in.staged_cycles_per_iter = 0;
+  EXPECT_THROW(predict(in), CheckFailure);
+  in = basic_inputs();
+  in.num_processors = 0;
+  EXPECT_THROW(predict(in), CheckFailure);
+}
+
+TEST(AnalyticModel, DeriveInputsReflectsHelperKind) {
+  const auto nest = make_stream_loop(2048, 3, LayoutPolicy::kStaggered);
+  CascadeSimulator sim(mini_machine(4));
+  const SequentialResult seq = sim.run_sequential(nest);
+  CascadeOptions opt;
+  opt.chunk_bytes = 4 * 1024;
+
+  opt.helper = HelperKind::kNone;
+  const AnalyticInputs none = derive_inputs(nest, mini_machine(4), opt, seq);
+  EXPECT_DOUBLE_EQ(none.helper_cycles_per_iter, 0.0);
+
+  opt.helper = HelperKind::kPrefetch;
+  const AnalyticInputs pre = derive_inputs(nest, mini_machine(4), opt, seq);
+  EXPECT_GT(pre.helper_cycles_per_iter, 0.0);
+
+  opt.helper = HelperKind::kRestructure;
+  const AnalyticInputs restr = derive_inputs(nest, mini_machine(4), opt, seq);
+  // Restructuring stages values, costing the helper a little more...
+  EXPECT_GT(restr.helper_cycles_per_iter, pre.helper_cycles_per_iter);
+  // ...and (for this all-read-only-operand loop) the staged exec is cheaper
+  // or equal: fewer refs and no index arithmetic.
+  EXPECT_LE(restr.staged_cycles_per_iter, pre.staged_cycles_per_iter);
+}
+
+TEST(AnalyticModel, PredictionTracksSimulationWithinFactorTwo) {
+  // The model is deliberately coarse; require agreement in *shape*: within a
+  // factor of 2 of the simulated speedup across configurations.
+  for (unsigned procs : {2u, 4u, 8u}) {
+    for (HelperKind helper : {HelperKind::kPrefetch, HelperKind::kRestructure}) {
+      const auto nest = make_stream_loop(2048, 3, LayoutPolicy::kStaggered);
+      CascadeSimulator sim(mini_machine(procs));
+      CascadeOptions opt;
+      opt.helper = helper;
+      opt.chunk_bytes = 4 * 1024;
+      const SequentialResult seq = sim.run_sequential(nest, opt.start_state);
+      const CascadeResult casc = sim.run_cascaded(nest, opt);
+      const double simulated = static_cast<double>(seq.total_cycles) /
+                               static_cast<double>(casc.total_cycles);
+      const double predicted =
+          predict(nest, mini_machine(procs), opt, seq).predicted_speedup;
+      EXPECT_LT(predicted, simulated * 2.0)
+          << "procs=" << procs << " helper=" << static_cast<int>(helper);
+      EXPECT_GT(predicted, simulated * 0.5)
+          << "procs=" << procs << " helper=" << static_cast<int>(helper);
+    }
+  }
+}
+
+}  // namespace

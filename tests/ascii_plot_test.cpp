@@ -1,0 +1,103 @@
+// Tests for the ASCII plot renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "casc/common/check.hpp"
+#include "casc/report/ascii_plot.hpp"
+
+namespace {
+
+using casc::common::CheckFailure;
+using casc::report::PlotOptions;
+using casc::report::render_plot;
+using casc::report::Series;
+
+TEST(AsciiPlot, RendersLegendAndAxes) {
+  const std::string out =
+      render_plot({1, 2, 3, 4}, {{"speedup", {1.0, 1.5, 2.0, 1.8}}});
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("* = speedup"), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlot, MultipleSeriesGetDistinctGlyphs) {
+  const std::string out = render_plot(
+      {1, 2, 3}, {{"a", {1, 2, 3}}, {"b", {3, 2, 1}}, {"c", {2, 2, 2}}});
+  EXPECT_NE(out.find("* = a"), std::string::npos);
+  EXPECT_NE(out.find("+ = b"), std::string::npos);
+  EXPECT_NE(out.find("o = c"), std::string::npos);
+}
+
+TEST(AsciiPlot, MaxValueReachesTopRow) {
+  PlotOptions opt;
+  opt.height = 10;
+  opt.width = 20;
+  const std::string out = render_plot({1, 2}, {{"s", {0.0, 5.0}}}, opt);
+  std::istringstream in(out);
+  std::string first_row;
+  std::getline(in, first_row);
+  EXPECT_NE(first_row.find('*'), std::string::npos)
+      << "the maximum sample must land on the top row:\n" << out;
+}
+
+TEST(AsciiPlot, RespectsYFloor) {
+  PlotOptions opt;
+  opt.y_min = 1.0;
+  const std::string out = render_plot({1, 2}, {{"s", {0.5, 2.0}}}, opt);
+  // The sub-floor sample is simply dropped; the plot still renders.
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("1.00"), std::string::npos);  // axis floor label
+}
+
+TEST(AsciiPlot, LogXSpacesGeometricSamplesEvenly) {
+  PlotOptions opt;
+  opt.log_x = true;
+  opt.width = 32;
+  opt.height = 8;
+  // On a log axis, 1..16 at x2 spacing should occupy evenly spaced columns;
+  // the midpoint sample (4) must land near the middle column.
+  const std::string out = render_plot({1, 2, 4, 8, 16}, {{"s", {1, 1, 2, 1, 1}}}, opt);
+  std::istringstream in(out);
+  std::string line;
+  int star_col = -1;
+  while (std::getline(in, line)) {
+    const auto pos = line.find('*');
+    if (pos != std::string::npos && line.find("legend") == std::string::npos) {
+      // The peak row contains exactly the midpoint sample.
+      if (line.find('*', pos + 1) == std::string::npos) {
+        star_col = static_cast<int>(pos);
+        break;
+      }
+    }
+  }
+  ASSERT_GE(star_col, 0);
+  // Interior starts at column 10 ("%8s |"); middle of 32 interior columns.
+  EXPECT_NEAR(star_col - 10, 16, 3);
+}
+
+TEST(AsciiPlot, LabelsAppear) {
+  PlotOptions opt;
+  opt.x_label = "KB per chunk";
+  opt.y_label = "speedup";
+  const std::string out = render_plot({1, 2}, {{"s", {1, 2}}}, opt);
+  EXPECT_EQ(out.rfind("speedup", 0), 0u);
+  EXPECT_NE(out.find("KB per chunk"), std::string::npos);
+}
+
+TEST(AsciiPlot, ValidatesInputs) {
+  EXPECT_THROW(render_plot({}, {{"s", {}}}), CheckFailure);
+  EXPECT_THROW(render_plot({1, 2}, {}), CheckFailure);
+  EXPECT_THROW(render_plot({1, 2}, {{"s", {1.0}}}), CheckFailure);
+  PlotOptions tiny;
+  tiny.width = 2;
+  EXPECT_THROW(render_plot({1, 2}, {{"s", {1, 2}}}, tiny), CheckFailure);
+}
+
+TEST(AsciiPlot, ConstantSeriesDoesNotDivideByZero) {
+  EXPECT_NO_THROW(render_plot({1, 2, 3}, {{"s", {0.0, 0.0, 0.0}}}));
+  EXPECT_NO_THROW(render_plot({5, 5, 5}, {{"s", {1.0, 1.0, 1.0}}}));
+}
+
+}  // namespace

@@ -1,0 +1,85 @@
+// Tests for the chunk-size tuner.
+#include <gtest/gtest.h>
+
+#include "casc/cascade/chunk_tuner.hpp"
+#include "casc/common/check.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using casc::cascade::CascadeOptions;
+using casc::cascade::CascadeSimulator;
+using casc::cascade::ChunkTuneResult;
+using casc::cascade::HelperKind;
+using casc::cascade::HelperTimeModel;
+using casc::cascade::min_profitable_chunk_bytes;
+using casc::cascade::tune_chunk_size;
+using casc::common::CheckFailure;
+using casc::loopir::LayoutPolicy;
+using casc::test::make_stream_loop;
+using casc::test::mini_machine;
+
+TEST(ChunkTuner, SweepCoversRequestedRange) {
+  CascadeSimulator sim(mini_machine(2));
+  const auto nest = make_stream_loop(2048, 3, LayoutPolicy::kStaggered);
+  CascadeOptions opt;
+  opt.helper = HelperKind::kPrefetch;
+  const ChunkTuneResult r = tune_chunk_size(sim, nest, opt, 1024, 16 * 1024);
+  ASSERT_EQ(r.points.size(), 5u);  // 1K, 2K, 4K, 8K, 16K
+  EXPECT_EQ(r.points.front().chunk_bytes, 1024u);
+  EXPECT_EQ(r.points.back().chunk_bytes, 16u * 1024);
+}
+
+TEST(ChunkTuner, BestPointIsArgmaxOfSweep) {
+  CascadeSimulator sim(mini_machine(4));
+  const auto nest = make_stream_loop(2048, 3, LayoutPolicy::kStaggered);
+  CascadeOptions opt;
+  opt.helper = HelperKind::kPrefetch;
+  opt.time_model = HelperTimeModel::kUnbounded;
+  const ChunkTuneResult r = tune_chunk_size(sim, nest, opt, 512, 32 * 1024);
+  double best = 0;
+  std::uint64_t best_bytes = 0;
+  for (const auto& p : r.points) {
+    if (p.speedup > best) {
+      best = p.speedup;
+      best_bytes = p.chunk_bytes;
+    }
+  }
+  EXPECT_DOUBLE_EQ(r.best_speedup, best);
+  EXPECT_EQ(r.best_chunk_bytes, best_bytes);
+}
+
+TEST(ChunkTuner, SmallChunksPayMoreTransfers) {
+  CascadeSimulator sim(mini_machine(2));
+  const auto nest = make_stream_loop(2048, 3, LayoutPolicy::kStaggered);
+  CascadeOptions opt;
+  const ChunkTuneResult r = tune_chunk_size(sim, nest, opt, 512, 8 * 1024);
+  for (std::size_t i = 1; i < r.points.size(); ++i) {
+    EXPECT_GE(r.points[i - 1].transfers, r.points[i].transfers);
+  }
+}
+
+TEST(ChunkTuner, RejectsInvalidRange) {
+  CascadeSimulator sim(mini_machine(2));
+  const auto nest = make_stream_loop(512, 1, LayoutPolicy::kStaggered);
+  CascadeOptions opt;
+  EXPECT_THROW(tune_chunk_size(sim, nest, opt, 0, 1024), CheckFailure);
+  EXPECT_THROW(tune_chunk_size(sim, nest, opt, 2048, 1024), CheckFailure);
+}
+
+TEST(ChunkTuner, MinProfitableChunkScalesWithTransferCost) {
+  const auto nest = make_stream_loop(512, 1, LayoutPolicy::kStaggered);
+  auto cheap = mini_machine();
+  cheap.control_transfer_cycles = 60;
+  auto expensive = mini_machine();
+  expensive.control_transfer_cycles = 6000;
+  EXPECT_LT(min_profitable_chunk_bytes(nest, cheap),
+            min_profitable_chunk_bytes(nest, expensive));
+}
+
+TEST(ChunkTuner, MinProfitableChunkIsPositiveBytes) {
+  const auto nest = make_stream_loop(512, 2, LayoutPolicy::kStaggered);
+  EXPECT_GE(min_profitable_chunk_bytes(nest, mini_machine()), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Tests for the command-line argument parser.
+#include <gtest/gtest.h>
+
+#include "casc/cli/args.hpp"
+#include "casc/common/check.hpp"
+
+namespace {
+
+using casc::cli::Args;
+using casc::cli::OptionSpec;
+using casc::cli::parse_bytes;
+using casc::common::CheckFailure;
+
+const std::vector<OptionSpec> kSpecs = {
+    {"machine", "name", "machine model", "ppro"},
+    {"chunk", "bytes", "chunk size", "64K"},
+    {"procs", "N", "processors", "4"},
+    {"ratio", "x", "a double", "1.5"},
+    {"verbose", "", "a flag", ""},
+};
+
+TEST(CliArgs, EqualsAndSpaceSyntax) {
+  const Args a = Args::parse({"--machine=r10000", "--procs", "8"}, kSpecs);
+  EXPECT_EQ(a.get("machine"), "r10000");
+  EXPECT_EQ(a.get_u64("procs"), 8u);
+}
+
+TEST(CliArgs, DefaultsApplyWhenAbsent) {
+  const Args a = Args::parse({}, kSpecs);
+  EXPECT_FALSE(a.has("machine"));
+  EXPECT_EQ(a.get("machine"), "ppro");
+  EXPECT_EQ(a.get_bytes("chunk"), 64u * 1024);
+  EXPECT_DOUBLE_EQ(a.get_double("ratio"), 1.5);
+}
+
+TEST(CliArgs, FlagsAreValueless) {
+  const Args a = Args::parse({"--verbose"}, kSpecs);
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_THROW(Args::parse({"--verbose=yes"}, kSpecs), CheckFailure);
+}
+
+TEST(CliArgs, UnknownOptionRejected) {
+  EXPECT_THROW(Args::parse({"--nope"}, kSpecs), CheckFailure);
+  EXPECT_THROW(Args::parse({"positional"}, kSpecs), CheckFailure);
+}
+
+TEST(CliArgs, MissingValueRejected) {
+  EXPECT_THROW(Args::parse({"--machine"}, kSpecs), CheckFailure);
+}
+
+TEST(CliArgs, QueryingUndeclaredOptionIsAnError) {
+  const Args a = Args::parse({}, kSpecs);
+  EXPECT_THROW((void)a.get("unknown"), CheckFailure);
+  EXPECT_THROW((void)a.has("unknown"), CheckFailure);
+}
+
+TEST(CliArgs, NumericValidation) {
+  const Args a = Args::parse({"--procs=abc", "--ratio=x"}, kSpecs);
+  EXPECT_THROW((void)a.get_u64("procs"), CheckFailure);
+  EXPECT_THROW((void)a.get_double("ratio"), CheckFailure);
+}
+
+TEST(CliArgs, ByteSuffixes) {
+  EXPECT_EQ(parse_bytes("512"), 512u);
+  EXPECT_EQ(parse_bytes("4K"), 4096u);
+  EXPECT_EQ(parse_bytes("4k"), 4096u);
+  EXPECT_EQ(parse_bytes("2M"), 2u * 1024 * 1024);
+  EXPECT_EQ(parse_bytes("1G"), 1024u * 1024 * 1024);
+  EXPECT_THROW(parse_bytes(""), CheckFailure);
+  EXPECT_THROW(parse_bytes("12Q"), CheckFailure);
+  EXPECT_THROW(parse_bytes("K"), CheckFailure);
+}
+
+TEST(CliArgs, HelpListsEveryOption) {
+  const std::string help = Args::help("prog", "does things", kSpecs);
+  for (const OptionSpec& s : kSpecs) {
+    EXPECT_NE(help.find("--" + s.name), std::string::npos) << s.name;
+    EXPECT_NE(help.find(s.help), std::string::npos) << s.name;
+  }
+  EXPECT_NE(help.find("default: ppro"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+// Unit tests for casc_common: alignment helpers, checks, RNG, statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "casc/common/align.hpp"
+#include "casc/common/check.hpp"
+#include "casc/common/rng.hpp"
+#include "casc/common/stats.hpp"
+
+namespace cc = casc::common;
+
+// ---- align ----------------------------------------------------------------
+
+TEST(Align, RoundUpExactMultipleIsIdentity) {
+  EXPECT_EQ(cc::round_up(128, 64), 128u);
+  EXPECT_EQ(cc::round_up(0, 64), 0u);
+}
+
+TEST(Align, RoundUpAdvancesToNextBoundary) {
+  EXPECT_EQ(cc::round_up(1, 64), 64u);
+  EXPECT_EQ(cc::round_up(65, 64), 128u);
+  EXPECT_EQ(cc::round_up(127, 128), 128u);
+}
+
+TEST(Align, RoundDownTruncatesToBoundary) {
+  EXPECT_EQ(cc::round_down(127, 64), 64u);
+  EXPECT_EQ(cc::round_down(128, 64), 128u);
+  EXPECT_EQ(cc::round_down(63, 64), 0u);
+}
+
+TEST(Align, IsPow2) {
+  EXPECT_TRUE(cc::is_pow2(1));
+  EXPECT_TRUE(cc::is_pow2(2));
+  EXPECT_TRUE(cc::is_pow2(1ull << 40));
+  EXPECT_FALSE(cc::is_pow2(0));
+  EXPECT_FALSE(cc::is_pow2(3));
+  EXPECT_FALSE(cc::is_pow2(6));
+}
+
+TEST(Align, Log2Floor) {
+  EXPECT_EQ(cc::log2_floor(1), 0u);
+  EXPECT_EQ(cc::log2_floor(2), 1u);
+  EXPECT_EQ(cc::log2_floor(3), 1u);
+  EXPECT_EQ(cc::log2_floor(1024), 10u);
+}
+
+TEST(Align, CacheAlignedOccupiesFullLines) {
+  static_assert(alignof(cc::CacheAligned<int>) == cc::kCacheLineSize);
+  static_assert(sizeof(cc::CacheAligned<int>) % cc::kCacheLineSize == 0);
+  cc::CacheAligned<int> a(7);
+  EXPECT_EQ(*a, 7);
+  *a = 9;
+  EXPECT_EQ(a.value, 9);
+}
+
+TEST(Align, CacheAlignedArrayElementsDoNotShareLines) {
+  cc::CacheAligned<int> arr[2];
+  const auto p0 = reinterpret_cast<std::uintptr_t>(&arr[0]);
+  const auto p1 = reinterpret_cast<std::uintptr_t>(&arr[1]);
+  EXPECT_GE(p1 - p0, cc::kCacheLineSize);
+}
+
+// ---- check ------------------------------------------------------------------
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(CASC_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingConditionThrowsWithContext) {
+  try {
+    CASC_CHECK(false, "custom context");
+    FAIL() << "expected CheckFailure";
+  } catch (const cc::CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageIsOptional) {
+  EXPECT_THROW(CASC_CHECK(false), cc::CheckFailure);
+}
+
+// ---- rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  cc::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  cc::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  cc::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversSmallRange) {
+  cc::Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, InRangeInclusiveBounds) {
+  cc::Rng rng(11);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = rng.in_range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    hit_lo |= (v == 3);
+    hit_hi |= (v == 6);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, Uniform01HalfOpenAndRoughlyUniform) {
+  cc::Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+// ---- stats ---------------------------------------------------------------------
+
+TEST(RunningStats, EmptyIsZero) {
+  cc::RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  cc::RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  cc::RunningStats whole, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i) * 10;
+    whole.add(v);
+    (i < 37 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_NEAR(left.min(), whole.min(), 1e-12);
+  EXPECT_NEAR(left.max(), whole.max(), 1e-12);
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  cc::RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // empty lhs: copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(cc::quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(cc::quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cc::quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, InterpolatesBetweenRanks) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(cc::quantile(v, 0.25), 2.5);
+}
+
+TEST(Quantile, EmptyYieldsZeroAndBadQThrows) {
+  EXPECT_DOUBLE_EQ(cc::quantile({}, 0.5), 0.0);
+  EXPECT_THROW(cc::quantile({1.0}, 1.5), cc::CheckFailure);
+}
+
+TEST(GeometricMean, KnownValuesAndGuards) {
+  EXPECT_NEAR(cc::geometric_mean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cc::geometric_mean({}), 0.0);
+  EXPECT_THROW(cc::geometric_mean({1.0, 0.0}), cc::CheckFailure);
+}

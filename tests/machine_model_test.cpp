@@ -1,0 +1,185 @@
+// Tests for the latency-hiding refinements of the machine model: the MESI
+// Exclusive state, miss-overlap (MLP) chains, the multi-stream prefetch
+// detector, and the re-miss filter that keeps conflict misses expensive.
+#include <gtest/gtest.h>
+
+#include "casc/sim/machine.hpp"
+
+namespace {
+
+using casc::sim::AccessOutcome;
+using casc::sim::HitLevel;
+using casc::sim::LineState;
+using casc::sim::Machine;
+using casc::sim::MachineConfig;
+using casc::sim::Phase;
+
+MachineConfig tiny(unsigned procs = 2) {
+  MachineConfig c;
+  c.name = "tiny";
+  c.num_processors = procs;
+  c.l1 = {"L1", 128, 32, 2, 3};
+  c.l2 = {"L2", 512, 32, 2, 7};
+  c.memory_latency = 58;
+  c.c2c_latency = 70;
+  c.upgrade_latency = 12;
+  c.control_transfer_cycles = 120;
+  c.compiler_prefetch = false;
+  return c;
+}
+
+// ---- MESI Exclusive state ---------------------------------------------------
+
+TEST(Mesi, SoleReaderInstallsExclusive) {
+  Machine m(tiny());
+  m.read(0, 0x0);
+  EXPECT_EQ(m.processor(0).l2().peek(0x0).state, LineState::kExclusive);
+}
+
+TEST(Mesi, WriteAfterExclusiveReadIsSilent) {
+  Machine m(tiny());
+  m.read(0, 0x0);
+  const std::uint64_t bus_before = m.bus_stats().transactions;
+  const AccessOutcome w = m.write(0, 0x0);
+  // No upgrade charge, no bus transaction: the whole point of E.
+  EXPECT_EQ(w.latency, 3u);
+  EXPECT_EQ(m.bus_stats().transactions, bus_before);
+  EXPECT_EQ(m.processor(0).l2().peek(0x0).state, LineState::kModified);
+  EXPECT_EQ(m.processor(0).l2().total_stats().upgrades, 0u);
+}
+
+TEST(Mesi, SecondReaderDowngradesExclusiveToShared) {
+  Machine m(tiny());
+  m.read(0, 0x0);
+  m.read(1, 0x0);
+  EXPECT_EQ(m.processor(0).l2().peek(0x0).state, LineState::kShared);
+  EXPECT_EQ(m.processor(1).l2().peek(0x0).state, LineState::kShared);
+}
+
+TEST(Mesi, WriteToSharedStillPaysUpgrade) {
+  Machine m(tiny());
+  m.read(0, 0x0);
+  m.read(1, 0x0);  // both Shared now
+  const AccessOutcome w = m.write(0, 0x0);
+  EXPECT_EQ(w.latency, 3u + 12u);
+  EXPECT_EQ(m.processor(0).l2().total_stats().upgrades, 1u);
+  EXPECT_FALSE(m.processor(1).l2().peek(0x0).hit);
+}
+
+TEST(Mesi, WriteMissInvalidatesRemoteExclusive) {
+  Machine m(tiny());
+  m.read(0, 0x0);  // proc 0 Exclusive
+  m.write(1, 0x0);
+  EXPECT_FALSE(m.processor(0).l2().peek(0x0).hit);
+  EXPECT_EQ(m.processor(1).l2().peek(0x0).state, LineState::kModified);
+}
+
+TEST(Mesi, ExclusiveVictimNeedsNoWriteback) {
+  Machine m(tiny(1));
+  // L2 set 0: lines 0x0, 0x100, then 0x200 evicts 0x0 (clean Exclusive).
+  m.read(0, 0x0);
+  m.read(0, 0x100);
+  const std::uint64_t wb_before = m.bus_stats().memory_writebacks;
+  m.read(0, 0x200);
+  EXPECT_EQ(m.bus_stats().memory_writebacks, wb_before);
+}
+
+// ---- MLP (miss overlap) ------------------------------------------------------
+
+TEST(MissOverlap, ChainDiscountsAllButEveryWindowth) {
+  MachineConfig cfg = tiny(1);
+  cfg.miss_overlap_fraction = 0.5;
+  cfg.miss_overlap_window = 4;
+  Machine m(cfg);
+  // Eight misses to distinct sets, back to back (no hits in between).
+  std::uint64_t latencies[8];
+  for (int i = 0; i < 8; ++i) {
+    latencies[i] = m.read(0, 0x10000 + static_cast<std::uint64_t>(i) * 32).latency;
+  }
+  EXPECT_EQ(latencies[0], 58u);  // chain head: full
+  EXPECT_EQ(latencies[1], 29u);  // overlapped
+  EXPECT_EQ(latencies[2], 29u);
+  EXPECT_EQ(latencies[3], 29u);
+  EXPECT_EQ(latencies[4], 58u);  // window boundary: a new full-cost miss
+  EXPECT_EQ(latencies[5], 29u);
+  EXPECT_EQ(m.bus_stats().overlapped_misses, 6u);
+}
+
+TEST(MissOverlap, HitBreaksTheChain) {
+  MachineConfig cfg = tiny(1);
+  cfg.miss_overlap_fraction = 0.5;
+  Machine m(cfg);
+  m.read(0, 0x0);       // miss (full)
+  m.read(0, 0x4);       // L1 hit: chain resets
+  EXPECT_EQ(m.read(0, 0x1000).latency, 58u);  // miss after hit: full again
+}
+
+TEST(MissOverlap, DisabledByDefault) {
+  Machine m(tiny(1));
+  m.read(0, 0x0);
+  EXPECT_EQ(m.read(0, 0x1000).latency, 58u);
+  EXPECT_EQ(m.bus_stats().overlapped_misses, 0u);
+}
+
+// ---- multi-stream prefetch detector -------------------------------------------
+
+TEST(StreamDetector, TracksInterleavedStreams) {
+  MachineConfig cfg = tiny(1);
+  cfg.compiler_prefetch = true;
+  cfg.stream_miss_discount = 0.25;
+  Machine m(cfg);
+  // Two interleaved streams; a single-register detector would never fire.
+  const std::uint64_t a = 0x100000, b = 0x200000;
+  m.read(0, a);
+  m.read(0, b);
+  const AccessOutcome a2 = m.read(0, a + 32);  // extends stream A
+  const AccessOutcome b2 = m.read(0, b + 32);  // extends stream B
+  EXPECT_EQ(a2.latency, 14u);  // 58 * 0.25, floored
+  EXPECT_EQ(b2.latency, 14u);
+  EXPECT_EQ(m.bus_stats().stream_discounted, 2u);
+}
+
+TEST(StreamDetector, ReMissGetsNoPrefetchDiscount) {
+  MachineConfig cfg = tiny(1);
+  cfg.compiler_prefetch = true;
+  Machine m(cfg);
+  // Three lockstep streams thrash the 2-way L2 sets; after the first pass,
+  // stream-consecutive misses are re-misses and must pay full price.
+  const std::uint64_t bases[3] = {0x100000, 0x200000, 0x300000};
+  auto pass = [&] {
+    std::uint64_t total = 0;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      for (std::uint64_t base : bases) total += m.read(0, base + i * 4).latency;
+    }
+    return total;
+  };
+  pass();
+  const std::uint64_t discounted_before = m.bus_stats().stream_discounted;
+  const std::uint64_t second = pass();
+  // Second pass: same lines, all conflict re-misses — no new stream discounts
+  // beyond rounding at pass boundaries.
+  EXPECT_LE(m.bus_stats().stream_discounted - discounted_before, 3u);
+  EXPECT_GT(second, 64u * 3 * 20);  // far above the all-discounted cost
+}
+
+TEST(StreamDetector, NoDiscountWithoutCompilerPrefetch) {
+  Machine m(tiny(1));  // compiler_prefetch = false
+  m.read(0, 0x0);
+  EXPECT_EQ(m.read(0, 0x20).latency, 58u);
+  EXPECT_EQ(m.bus_stats().stream_discounted, 0u);
+}
+
+// ---- presets use the refinements ----------------------------------------------
+
+TEST(Presets, BothMachinesEnableMissOverlap) {
+  EXPECT_LT(MachineConfig::pentium_pro().miss_overlap_fraction, 1.0);
+  EXPECT_LT(MachineConfig::r10000().miss_overlap_fraction, 1.0);
+  EXPECT_EQ(MachineConfig::pentium_pro().miss_overlap_window, 4u);
+}
+
+TEST(Presets, ChunkStartupScalesOnFutureMachines) {
+  EXPECT_GT(MachineConfig::future(4.0).chunk_startup_cycles,
+            MachineConfig::pentium_pro().chunk_startup_cycles);
+}
+
+}  // namespace

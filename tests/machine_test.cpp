@@ -1,0 +1,297 @@
+// Tests for the simulated multiprocessor: hierarchy behaviour, latencies,
+// MSI coherence, inclusion, stream-prefetch modelling, Table 1 presets.
+#include <gtest/gtest.h>
+
+#include "casc/common/check.hpp"
+#include "casc/sim/machine.hpp"
+
+namespace {
+
+using casc::common::CheckFailure;
+using casc::sim::AccessOutcome;
+using casc::sim::HitLevel;
+using casc::sim::Machine;
+using casc::sim::MachineConfig;
+using casc::sim::MemRef;
+using casc::sim::Phase;
+
+/// A tiny 2-processor machine that is easy to reason about:
+/// L1: 2 sets x 2 ways x 32B = 128 B;  L2: 8 sets x 2 ways x 32B = 512 B.
+MachineConfig tiny(unsigned procs = 2) {
+  MachineConfig c;
+  c.name = "tiny";
+  c.num_processors = procs;
+  c.l1 = {"L1", 128, 32, 2, 3};
+  c.l2 = {"L2", 512, 32, 2, 7};
+  c.memory_latency = 58;
+  c.c2c_latency = 70;
+  c.upgrade_latency = 12;
+  c.control_transfer_cycles = 120;
+  c.compiler_prefetch = false;
+  return c;
+}
+
+TEST(MachinePresets, PentiumProMatchesTable1) {
+  const MachineConfig c = MachineConfig::pentium_pro();
+  EXPECT_EQ(c.num_processors, 4u);
+  EXPECT_EQ(c.l1.size_bytes, 8u * 1024);
+  EXPECT_EQ(c.l1.associativity, 2u);
+  EXPECT_EQ(c.l1.line_size, 32u);
+  EXPECT_EQ(c.l1.hit_latency, 3u);
+  EXPECT_EQ(c.l2.size_bytes, 512u * 1024);
+  EXPECT_EQ(c.l2.associativity, 4u);
+  EXPECT_EQ(c.l2.line_size, 32u);
+  EXPECT_EQ(c.l2.hit_latency, 7u);
+  EXPECT_EQ(c.memory_latency, 58u);
+  EXPECT_EQ(c.control_transfer_cycles, 120u);
+  EXPECT_FALSE(c.compiler_prefetch);
+}
+
+TEST(MachinePresets, R10000MatchesTable1) {
+  const MachineConfig c = MachineConfig::r10000();
+  EXPECT_EQ(c.num_processors, 8u);
+  EXPECT_EQ(c.l1.size_bytes, 32u * 1024);
+  EXPECT_EQ(c.l1.associativity, 2u);
+  EXPECT_EQ(c.l2.size_bytes, 2u * 1024 * 1024);
+  EXPECT_EQ(c.l2.associativity, 2u);
+  EXPECT_EQ(c.l2.line_size, 128u);
+  EXPECT_EQ(c.l2.hit_latency, 6u);
+  // Table 1 reports 100-200; the model charges the midpoint.
+  EXPECT_GE(c.memory_latency, 100u);
+  EXPECT_LE(c.memory_latency, 200u);
+  EXPECT_EQ(c.control_transfer_cycles, 500u);
+  EXPECT_TRUE(c.compiler_prefetch);
+}
+
+TEST(MachinePresets, FutureScalesMemoryNotCaches) {
+  const MachineConfig base = MachineConfig::pentium_pro();
+  const MachineConfig f = MachineConfig::future(4.0);
+  EXPECT_EQ(f.memory_latency, 4 * base.memory_latency);
+  EXPECT_EQ(f.l1.hit_latency, base.l1.hit_latency);
+  EXPECT_EQ(f.l2.hit_latency, base.l2.hit_latency);
+  EXPECT_GT(f.control_transfer_cycles, base.control_transfer_cycles);
+  EXPECT_THROW(MachineConfig::future(0.5), CheckFailure);
+}
+
+TEST(MachineHierarchy, ColdMissThenL1Hit) {
+  Machine m(tiny());
+  const AccessOutcome first = m.read(0, 0x1000);
+  EXPECT_EQ(first.level, HitLevel::kMemory);
+  EXPECT_EQ(first.latency, 58u);
+  const AccessOutcome second = m.read(0, 0x1000);
+  EXPECT_EQ(second.level, HitLevel::kL1);
+  EXPECT_EQ(second.latency, 3u);
+  // Same line, different word: still L1.
+  EXPECT_EQ(m.read(0, 0x1010).level, HitLevel::kL1);
+}
+
+TEST(MachineHierarchy, L1EvictionLeavesL2Hit) {
+  Machine m(tiny());
+  // L1 has 2 sets; lines 0x0, 0x40, 0x80 all map to L1 set 0 (2 ways).
+  m.read(0, 0x0);
+  m.read(0, 0x40);
+  m.read(0, 0x80);  // evicts 0x0 from L1; L2 (8 sets) holds all three
+  const AccessOutcome out = m.read(0, 0x0);
+  EXPECT_EQ(out.level, HitLevel::kL2);
+  EXPECT_EQ(out.latency, 7u);
+}
+
+TEST(MachineHierarchy, LatenciesComeFromServicingLevel) {
+  Machine m(tiny());
+  m.read(0, 0x0);
+  EXPECT_EQ(m.read(0, 0x0).latency, 3u);   // L1
+  m.read(0, 0x40);
+  m.read(0, 0x80);
+  EXPECT_EQ(m.read(0, 0x0).latency, 7u);   // L2 after L1 eviction
+}
+
+TEST(MachineHierarchy, StraddlingRefSplitsAcrossLines) {
+  Machine m(tiny());
+  // 8 bytes starting 4 bytes before a line boundary: touches 2 lines.
+  const AccessOutcome out = m.access(0, MemRef{0x1c, 8, casc::sim::AccessType::kRead},
+                                     Phase::kExec);
+  EXPECT_EQ(out.latency, 2u * 58);
+  EXPECT_EQ(out.level, HitLevel::kMemory);
+  EXPECT_EQ(m.processor(0).l1().valid_line_count(), 2u);
+}
+
+TEST(MachineHierarchy, ZeroSizeAccessThrows) {
+  Machine m(tiny());
+  EXPECT_THROW(m.access(0, MemRef{0, 0, casc::sim::AccessType::kRead}, Phase::kExec),
+               CheckFailure);
+}
+
+TEST(MachineHierarchy, BadProcessorIdThrows) {
+  Machine m(tiny(2));
+  EXPECT_THROW(m.read(2, 0x0), CheckFailure);
+  EXPECT_THROW((void)m.processor(5), CheckFailure);
+}
+
+TEST(MachineCoherence, ReadSharedAcrossProcessors) {
+  Machine m(tiny());
+  m.read(0, 0x0);
+  m.read(1, 0x0);
+  EXPECT_EQ(m.processor(0).l2().peek(0x0).state, casc::sim::LineState::kShared);
+  EXPECT_EQ(m.processor(1).l2().peek(0x0).state, casc::sim::LineState::kShared);
+}
+
+TEST(MachineCoherence, WriteInvalidatesRemoteCopies) {
+  Machine m(tiny());
+  m.read(0, 0x0);
+  m.read(1, 0x0);
+  m.write(1, 0x0);  // upgrade on proc 1 must kill proc 0's copy
+  EXPECT_FALSE(m.processor(0).l2().peek(0x0).hit);
+  EXPECT_FALSE(m.processor(0).l1().peek(0x0).hit);
+  EXPECT_EQ(m.processor(1).l2().peek(0x0).state, casc::sim::LineState::kModified);
+  EXPECT_GE(m.bus_stats().invalidations_sent, 1u);
+}
+
+TEST(MachineCoherence, RemoteDirtySupplyIsCacheToCache) {
+  Machine m(tiny());
+  m.write(0, 0x0);  // proc 0 holds Modified
+  const AccessOutcome out = m.read(1, 0x0);
+  EXPECT_EQ(out.level, HitLevel::kRemoteCache);
+  EXPECT_EQ(out.latency, 70u);
+  EXPECT_EQ(m.bus_stats().cache_to_cache, 1u);
+  // Supplier was downgraded to Shared, requester holds Shared.
+  EXPECT_EQ(m.processor(0).l2().peek(0x0).state, casc::sim::LineState::kShared);
+  EXPECT_EQ(m.processor(1).l2().peek(0x0).state, casc::sim::LineState::kShared);
+}
+
+TEST(MachineCoherence, WriteToRemoteDirtyTakesOwnership) {
+  Machine m(tiny());
+  m.write(0, 0x0);
+  const AccessOutcome out = m.write(1, 0x0);
+  EXPECT_EQ(out.level, HitLevel::kRemoteCache);
+  EXPECT_FALSE(m.processor(0).l2().peek(0x0).hit);
+  EXPECT_EQ(m.processor(1).l2().peek(0x0).state, casc::sim::LineState::kModified);
+}
+
+TEST(MachineCoherence, UpgradeChargesBusLatency) {
+  Machine m(tiny());
+  m.read(0, 0x0);
+  m.read(1, 0x0);
+  // Proc 0 writes its Shared copy: L1 hit + upgrade latency.
+  const AccessOutcome out = m.write(0, 0x0);
+  EXPECT_EQ(out.level, HitLevel::kL1);
+  EXPECT_EQ(out.latency, 3u + 12u);
+  EXPECT_EQ(m.processor(0).l2().total_stats().upgrades, 1u);
+}
+
+TEST(MachineCoherence, WriteMissTakesExclusiveOwnership) {
+  Machine m(tiny());
+  const AccessOutcome out = m.write(0, 0x0);
+  EXPECT_EQ(out.level, HitLevel::kMemory);
+  EXPECT_EQ(m.processor(0).l2().peek(0x0).state, casc::sim::LineState::kModified);
+  // A subsequent write is a pure L1 hit — no upgrade needed.
+  EXPECT_EQ(m.write(0, 0x0).latency, 3u);
+}
+
+TEST(MachineInclusion, L2EvictionBackInvalidatesL1) {
+  Machine m(tiny());
+  // L2 set 0 holds lines 0x0 and 0x100 (8 sets * 32B = 256B period).
+  m.read(0, 0x0);
+  m.read(0, 0x100);
+  m.read(0, 0x200);  // evicts 0x0 from L2; inclusion kills the L1 copy too
+  EXPECT_FALSE(m.processor(0).l2().peek(0x0).hit);
+  EXPECT_FALSE(m.processor(0).l1().peek(0x0).hit);
+}
+
+TEST(MachineInclusion, DirtyL1VictimFoldsIntoL2) {
+  Machine m(tiny());
+  m.write(0, 0x0);   // L1 and L2 Modified
+  m.read(0, 0x40);   // L1 set 0 fills
+  m.read(0, 0x80);   // evicts L1 line 0x0 (dirty) -> L2 stays Modified
+  EXPECT_FALSE(m.processor(0).l1().peek(0x0).hit);
+  EXPECT_EQ(m.processor(0).l2().peek(0x0).state, casc::sim::LineState::kModified);
+  EXPECT_GE(m.processor(0).l1().total_stats().writebacks, 1u);
+}
+
+TEST(MachineInclusion, DirtyL2EvictionCountsMemoryWriteback) {
+  Machine m(tiny());
+  m.write(0, 0x0);
+  m.read(0, 0x100);
+  m.read(0, 0x200);  // evicts dirty 0x0 from L2
+  EXPECT_GE(m.bus_stats().memory_writebacks, 1u);
+}
+
+TEST(MachineStreamPrefetch, DiscountsConsecutiveLineMisses) {
+  MachineConfig cfg = tiny();
+  cfg.compiler_prefetch = true;
+  cfg.stream_miss_discount = 0.25;
+  Machine m(cfg);
+  EXPECT_EQ(m.read(0, 0x0).latency, 58u);        // first miss: full cost
+  const AccessOutcome second = m.read(0, 0x20);  // next line: stream detected
+  EXPECT_EQ(second.latency, 14u);                // 58 * 0.25 = 14.5 -> 14
+  EXPECT_EQ(m.bus_stats().stream_discounted, 1u);
+  // A non-consecutive miss pays full price again.
+  EXPECT_EQ(m.read(0, 0x1000).latency, 58u);
+}
+
+TEST(MachineStreamPrefetch, DisabledByDefaultConfig) {
+  Machine m(tiny());
+  m.read(0, 0x0);
+  EXPECT_EQ(m.read(0, 0x20).latency, 58u);
+  EXPECT_EQ(m.bus_stats().stream_discounted, 0u);
+}
+
+TEST(MachineStats, PhaseBucketsSeparateHelperFromExec) {
+  Machine m(tiny());
+  m.read(0, 0x0, 4, Phase::kHelper);
+  m.read(0, 0x0, 4, Phase::kExec);
+  EXPECT_EQ(m.l1_stats(Phase::kHelper).misses, 1u);
+  EXPECT_EQ(m.l1_stats(Phase::kExec).hits, 1u);
+  EXPECT_EQ(m.l1_stats(Phase::kExec).misses, 0u);
+  EXPECT_EQ(m.l1_stats_total().accesses, 2u);
+}
+
+TEST(MachineStats, ResetClearsEverything) {
+  Machine m(tiny());
+  m.write(0, 0x0);
+  m.read(1, 0x0);
+  m.reset_stats();
+  EXPECT_EQ(m.l1_stats_total().accesses, 0u);
+  EXPECT_EQ(m.l2_stats_total().accesses, 0u);
+  EXPECT_EQ(m.bus_stats().transactions, 0u);
+  // Cache contents survive a stats reset.
+  EXPECT_TRUE(m.processor(0).l2().peek(0x0).hit);
+}
+
+TEST(MachineStats, FlushAllCachesEmptiesContents) {
+  Machine m(tiny());
+  m.read(0, 0x0);
+  m.write(1, 0x100);
+  m.flush_all_caches();
+  EXPECT_EQ(m.processor(0).l1().valid_line_count(), 0u);
+  EXPECT_EQ(m.processor(0).l2().valid_line_count(), 0u);
+  EXPECT_EQ(m.processor(1).l2().valid_line_count(), 0u);
+}
+
+// Conflict-miss demonstration: the behaviour the whole paper turns on.
+// Three streams whose bases collide in the same sets thrash a 2-way cache
+// but fit a 4-way one.
+TEST(MachineConflicts, TwoWayThrashesWhereFourWayFits) {
+  auto run = [](std::uint32_t assoc) {
+    MachineConfig cfg = tiny(1);
+    cfg.l2 = {"L2", 512u * assoc / 2, 32, assoc, 7};  // keep 8 sets
+    Machine m(cfg);
+    // Three arrays whose bases are 0x10000 apart => identical set mapping.
+    std::uint64_t misses_before = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::uint64_t i = 0; i < 64; ++i) {
+        m.read(0, 0x00000 + i * 4);
+        m.read(0, 0x10000 + i * 4);
+        m.read(0, 0x20000 + i * 4);
+      }
+      if (pass == 0) misses_before = m.l2_stats_total().misses;
+    }
+    // Second-pass misses only.
+    return m.l2_stats_total().misses - misses_before;
+  };
+  const std::uint64_t two_way = run(2);
+  const std::uint64_t four_way = run(4);
+  EXPECT_GT(two_way, four_way);
+  EXPECT_EQ(four_way, 0u);  // all three streams fit in 4 ways
+}
+
+}  // namespace

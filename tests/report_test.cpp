@@ -1,0 +1,78 @@
+// Tests for the report formatting layer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "casc/common/check.hpp"
+#include "casc/report/table.hpp"
+
+namespace {
+
+using casc::common::CheckFailure;
+using casc::report::Table;
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"loop", "speedup"});
+  t.add_row({"1", "1.35"});
+  t.add_row({"2", "0.90"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("loop"), std::string::npos);
+  EXPECT_NE(out.find("1.35"), std::string::npos);
+  EXPECT_NE(out.find("0.90"), std::string::npos);
+}
+
+TEST(Table, TitleAppearsFirst) {
+  Table t({"a"});
+  t.set_title("Figure 2");
+  t.add_row({"x"});
+  const std::string out = t.to_string();
+  EXPECT_EQ(out.rfind("Figure 2", 0), 0u);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"n", "value"});
+  t.add_row({"1", "short"});
+  t.add_row({"100000", "x"});
+  std::istringstream in(t.to_string());
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+}
+
+TEST(Table, RejectsEmptyHeadersAndRaggedRows) {
+  EXPECT_THROW(Table{std::vector<std::string>{}}, CheckFailure);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckFailure);
+}
+
+TEST(Format, Double) {
+  EXPECT_EQ(casc::report::fmt_double(1.346, 2), "1.35");
+  EXPECT_EQ(casc::report::fmt_double(2.0, 1), "2.0");
+  EXPECT_EQ(casc::report::fmt_double(-0.5, 2), "-0.50");
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(casc::report::fmt_count(0), "0");
+  EXPECT_EQ(casc::report::fmt_count(999), "999");
+  EXPECT_EQ(casc::report::fmt_count(1000), "1,000");
+  EXPECT_EQ(casc::report::fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(casc::report::fmt_count(1000000), "1,000,000");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(casc::report::fmt_bytes(512), "512 B");
+  EXPECT_EQ(casc::report::fmt_bytes(4 * 1024), "4 KB");
+  EXPECT_EQ(casc::report::fmt_bytes(64 * 1024), "64 KB");
+  EXPECT_EQ(casc::report::fmt_bytes(2 * 1024 * 1024), "2 MB");
+  EXPECT_EQ(casc::report::fmt_bytes(1500), "1500 B");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(casc::report::fmt_percent(0.4731), "47.3%");
+  EXPECT_EQ(casc::report::fmt_percent(1.0, 0), "100%");
+}
+
+}  // namespace

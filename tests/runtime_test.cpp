@@ -1,0 +1,256 @@
+// Tests for the real-thread runtime: token protocol, executor correctness
+// (results identical to sequential execution), helper behaviour, stats.
+// These tests must pass on any core count, including a single-core host, so
+// they assert correctness and protocol invariants — never wall-clock timing.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "casc/common/check.hpp"
+#include "casc/rt/executor.hpp"
+#include "casc/rt/helpers.hpp"
+#include "casc/rt/token.hpp"
+
+namespace {
+
+using casc::common::CheckFailure;
+using casc::rt::CascadeExecutor;
+using casc::rt::ExecutorConfig;
+using casc::rt::PerWorkerBuffers;
+using casc::rt::Token;
+using casc::rt::TokenWatch;
+
+TEST(Token, StartsAtZeroAndPasses) {
+  Token t;
+  t.reset();
+  EXPECT_EQ(t.current(), 0u);
+  t.pass(0);
+  EXPECT_EQ(t.current(), 1u);
+  t.pass(1);
+  EXPECT_EQ(t.current(), 2u);
+}
+
+TEST(Token, AwaitReturnsImmediatelyWhenHeld) {
+  Token t;
+  t.reset();
+  t.await(0);  // must not hang
+  t.pass(0);
+  t.await(1);
+}
+
+TEST(TokenWatch, SignalledOnceTurnArrives) {
+  Token t;
+  t.reset();
+  const TokenWatch w(&t, 2);
+  EXPECT_FALSE(w.signalled());
+  t.pass(0);
+  EXPECT_FALSE(w.signalled());
+  t.pass(1);
+  EXPECT_TRUE(w.signalled());
+  EXPECT_EQ(w.chunk(), 2u);
+}
+
+class ExecutorThreads : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ExecutorThreads, ProducesSequentialResult) {
+  const unsigned threads = GetParam();
+  CascadeExecutor ex(ExecutorConfig{threads, false});
+  const std::uint64_t n = 10000;
+  std::vector<std::uint64_t> out(n, 0);
+  // body: out[i] = i^2; any reordering or lost iteration corrupts the sum.
+  casc::rt::cascaded_for(ex, n, 128, [&](std::uint64_t i) { out[i] = i * i; });
+  for (std::uint64_t i = 0; i < n; ++i) ASSERT_EQ(out[i], i * i) << "iteration " << i;
+}
+
+TEST_P(ExecutorThreads, LoopCarriedDependencePreserved) {
+  // acc[i] = acc[i-1] + 1: only correct if iterations run in strict order
+  // with cross-chunk visibility (the release/acquire pair on the token).
+  const unsigned threads = GetParam();
+  CascadeExecutor ex(ExecutorConfig{threads, false});
+  const std::uint64_t n = 5000;
+  std::vector<std::uint64_t> acc(n + 1, 0);
+  casc::rt::cascaded_for(ex, n, 64,
+                         [&](std::uint64_t i) { acc[i + 1] = acc[i] + 1; });
+  EXPECT_EQ(acc[n], n);
+}
+
+TEST_P(ExecutorThreads, ExactlyOneExecutionPhaseAtATime) {
+  const unsigned threads = GetParam();
+  CascadeExecutor ex(ExecutorConfig{threads, false});
+  std::atomic<int> in_exec{0};
+  std::atomic<bool> violated{false};
+  ex.run(2000, 50, [&](std::uint64_t, std::uint64_t) {
+    if (in_exec.fetch_add(1) != 0) violated = true;
+    for (volatile int spin = 0; spin < 200; spin = spin + 1) {
+    }
+    in_exec.fetch_sub(1);
+  });
+  EXPECT_FALSE(violated.load()) << "two execution phases overlapped";
+}
+
+TEST_P(ExecutorThreads, ChunksArriveInOrder) {
+  const unsigned threads = GetParam();
+  CascadeExecutor ex(ExecutorConfig{threads, false});
+  std::vector<std::uint64_t> begins;
+  ex.run(1000, 64, [&](std::uint64_t b, std::uint64_t) { begins.push_back(b); });
+  ASSERT_EQ(begins.size(), 16u);
+  for (std::size_t i = 0; i < begins.size(); ++i) EXPECT_EQ(begins[i], i * 64);
+}
+
+TEST_P(ExecutorThreads, HelperPrecedesExecOnTheSameThread) {
+  // A chunk's helper (when it runs at all — the executor may skip it if the
+  // token has already arrived) must run on the thread that later executes
+  // the chunk, and strictly before its execution phase.
+  const unsigned threads = GetParam();
+  CascadeExecutor ex(ExecutorConfig{threads, false});
+  constexpr int kChunks = 12;
+  std::atomic<std::uint64_t> clock{0};
+  std::array<std::uint64_t, kChunks> helper_at{};
+  std::array<std::uint64_t, kChunks> exec_at{};
+  std::array<std::thread::id, kChunks> helper_tid{};
+  std::array<std::thread::id, kChunks> exec_tid{};
+  std::array<bool, kChunks> helper_ran{};
+  ex.run(
+      kChunks * 10, 10,
+      [&](std::uint64_t b, std::uint64_t) {
+        exec_at[b / 10] = ++clock;
+        exec_tid[b / 10] = std::this_thread::get_id();
+      },
+      [&](std::uint64_t b, std::uint64_t, const TokenWatch&) {
+        helper_ran[b / 10] = true;
+        helper_at[b / 10] = ++clock;
+        helper_tid[b / 10] = std::this_thread::get_id();
+        return true;
+      });
+  for (int c = 0; c < kChunks; ++c) {
+    ASSERT_GT(exec_at[c], 0u) << "chunk " << c << " never executed";
+    if (helper_ran[c]) {
+      EXPECT_LT(helper_at[c], exec_at[c]) << "chunk " << c;
+      EXPECT_EQ(helper_tid[c], exec_tid[c]) << "chunk " << c;
+    }
+  }
+}
+
+TEST_P(ExecutorThreads, StatsAccountForEveryChunk) {
+  const unsigned threads = GetParam();
+  CascadeExecutor ex(ExecutorConfig{threads, false});
+  ex.run(
+      1000, 64, [](std::uint64_t, std::uint64_t) {},
+      [](std::uint64_t, std::uint64_t, const TokenWatch&) { return true; });
+  const auto& stats = ex.last_run_stats();
+  EXPECT_EQ(stats.num_chunks, 16u);
+  EXPECT_EQ(stats.transfers, 16u);
+  EXPECT_EQ(stats.helpers_completed + stats.helpers_jumped_out, 16u);
+  EXPECT_EQ(stats.total_iters, 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ExecutorThreads,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+TEST(Executor, ZeroIterationsIsANoop) {
+  CascadeExecutor ex(ExecutorConfig{2, false});
+  int calls = 0;
+  ex.run(0, 10, [&](std::uint64_t, std::uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(ex.last_run_stats().num_chunks, 0u);
+}
+
+TEST(Executor, RejectsMissingExecOrZeroChunk) {
+  CascadeExecutor ex(ExecutorConfig{2, false});
+  EXPECT_THROW(ex.run(10, 0, [](std::uint64_t, std::uint64_t) {}), CheckFailure);
+  EXPECT_THROW(ex.run(10, 5, casc::rt::ExecFn{}), CheckFailure);
+}
+
+TEST(Executor, ReusableAcrossRuns) {
+  CascadeExecutor ex(ExecutorConfig{3, false});
+  for (int round = 0; round < 5; ++round) {
+    std::uint64_t sum = 0;
+    casc::rt::cascaded_for(ex, 100, 7, [&](std::uint64_t i) { sum += i; });
+    EXPECT_EQ(sum, 4950u) << "round " << round;
+  }
+}
+
+TEST(Executor, SingleChunkDegeneratesToCallerOnly) {
+  CascadeExecutor ex(ExecutorConfig{4, false});
+  const auto caller = std::this_thread::get_id();
+  std::thread::id exec_thread;
+  ex.run(10, 100, [&](std::uint64_t, std::uint64_t) {
+    exec_thread = std::this_thread::get_id();
+  });
+  EXPECT_EQ(exec_thread, caller) << "chunk 0 belongs to the calling thread";
+}
+
+TEST(Executor, DefaultThreadCountIsHardwareConcurrency) {
+  CascadeExecutor ex;
+  EXPECT_EQ(ex.num_threads(),
+            std::max(1u, std::thread::hardware_concurrency()));
+}
+
+TEST(Helpers, PrefetchSpanCompletesWithoutSignal) {
+  Token t;
+  t.reset();
+  std::vector<double> data(4096, 1.0);
+  const TokenWatch watch(&t, 5);  // far in the future: never signalled
+  EXPECT_TRUE(casc::rt::prefetch_span(data.data(), 0, data.size(), watch));
+}
+
+TEST(Helpers, PrefetchSpanJumpsOutWhenSignalled) {
+  Token t;
+  t.reset();
+  std::vector<double> data(4096, 1.0);
+  const TokenWatch watch(&t, 0);  // chunk 0 is already signalled
+  EXPECT_FALSE(casc::rt::prefetch_span(data.data(), 0, data.size(), watch,
+                                       /*poll_every=*/1));
+}
+
+TEST(Helpers, PerWorkerBuffersMapChunksToOwners) {
+  PerWorkerBuffers bufs(3, 1024, 10);
+  // Chunks 0..5 start at 0,10,20,...; owner = chunk % 3.
+  EXPECT_EQ(&bufs.for_chunk(0), &bufs.for_chunk(30));   // chunks 0 and 3
+  EXPECT_EQ(&bufs.for_chunk(10), &bufs.for_chunk(40));  // chunks 1 and 4
+  EXPECT_NE(&bufs.for_chunk(0), &bufs.for_chunk(10));
+  EXPECT_NE(&bufs.for_chunk(10), &bufs.for_chunk(20));
+}
+
+TEST(Helpers, RestructuredCascadeMatchesSequential) {
+  // Full restructuring pipeline on real threads: gather A into per-worker
+  // buffers in the helper, drain in the execution phase; the result must be
+  // bit-identical to the sequential loop.
+  const std::uint64_t n = 4096;
+  const std::uint64_t chunk = 256;
+  std::vector<double> a(n);
+  std::vector<std::uint32_t> ij(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    a[i] = static_cast<double>(i) * 0.5;
+    ij[i] = static_cast<std::uint32_t>((i * 7919) % n);  // fixed permutation-ish map
+  }
+  std::vector<double> want(n), got(n);
+  for (std::uint64_t i = 0; i < n; ++i) want[i] = a[ij[i]] + 1.0;
+
+  CascadeExecutor ex(ExecutorConfig{4, false});
+  PerWorkerBuffers bufs(ex.num_threads(), chunk * sizeof(double), chunk);
+  std::vector<bool> staged((n + chunk - 1) / chunk, false);
+  ex.run(
+      n, chunk,
+      [&](std::uint64_t b, std::uint64_t e) {
+        auto& buf = bufs.for_chunk(b);
+        if (staged[b / chunk]) {
+          for (std::uint64_t i = b; i < e; ++i) got[i] = buf.pop<double>() + 1.0;
+        } else {
+          for (std::uint64_t i = b; i < e; ++i) got[i] = a[ij[i]] + 1.0;
+        }
+      },
+      [&](std::uint64_t b, std::uint64_t e, const TokenWatch&) {
+        auto& buf = bufs.for_chunk(b);
+        buf.reset();
+        for (std::uint64_t i = b; i < e; ++i) buf.push(a[ij[i]]);
+        staged[b / chunk] = true;  // set only after the full stage completes
+        return true;
+      });
+  EXPECT_EQ(got, want);
+}
+
+}  // namespace

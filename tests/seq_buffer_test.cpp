@@ -1,0 +1,103 @@
+// Tests for both sequential buffers: the simulator's address model and the
+// real runtime's value buffer.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "casc/cascade/seq_buffer.hpp"
+#include "casc/common/check.hpp"
+#include "casc/rt/seq_buffer.hpp"
+
+namespace {
+
+using casc::cascade::SequentialBufferModel;
+using casc::common::CheckFailure;
+using casc::rt::SequentialBuffer;
+
+// ---- simulator address model -------------------------------------------------
+
+TEST(BufferModel, AllocatesSequentialAddresses) {
+  SequentialBufferModel buf(0x1000, 64);
+  EXPECT_EQ(buf.alloc(8), 0x1000u);
+  EXPECT_EQ(buf.alloc(4), 0x1008u);
+  EXPECT_EQ(buf.alloc(8), 0x100cu);
+  EXPECT_EQ(buf.bytes_used(), 20u);
+}
+
+TEST(BufferModel, BeginChunkRewindsToSameAddresses) {
+  SequentialBufferModel buf(0x1000, 64);
+  const std::uint64_t first = buf.alloc(8);
+  buf.begin_chunk();
+  EXPECT_EQ(buf.alloc(8), first);  // address reuse is the whole point
+}
+
+TEST(BufferModel, OverflowThrows) {
+  SequentialBufferModel buf(0x1000, 16);
+  buf.alloc(8);
+  buf.alloc(8);
+  EXPECT_THROW(buf.alloc(1), CheckFailure);
+}
+
+TEST(BufferModel, ZeroCapacityRejected) {
+  EXPECT_THROW(SequentialBufferModel(0x1000, 0), CheckFailure);
+}
+
+// ---- real runtime buffer -------------------------------------------------------
+
+TEST(RtBuffer, FifoRoundTrip) {
+  SequentialBuffer buf(256);
+  buf.push<double>(3.5);
+  buf.push<std::int32_t>(-7);
+  buf.push<double>(11.25);
+  EXPECT_DOUBLE_EQ(buf.pop<double>(), 3.5);
+  EXPECT_EQ(buf.pop<std::int32_t>(), -7);
+  EXPECT_DOUBLE_EQ(buf.pop<double>(), 11.25);
+  EXPECT_TRUE(buf.drained());
+}
+
+TEST(RtBuffer, ResetRewindsBothCursors) {
+  SequentialBuffer buf(64);
+  buf.push<int>(1);
+  buf.pop<int>();
+  buf.reset();
+  EXPECT_EQ(buf.bytes_written(), 0u);
+  EXPECT_EQ(buf.bytes_read(), 0u);
+  buf.push<int>(2);
+  EXPECT_EQ(buf.pop<int>(), 2);
+}
+
+TEST(RtBuffer, OverflowAndUnderflowThrow) {
+  SequentialBuffer buf(64);  // rounded up to one cache line
+  for (int i = 0; i < 16; ++i) buf.push<int>(i);
+  EXPECT_THROW(buf.push<int>(16), CheckFailure);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(buf.pop<int>(), i);
+  EXPECT_THROW(buf.pop<int>(), CheckFailure);
+}
+
+TEST(RtBuffer, ReadsCannotPassWrites) {
+  SequentialBuffer buf(128);
+  buf.push<int>(1);
+  buf.pop<int>();
+  EXPECT_THROW(buf.pop<int>(), CheckFailure);  // nothing staged beyond cursor
+}
+
+TEST(RtBuffer, CapacityRoundedToCacheLines) {
+  SequentialBuffer buf(1);
+  EXPECT_EQ(buf.capacity() % casc::common::kCacheLineSize, 0u);
+  EXPECT_GE(buf.capacity(), 1u);
+}
+
+TEST(RtBuffer, MixedTypesPreserveBytes) {
+  SequentialBuffer buf(256);
+  struct P {
+    float x, y;
+    bool operator==(const P&) const = default;
+  };
+  const P p{1.5f, -2.5f};
+  buf.push(p);
+  buf.push<std::uint64_t>(0xdeadbeefcafef00dULL);
+  EXPECT_EQ(buf.pop<P>(), p);
+  EXPECT_EQ(buf.pop<std::uint64_t>(), 0xdeadbeefcafef00dULL);
+}
+
+}  // namespace

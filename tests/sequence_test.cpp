@@ -1,0 +1,128 @@
+// Tests for multi-call workload sequences (persistent cache state across
+// repeated invocations of the same loops — the wave5 call pattern).
+#include <gtest/gtest.h>
+
+#include "casc/cascade/sequence.hpp"
+#include "casc/common/check.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using casc::cascade::CascadeOptions;
+using casc::cascade::CascadeSimulator;
+using casc::cascade::HelperKind;
+using casc::cascade::run_sequence_cascaded;
+using casc::cascade::run_sequence_sequential;
+using casc::cascade::SequenceResult;
+using casc::cascade::StartState;
+using casc::common::CheckFailure;
+using casc::loopir::LayoutPolicy;
+using casc::loopir::LoopNest;
+using casc::test::make_stream_loop;
+using casc::test::mini_machine;
+
+std::vector<LoopNest> small_workload() {
+  // 4 KB working set: fits the mini machine's 16 KB L2 entirely.
+  std::vector<LoopNest> loops;
+  loops.push_back(make_stream_loop(256, 1, LayoutPolicy::kStaggered));
+  return loops;
+}
+
+std::vector<LoopNest> large_workload() {
+  // 64 KB working set: four times the mini L2; every call misses afresh.
+  std::vector<LoopNest> loops;
+  loops.push_back(make_stream_loop(2048, 3, LayoutPolicy::kStaggered));
+  return loops;
+}
+
+TEST(Sequence, CacheResidentWorkloadWarmsUpAfterFirstCall) {
+  CascadeSimulator sim(mini_machine(2));
+  const SequenceResult r =
+      run_sequence_sequential(sim, small_workload(), 6, StartState::kCold);
+  ASSERT_EQ(r.per_call_cycles.size(), 6u);
+  // First call pays the compulsory misses; later calls are all cache hits.
+  EXPECT_GT(r.call(1), r.call(2));
+  for (unsigned c = 2; c <= 6; ++c) {
+    EXPECT_EQ(r.call(c), r.call(2)) << "steady state should be flat";
+  }
+  EXPECT_EQ(r.steady_state_cycles(), r.call(6));
+}
+
+TEST(Sequence, OversizedWorkloadStaysMissBound) {
+  CascadeSimulator sim(mini_machine(2));
+  const SequenceResult r =
+      run_sequence_sequential(sim, large_workload(), 4, StartState::kCold);
+  // The working set cannot be retained call to call: no big warm-up cliff.
+  const double ratio =
+      static_cast<double>(r.call(1)) / static_cast<double>(r.call(4));
+  EXPECT_LT(ratio, 1.3);
+  EXPECT_GE(ratio, 1.0);
+}
+
+TEST(Sequence, TotalsAndAccessors) {
+  CascadeSimulator sim(mini_machine(2));
+  const SequenceResult r =
+      run_sequence_sequential(sim, small_workload(), 3, StartState::kCold);
+  EXPECT_EQ(r.total_cycles(), r.call(1) + r.call(2) + r.call(3));
+  EXPECT_THROW((void)r.call(0), CheckFailure);
+  EXPECT_THROW((void)r.call(4), CheckFailure);
+}
+
+TEST(Sequence, CascadedSequenceStabilizes) {
+  CascadeSimulator sim(mini_machine(4));
+  CascadeOptions opt;
+  opt.helper = HelperKind::kPrefetch;
+  opt.chunk_bytes = 2 * 1024;
+  const SequenceResult r = run_sequence_cascaded(sim, large_workload(), 5, opt);
+  ASSERT_EQ(r.per_call_cycles.size(), 5u);
+  // Later calls should agree with each other closely (steady state).
+  const double drift = static_cast<double>(r.call(4)) / static_cast<double>(r.call(5));
+  EXPECT_NEAR(drift, 1.0, 0.05);
+}
+
+TEST(Sequence, CascadedBeatsSequentialInSteadyStateForMissBoundLoop) {
+  CascadeSimulator sim_a(mini_machine(4));
+  CascadeOptions opt;
+  opt.helper = HelperKind::kPrefetch;
+  opt.chunk_bytes = 2 * 1024;
+  const SequenceResult casc = run_sequence_cascaded(sim_a, large_workload(), 4, opt);
+  CascadeSimulator sim_b(mini_machine(4));
+  const SequenceResult seq =
+      run_sequence_sequential(sim_b, large_workload(), 4, opt.start_state);
+  EXPECT_LT(casc.steady_state_cycles(), seq.steady_state_cycles());
+}
+
+TEST(Sequence, MultipleLoopsPerCallShareTheMachine) {
+  std::vector<LoopNest> loops;
+  loops.push_back(make_stream_loop(256, 1, LayoutPolicy::kStaggered));
+  loops.push_back(make_stream_loop(512, 2, LayoutPolicy::kStaggered));
+  CascadeSimulator sim(mini_machine(2));
+  const SequenceResult r = run_sequence_sequential(sim, loops, 2, StartState::kCold);
+  EXPECT_EQ(r.per_call_cycles.size(), 2u);
+  EXPECT_GT(r.call(1), 0u);
+}
+
+TEST(Sequence, RejectsEmptyInputs) {
+  CascadeSimulator sim(mini_machine(2));
+  EXPECT_THROW(run_sequence_sequential(sim, {}, 3, StartState::kCold), CheckFailure);
+  EXPECT_THROW(run_sequence_sequential(sim, small_workload(), 0, StartState::kCold),
+               CheckFailure);
+}
+
+TEST(Sequence, ContinueRequiresPriorRun) {
+  CascadeSimulator sim(mini_machine(2));
+  const auto loops = small_workload();
+  EXPECT_THROW(sim.continue_sequential(loops[0]), CheckFailure);
+  CascadeOptions opt;
+  EXPECT_THROW(sim.continue_cascaded(loops[0], opt), CheckFailure);
+}
+
+TEST(Sequence, ContinueKeepsCacheContents) {
+  CascadeSimulator sim(mini_machine(1));
+  const auto loops = small_workload();
+  sim.run_sequential(loops[0], StartState::kCold);
+  const auto second = sim.continue_sequential(loops[0]);
+  EXPECT_EQ(second.l2.misses, 0u) << "everything should still be resident";
+}
+
+}  // namespace

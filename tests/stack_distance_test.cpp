@@ -1,0 +1,124 @@
+// Tests for the reuse-distance analyzer, including cross-validation against
+// the three-Cs classifier's fully-associative model.
+#include <gtest/gtest.h>
+
+#include "casc/common/check.hpp"
+#include "casc/common/rng.hpp"
+#include "casc/sim/stack_distance.hpp"
+#include "casc/sim/three_cs.hpp"
+
+namespace {
+
+using casc::common::CheckFailure;
+using casc::sim::StackDistance;
+
+TEST(StackDistanceTest, FirstTouchesAreCold) {
+  StackDistance sd(32);
+  sd.access(0x0);
+  sd.access(0x100);
+  sd.access(0x200);
+  EXPECT_EQ(sd.cold_references(), 3u);
+  EXPECT_EQ(sd.total_references(), 3u);
+  EXPECT_TRUE(sd.histogram().empty());
+}
+
+TEST(StackDistanceTest, ImmediateReuseHasDistanceZero) {
+  StackDistance sd(32);
+  sd.access(0x0);
+  sd.access(0x4);  // same line
+  ASSERT_EQ(sd.histogram().size(), 1u);
+  EXPECT_EQ(sd.histogram().at(0), 1u);
+}
+
+TEST(StackDistanceTest, KnownSequence) {
+  // Lines: A B C A  -> A's reuse distance is 2 (B and C in between).
+  StackDistance sd(32);
+  sd.access(0x000);
+  sd.access(0x100);
+  sd.access(0x200);
+  sd.access(0x000);
+  ASSERT_TRUE(sd.histogram().contains(2));
+  EXPECT_EQ(sd.histogram().at(2), 1u);
+  EXPECT_EQ(sd.cold_references(), 3u);
+}
+
+TEST(StackDistanceTest, RepeatedIntermediateTouchesCountOnce) {
+  // A B B B A -> distance(A) = 1, not 3: stack distance counts DISTINCT lines.
+  StackDistance sd(32);
+  sd.access(0x000);
+  sd.access(0x100);
+  sd.access(0x100);
+  sd.access(0x100);
+  sd.access(0x000);
+  ASSERT_TRUE(sd.histogram().contains(1));
+  EXPECT_EQ(sd.histogram().at(1), 1u);
+}
+
+TEST(StackDistanceTest, StraddlingAccessTouchesTwoLines) {
+  StackDistance sd(32);
+  sd.access(0x1c, 8);
+  EXPECT_EQ(sd.total_references(), 2u);
+  EXPECT_THROW(sd.access(0x0, 0), CheckFailure);
+}
+
+TEST(StackDistanceTest, PredictedMissRatioMatchesDefinition) {
+  // Cyclic sweep over 8 lines, 4 passes: after the cold pass every reuse has
+  // distance 7.
+  StackDistance sd(32);
+  for (int pass = 0; pass < 4; ++pass) {
+    for (std::uint64_t line = 0; line < 8; ++line) sd.access(line * 32);
+  }
+  EXPECT_EQ(sd.cold_references(), 8u);
+  EXPECT_EQ(sd.histogram().at(7), 24u);
+  // Capacity 8 holds the whole sweep: only cold misses (8 / 32).
+  EXPECT_DOUBLE_EQ(sd.predicted_miss_ratio(8), 8.0 / 32.0);
+  // Capacity 7 misses every reuse too.
+  EXPECT_DOUBLE_EQ(sd.predicted_miss_ratio(7), 1.0);
+  EXPECT_EQ(sd.capacity_for_miss_ratio(0.25), 8u);
+  EXPECT_EQ(sd.capacity_for_miss_ratio(0.1), 0u);  // cold floor is 25%
+}
+
+TEST(StackDistanceTest, AgreesWithFullyAssociativeSimulation) {
+  // For any stream, the predicted miss ratio at capacity C must equal the
+  // measured miss ratio of a fully-associative LRU cache with C lines.
+  casc::common::Rng rng(17);
+  std::vector<std::uint64_t> addrs;
+  for (int i = 0; i < 4000; ++i) {
+    addrs.push_back(rng.below(256) * 32);  // 256 lines, heavy reuse
+  }
+
+  StackDistance sd(32);
+  for (std::uint64_t a : addrs) sd.access(a);
+
+  for (std::uint64_t capacity_lines : {16ull, 64ull, 128ull}) {
+    // Fully associative cache: 1 set with `capacity_lines` ways.
+    casc::sim::MissClassifier fa(
+        {"fa", capacity_lines * 32, 32, static_cast<std::uint32_t>(capacity_lines), 1});
+    for (std::uint64_t a : addrs) fa.access(a);
+    const double measured =
+        static_cast<double>(fa.counts().misses()) /
+        static_cast<double>(fa.counts().accesses);
+    EXPECT_NEAR(sd.predicted_miss_ratio(capacity_lines), measured, 1e-12)
+        << "capacity " << capacity_lines;
+  }
+}
+
+TEST(StackDistanceTest, FenwickGrowthPreservesCounts) {
+  // Push well past the initial 1024-slot tree to exercise the rebuild.
+  StackDistance sd(32);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t line = 0; line < 1500; ++line) sd.access(line * 32);
+  }
+  EXPECT_EQ(sd.total_references(), 3000u);
+  EXPECT_EQ(sd.cold_references(), 1500u);
+  EXPECT_EQ(sd.histogram().at(1499), 1500u);
+}
+
+TEST(StackDistanceTest, EmptyAnalyzer) {
+  StackDistance sd(64);
+  EXPECT_DOUBLE_EQ(sd.predicted_miss_ratio(4), 0.0);
+  EXPECT_EQ(sd.capacity_for_miss_ratio(0.5), 1u);
+  EXPECT_THROW((void)sd.capacity_for_miss_ratio(1.5), CheckFailure);
+}
+
+}  // namespace

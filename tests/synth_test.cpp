@@ -1,0 +1,76 @@
+// Tests for the §3.4 synthetic loop.
+#include <gtest/gtest.h>
+
+#include "casc/common/check.hpp"
+#include "casc/synth/synthetic_loop.hpp"
+
+namespace {
+
+using casc::common::CheckFailure;
+using casc::loopir::LoopNest;
+using casc::loopir::Ref;
+using casc::synth::Density;
+using casc::synth::make_synthetic_loop;
+
+TEST(Synthetic, DenseStepsByOne) {
+  const LoopNest nest = make_synthetic_loop(Density::kDense, 1024);
+  EXPECT_EQ(nest.step(), 1u);
+  EXPECT_EQ(nest.num_iterations(), 1024u);
+}
+
+TEST(Synthetic, SparseStepsByEight) {
+  const LoopNest nest = make_synthetic_loop(Density::kSparse, 1024);
+  EXPECT_EQ(nest.step(), 8u);
+  EXPECT_EQ(nest.num_iterations(), 128u);
+}
+
+TEST(Synthetic, OperandsAreFourByteIntegers) {
+  const LoopNest nest = make_synthetic_loop(Density::kDense, 256);
+  for (casc::loopir::ArrayId a = 0; a < nest.num_arrays(); ++a) {
+    EXPECT_EQ(nest.array(a).elem_size, 4u) << nest.array(a).name;
+  }
+}
+
+TEST(Synthetic, BodyIsReadReadReadModifyWrite) {
+  const LoopNest nest = make_synthetic_loop(Density::kDense, 256);
+  std::vector<Ref> refs;
+  nest.refs_for_iteration(3, refs);
+  // A(i), B(i), IJ load + X read, IJ load + X write.
+  ASSERT_EQ(refs.size(), 6u);
+  EXPECT_TRUE(refs[0].read_only_operand);   // A
+  EXPECT_TRUE(refs[1].read_only_operand);   // B
+  EXPECT_TRUE(refs[2].is_index_load);       // IJ
+  EXPECT_FALSE(refs[3].read_only_operand);  // X read (X is written elsewhere)
+  EXPECT_TRUE(refs[4].is_index_load);       // IJ again
+  EXPECT_EQ(refs[5].mem.type, casc::sim::AccessType::kWrite);  // X write
+  // Identity index: X element equals the induction value.
+  EXPECT_EQ(refs[3].mem.addr, refs[5].mem.addr);
+}
+
+TEST(Synthetic, IdentityIndexWalksSequentially) {
+  const LoopNest nest = make_synthetic_loop(Density::kDense, 256);
+  std::vector<Ref> r3, r4;
+  nest.refs_for_iteration(3, r3);
+  nest.refs_for_iteration(4, r4);
+  EXPECT_EQ(r4[5].mem.addr, r3[5].mem.addr + 4);
+}
+
+TEST(Synthetic, SparseSkipsSevenOfEightWords) {
+  const LoopNest nest = make_synthetic_loop(Density::kSparse, 256);
+  std::vector<Ref> r0, r1;
+  nest.refs_for_iteration(0, r0);
+  nest.refs_for_iteration(1, r1);
+  EXPECT_EQ(r1[0].mem.addr, r0[0].mem.addr + 8 * 4);  // one 32-byte line apart
+}
+
+TEST(Synthetic, RejectsZeroExtent) {
+  EXPECT_THROW(make_synthetic_loop(Density::kDense, 0), CheckFailure);
+}
+
+TEST(Synthetic, ComputeDemandIsConfigurable) {
+  const LoopNest nest = make_synthetic_loop(Density::kDense, 256, 5);
+  EXPECT_EQ(nest.compute_cycles(), 5u);
+  EXPECT_EQ(nest.restructured_compute_cycles(), 5u);
+}
+
+}  // namespace

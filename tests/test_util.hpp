@@ -1,0 +1,65 @@
+// Shared helpers for the test suite: small machine configurations and loop
+// nests that run in milliseconds while still exercising cache effects.
+#pragma once
+
+#include <cstdint>
+
+#include "casc/loopir/loop_nest.hpp"
+#include "casc/sim/machine.hpp"
+
+namespace casc::test {
+
+/// A scaled-down two-level machine: L1 = 1 KB 2-way, L2 = 16 KB 2-way,
+/// 32-byte lines, Pentium-Pro-like latencies.  Loops of a few tens of KB are
+/// "large" for it, so memory behaviour shows up with tiny workloads.
+inline sim::MachineConfig mini_machine(unsigned procs = 4) {
+  sim::MachineConfig c;
+  c.name = "mini";
+  c.num_processors = procs;
+  c.l1 = {"L1", 1024, 32, 2, 3};
+  c.l2 = {"L2", 16 * 1024, 32, 2, 7};
+  c.memory_latency = 58;
+  c.c2c_latency = 70;
+  c.upgrade_latency = 12;
+  c.control_transfer_cycles = 120;
+  c.chunk_startup_cycles = 250;
+  c.compiler_prefetch = false;
+  return c;
+}
+
+/// Streaming multi-array loop: X(i) = A1(i) + ... + Ak(i), with all bases
+/// conflict-aligned.  Footprint = (k+1) * n * 8 bytes.
+inline loopir::LoopNest make_stream_loop(std::uint64_t n, unsigned read_streams,
+                                         loopir::LayoutPolicy layout,
+                                         std::uint32_t compute = 4) {
+  loopir::LoopNest nest("stream" + std::to_string(read_streams));
+  const loopir::ArrayId x = nest.add_array({"X", 8, n, false});
+  for (unsigned s = 0; s < read_streams; ++s) {
+    const loopir::ArrayId a =
+        nest.add_array({"A" + std::to_string(s), 8, n, true});
+    nest.add_access({a, false, 1, 0, {}});
+  }
+  nest.add_access({x, true, 1, 0, {}});
+  nest.set_trip(n);
+  nest.set_compute_cycles(compute);
+  nest.finalize(layout);
+  return nest;
+}
+
+/// Indirect gather loop: X(i) = A(IJ(i)) with a random permutation.
+inline loopir::LoopNest make_gather_loop(std::uint64_t n,
+                                         loopir::LayoutPolicy layout) {
+  loopir::LoopNest nest("gather");
+  const loopir::ArrayId x = nest.add_array({"X", 8, n, false});
+  const loopir::ArrayId a = nest.add_array({"A", 8, n, true});
+  const loopir::ArrayId ij =
+      nest.add_index_array("IJ", n, loopir::IndexPattern::kRandomPerm, 42);
+  nest.add_access({a, false, 1, 0, ij});
+  nest.add_access({x, true, 1, 0, {}});
+  nest.set_trip(n);
+  nest.set_compute_cycles(6);
+  nest.finalize(layout);
+  return nest;
+}
+
+}  // namespace casc::test

@@ -1,0 +1,100 @@
+// Tests for the three-Cs miss classifier.
+#include <gtest/gtest.h>
+
+#include "casc/common/check.hpp"
+#include "casc/sim/three_cs.hpp"
+
+namespace {
+
+using casc::common::CheckFailure;
+using casc::sim::CacheConfig;
+using casc::sim::MissClassifier;
+using casc::sim::ThreeCs;
+
+// 4 sets x 2 ways x 32B = 256 bytes.
+CacheConfig small_cache() { return {"t", 256, 32, 2, 1}; }
+
+TEST(ThreeCsTest, FirstTouchIsCompulsory) {
+  MissClassifier c(small_cache());
+  c.access(0x0);
+  c.access(0x100);
+  EXPECT_EQ(c.counts().compulsory, 2u);
+  EXPECT_EQ(c.counts().capacity, 0u);
+  EXPECT_EQ(c.counts().conflict, 0u);
+}
+
+TEST(ThreeCsTest, ReuseWithinCapacityHits) {
+  MissClassifier c(small_cache());
+  c.access(0x0);
+  c.access(0x0);
+  c.access(0x1c);  // same line
+  EXPECT_EQ(c.counts().hits, 2u);
+  EXPECT_EQ(c.counts().misses(), 1u);
+}
+
+TEST(ThreeCsTest, PureCapacityMissesWhenWorkingSetExceedsCache) {
+  MissClassifier c(small_cache());
+  // Walk 16 distinct lines (2x capacity) twice, sequentially.  Sequential
+  // addresses spread evenly over sets, so the fully-associative shadow also
+  // misses on the second pass: capacity, not conflict.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t line = 0; line < 16; ++line) c.access(line * 32);
+  }
+  const ThreeCs& counts = c.counts();
+  EXPECT_EQ(counts.compulsory, 16u);
+  EXPECT_EQ(counts.capacity, 16u);
+  EXPECT_EQ(counts.conflict, 0u);
+}
+
+TEST(ThreeCsTest, ConflictMissesWhenSetsThrashButCapacitySuffices) {
+  MissClassifier c(small_cache());
+  // Three lines in set 0 (stride = 4 sets * 32B = 128B), revisited: only 3
+  // distinct lines (well under the 8-line capacity), but a 2-way set cannot
+  // hold all three.
+  for (int pass = 0; pass < 4; ++pass) {
+    c.access(0x000);
+    c.access(0x080);
+    c.access(0x100);
+  }
+  const ThreeCs& counts = c.counts();
+  EXPECT_EQ(counts.compulsory, 3u);
+  EXPECT_EQ(counts.capacity, 0u);
+  EXPECT_EQ(counts.conflict, 9u);  // every revisit misses, FA would hit
+  EXPECT_DOUBLE_EQ(counts.conflict_fraction(), 9.0 / 12.0);
+}
+
+TEST(ThreeCsTest, HigherAssociativityConvertsConflictToHits) {
+  CacheConfig four_way{"t4", 512, 32, 4, 1};  // same 4 sets, 4 ways
+  MissClassifier c(four_way);
+  for (int pass = 0; pass < 4; ++pass) {
+    c.access(0x000);
+    c.access(0x080);
+    c.access(0x100);
+  }
+  EXPECT_EQ(c.counts().conflict, 0u);
+  EXPECT_EQ(c.counts().hits, 9u);
+}
+
+TEST(ThreeCsTest, StraddlingAccessCountsBothLines) {
+  MissClassifier c(small_cache());
+  c.access(0x1c, 8);  // crosses into the next line
+  EXPECT_EQ(c.counts().accesses, 2u);
+  EXPECT_EQ(c.counts().compulsory, 2u);
+}
+
+TEST(ThreeCsTest, ZeroSizeRejected) {
+  MissClassifier c(small_cache());
+  EXPECT_THROW(c.access(0x0, 0), CheckFailure);
+}
+
+TEST(ThreeCsTest, MissesSumsTheThreeCs) {
+  MissClassifier c(small_cache());
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t line = 0; line < 16; ++line) c.access(line * 32);
+  }
+  const ThreeCs& counts = c.counts();
+  EXPECT_EQ(counts.misses(), counts.compulsory + counts.capacity + counts.conflict);
+  EXPECT_EQ(counts.accesses, counts.hits + counts.misses());
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Tests for timeline recording, helper lookahead, and the Gantt renderer.
+#include <gtest/gtest.h>
+
+#include "casc/cascade/engine.hpp"
+#include "casc/common/check.hpp"
+#include "casc/report/gantt.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using casc::cascade::CascadeOptions;
+using casc::cascade::CascadeResult;
+using casc::cascade::CascadeSimulator;
+using casc::cascade::HelperKind;
+using casc::cascade::TimelineSpan;
+using casc::common::CheckFailure;
+using casc::loopir::LayoutPolicy;
+using casc::report::GanttOptions;
+using casc::report::GanttSpan;
+using casc::report::render_gantt;
+using casc::test::make_stream_loop;
+using casc::test::mini_machine;
+
+CascadeResult timeline_run(unsigned procs, unsigned lookahead = 1) {
+  CascadeSimulator sim(mini_machine(procs));
+  const auto nest = make_stream_loop(2048, 3, LayoutPolicy::kStaggered);
+  CascadeOptions opt;
+  opt.helper = HelperKind::kPrefetch;
+  opt.chunk_bytes = 2 * 1024;
+  opt.record_timeline = true;
+  opt.helper_lookahead = lookahead;
+  return sim.run_cascaded(nest, opt);
+}
+
+TEST(Timeline, EmptyWithoutOptIn) {
+  CascadeSimulator sim(mini_machine(2));
+  const auto nest = make_stream_loop(512, 1, LayoutPolicy::kStaggered);
+  CascadeOptions opt;
+  const CascadeResult r = sim.run_cascaded(nest, opt);
+  EXPECT_TRUE(r.timeline.empty());
+}
+
+TEST(Timeline, RecordsOneExecAndOneTransferPerChunk) {
+  const CascadeResult r = timeline_run(3);
+  std::uint64_t execs = 0, transfers = 0;
+  for (const TimelineSpan& s : r.timeline) {
+    if (s.kind == TimelineSpan::Kind::kExec) ++execs;
+    if (s.kind == TimelineSpan::Kind::kTransfer) ++transfers;
+  }
+  EXPECT_EQ(execs, r.num_chunks);
+  EXPECT_EQ(transfers, r.num_chunks);
+}
+
+TEST(Timeline, ExecSpansAreDisjointAndOrdered) {
+  const CascadeResult r = timeline_run(3);
+  std::uint64_t prev_end = 0;
+  for (const TimelineSpan& s : r.timeline) {
+    if (s.kind != TimelineSpan::Kind::kExec) continue;
+    EXPECT_GE(s.begin, prev_end) << "two execution phases overlapped";
+    EXPECT_LE(s.end, r.total_cycles);
+    prev_end = s.end;
+  }
+}
+
+TEST(Timeline, HelperSpansStayWithinTheRun) {
+  const CascadeResult r = timeline_run(4);
+  bool any_helper = false;
+  for (const TimelineSpan& s : r.timeline) {
+    EXPECT_LE(s.begin, s.end);
+    if (s.kind == TimelineSpan::Kind::kHelper) any_helper = true;
+  }
+  EXPECT_TRUE(any_helper);
+}
+
+TEST(Lookahead, DeeperLookaheadKeepsCoverageInTheSameBallpark) {
+  // Lookahead trades early staging against cache pollution from the extra
+  // staged buffers; coverage may move either way, but never collapse.
+  const double base = timeline_run(2, 1).helper_coverage();
+  for (unsigned lookahead : {2u, 4u}) {
+    const CascadeResult r = timeline_run(2, lookahead);
+    EXPECT_GE(r.helper_coverage(), base * 0.85) << "lookahead " << lookahead;
+  }
+}
+
+TEST(Lookahead, ImprovesCoverageWhenWindowsOutlastChunks) {
+  // With 2 processors and a cheap-to-stage loop, a window can stage more
+  // than one chunk; lookahead 4 must beat lookahead 1.
+  const CascadeResult one = timeline_run(2, 1);
+  const CascadeResult four = timeline_run(2, 4);
+  // Lookahead can only matter if coverage at depth 1 was incomplete.
+  if (one.helper_coverage() < 0.99) {
+    EXPECT_GT(four.helper_iters_done, one.helper_iters_done);
+  }
+  EXPECT_LE(four.total_cycles, one.total_cycles * 101 / 100);
+}
+
+TEST(Lookahead, ZeroRejected) {
+  CascadeSimulator sim(mini_machine(2));
+  const auto nest = make_stream_loop(512, 1, LayoutPolicy::kStaggered);
+  CascadeOptions opt;
+  opt.helper_lookahead = 0;
+  EXPECT_THROW(sim.run_cascaded(nest, opt), CheckFailure);
+}
+
+TEST(Lookahead, RestructureWithLookaheadStaysCorrectlyAccounted) {
+  CascadeSimulator sim(mini_machine(2));
+  const auto nest = make_stream_loop(2048, 3, LayoutPolicy::kConflicting);
+  CascadeOptions opt;
+  opt.helper = HelperKind::kRestructure;
+  opt.chunk_bytes = 2 * 1024;
+  opt.helper_lookahead = 4;
+  const CascadeResult r = sim.run_cascaded(nest, opt);
+  EXPECT_EQ(r.total_cycles, r.exec_cycles + r.transfer_cycles + r.stall_cycles);
+  EXPECT_LE(r.helper_iters_done, r.helper_iters_target);
+  EXPECT_GE(r.l1_exec.accesses, nest.num_iterations());
+}
+
+// ---- Gantt renderer -----------------------------------------------------------
+
+TEST(Gantt, RendersLabelledRows) {
+  const std::string out = render_gantt(
+      2, {"P1", "P2"}, {{0, 'E', 0, 50}, {1, 'h', 50, 100}}, 100);
+  EXPECT_NE(out.find("P1 |"), std::string::npos);
+  EXPECT_NE(out.find("P2 |"), std::string::npos);
+  EXPECT_NE(out.find('E'), std::string::npos);
+  EXPECT_NE(out.find('h'), std::string::npos);
+  EXPECT_NE(out.find("100 cycles"), std::string::npos);
+}
+
+TEST(Gantt, SpanCoverageScalesWithDuration) {
+  GanttOptions opt;
+  opt.width = 40;
+  const std::string half = render_gantt(1, {"P"}, {{0, 'E', 0, 50}}, 100, opt);
+  const std::string full = render_gantt(1, {"P"}, {{0, 'E', 0, 100}}, 100, opt);
+  const auto count = [](const std::string& s, char c) {
+    return std::count(s.begin(), s.end(), c);
+  };
+  EXPECT_GT(count(full, 'E'), count(half, 'E'));
+  EXPECT_NEAR(static_cast<double>(count(half, 'E')), 20.0, 2.0);
+}
+
+TEST(Gantt, IdleFillsUncoveredTime) {
+  const std::string out = render_gantt(1, {"P"}, {{0, 'E', 0, 10}}, 100);
+  EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+TEST(Gantt, ValidatesInputs) {
+  EXPECT_THROW(render_gantt(0, {}, {}, 100), CheckFailure);
+  EXPECT_THROW(render_gantt(1, {}, {}, 100), CheckFailure);      // missing label
+  EXPECT_THROW(render_gantt(1, {"P"}, {}, 0), CheckFailure);     // zero time
+  EXPECT_THROW(render_gantt(1, {"P"}, {{3, 'E', 0, 1}}, 10), CheckFailure);
+  EXPECT_THROW(render_gantt(1, {"P"}, {{0, 'E', 5, 1}}, 10), CheckFailure);
+}
+
+}  // namespace

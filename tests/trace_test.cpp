@@ -1,0 +1,166 @@
+// Tests for trace capture, binary round trips, and replay equivalence: a
+// captured trace must drive the engine to the exact same cycles as the loop
+// nest it came from.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "casc/cascade/engine.hpp"
+#include "casc/common/check.hpp"
+#include "casc/trace/trace.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using casc::cascade::CascadeOptions;
+using casc::cascade::CascadeResult;
+using casc::cascade::CascadeSimulator;
+using casc::cascade::HelperKind;
+using casc::cascade::SequentialResult;
+using casc::cascade::StartState;
+using casc::common::CheckFailure;
+using casc::loopir::LayoutPolicy;
+using casc::loopir::LoopNest;
+using casc::test::make_gather_loop;
+using casc::test::make_stream_loop;
+using casc::test::mini_machine;
+using casc::trace::Trace;
+using casc::trace::TraceWorkload;
+
+TEST(Trace, CaptureCopiesMetadata) {
+  const LoopNest nest = make_gather_loop(256, LayoutPolicy::kStaggered);
+  const Trace trace = Trace::capture(nest);
+  EXPECT_EQ(trace.meta().name, nest.name());
+  EXPECT_EQ(trace.meta().compute_cycles, nest.compute_cycles());
+  EXPECT_EQ(trace.meta().restructured_compute_cycles,
+            nest.restructured_compute_cycles());
+  EXPECT_EQ(trace.meta().bytes_per_iteration, nest.bytes_per_iteration());
+  EXPECT_EQ(trace.num_iterations(), nest.num_iterations());
+  EXPECT_GT(trace.num_refs(), 0u);
+}
+
+TEST(Trace, RefsMatchTheSourceLoop) {
+  const LoopNest nest = make_gather_loop(128, LayoutPolicy::kConflicting);
+  const Trace trace = Trace::capture(nest);
+  std::vector<casc::loopir::Ref> from_nest, from_trace;
+  for (std::uint64_t it = 0; it < nest.num_iterations(); ++it) {
+    from_nest.clear();
+    from_trace.clear();
+    nest.refs_for_iteration(it, from_nest);
+    trace.refs_for_iteration(it, from_trace);
+    ASSERT_EQ(from_nest.size(), from_trace.size()) << "iteration " << it;
+    for (std::size_t r = 0; r < from_nest.size(); ++r) {
+      EXPECT_EQ(from_nest[r].mem.addr, from_trace[r].mem.addr);
+      EXPECT_EQ(from_nest[r].mem.size, from_trace[r].mem.size);
+      EXPECT_EQ(from_nest[r].mem.type, from_trace[r].mem.type);
+      EXPECT_EQ(from_nest[r].read_only_operand, from_trace[r].read_only_operand);
+      EXPECT_EQ(from_nest[r].is_index_load, from_trace[r].is_index_load);
+    }
+  }
+}
+
+TEST(Trace, ReplayMatchesLoopNestExactly) {
+  // The whole point: sequential and cascaded runs over the trace produce the
+  // same cycle counts as runs over the original loop nest.
+  const LoopNest nest = make_stream_loop(1024, 3, LayoutPolicy::kConflicting);
+  const Trace trace = Trace::capture(nest);
+  const TraceWorkload workload(trace);
+
+  for (HelperKind helper :
+       {HelperKind::kNone, HelperKind::kPrefetch, HelperKind::kRestructure}) {
+    CascadeSimulator sim(mini_machine(3));
+    CascadeOptions opt;
+    opt.helper = helper;
+    opt.chunk_bytes = 2 * 1024;
+    opt.start_state = StartState::kCold;  // array-exact vs page-rounded warm
+                                          // ranges differ; cold is identical
+    const SequentialResult seq_nest = sim.run_sequential(nest, opt.start_state);
+    const SequentialResult seq_trace = sim.run_sequential(workload, opt.start_state);
+    EXPECT_EQ(seq_nest.total_cycles, seq_trace.total_cycles);
+
+    const CascadeResult casc_nest = sim.run_cascaded(nest, opt);
+    const CascadeResult casc_trace = sim.run_cascaded(workload, opt);
+    EXPECT_EQ(casc_nest.total_cycles, casc_trace.total_cycles)
+        << "helper " << static_cast<int>(helper);
+    EXPECT_EQ(casc_nest.l2_exec.misses, casc_trace.l2_exec.misses);
+    EXPECT_EQ(casc_nest.helper_iters_done, casc_trace.helper_iters_done);
+  }
+}
+
+TEST(Trace, StreamRoundTripPreservesEverything) {
+  const LoopNest nest = make_gather_loop(256, LayoutPolicy::kStaggered);
+  const Trace original = Trace::capture(nest);
+  std::stringstream buffer;
+  original.write(buffer);
+  const Trace loaded = Trace::read(buffer);
+  EXPECT_EQ(loaded.meta().name, original.meta().name);
+  EXPECT_EQ(loaded.num_iterations(), original.num_iterations());
+  EXPECT_EQ(loaded.num_refs(), original.num_refs());
+  EXPECT_EQ(loaded.ranges().size(), original.ranges().size());
+  std::vector<casc::loopir::Ref> a, b;
+  for (std::uint64_t it = 0; it < original.num_iterations(); ++it) {
+    a.clear();
+    b.clear();
+    original.refs_for_iteration(it, a);
+    loaded.refs_for_iteration(it, b);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t r = 0; r < a.size(); ++r) {
+      EXPECT_EQ(a[r].mem.addr, b[r].mem.addr);
+    }
+  }
+}
+
+TEST(Trace, FileRoundTrip) {
+  const LoopNest nest = make_stream_loop(128, 1, LayoutPolicy::kStaggered);
+  const Trace original = Trace::capture(nest);
+  const std::string path = ::testing::TempDir() + "/casc_trace_test.trc";
+  original.save(path);
+  const Trace loaded = Trace::load(path);
+  EXPECT_EQ(loaded.num_refs(), original.num_refs());
+  std::remove(path.c_str());
+}
+
+TEST(Trace, RejectsBadMagicAndTruncation) {
+  std::stringstream junk("definitely not a trace");
+  EXPECT_THROW(Trace::read(junk), CheckFailure);
+
+  const LoopNest nest = make_stream_loop(64, 1, LayoutPolicy::kStaggered);
+  std::stringstream buffer;
+  Trace::capture(nest).write(buffer);
+  const std::string bytes = buffer.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW(Trace::read(truncated), CheckFailure);
+}
+
+TEST(Trace, RejectsMissingFile) {
+  EXPECT_THROW(Trace::load("/nonexistent/path/x.trc"), CheckFailure);
+}
+
+TEST(Trace, RangesCoverEveryReference) {
+  const LoopNest nest = make_gather_loop(512, LayoutPolicy::kConflicting);
+  const Trace trace = Trace::capture(nest);
+  std::vector<casc::loopir::Ref> refs;
+  for (std::uint64_t it = 0; it < trace.num_iterations(); ++it) {
+    trace.refs_for_iteration(it, refs);
+  }
+  for (const auto& ref : refs) {
+    bool covered = false;
+    for (const auto& range : trace.ranges()) {
+      if (ref.mem.addr >= range.base && ref.mem.addr < range.base + range.bytes) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << std::hex << ref.mem.addr;
+  }
+}
+
+TEST(Trace, OutOfRangeIterationThrows) {
+  const LoopNest nest = make_stream_loop(64, 1, LayoutPolicy::kStaggered);
+  const Trace trace = Trace::capture(nest);
+  std::vector<casc::loopir::Ref> refs;
+  EXPECT_THROW(trace.refs_for_iteration(trace.num_iterations(), refs), CheckFailure);
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Tests for the PARMVR workload model: loop inventory, data-set sizes per
+// the paper's enlarged problem, scaling, and structural properties.
+#include <gtest/gtest.h>
+
+#include "casc/cascade/engine.hpp"
+#include "casc/common/check.hpp"
+#include "casc/wave5/parmvr.hpp"
+
+namespace {
+
+using casc::common::CheckFailure;
+using casc::loopir::LoopNest;
+using casc::wave5::kNumParmvrLoops;
+using casc::wave5::make_parmvr;
+using casc::wave5::make_parmvr_loop;
+using casc::wave5::parmvr_loop_info;
+
+TEST(Parmvr, FifteenLoops) {
+  EXPECT_EQ(kNumParmvrLoops, 15);
+  const auto loops = make_parmvr(/*scale=*/64);
+  EXPECT_EQ(loops.size(), 15u);
+  for (const auto& loop : loops) EXPECT_TRUE(loop.finalized());
+}
+
+TEST(Parmvr, InfoTableConsistent) {
+  for (int id = 1; id <= kNumParmvrLoops; ++id) {
+    const auto& info = parmvr_loop_info(id);
+    EXPECT_EQ(info.id, id);
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.description.empty());
+    // Loop names embed the id and the info name.
+    const LoopNest nest = make_parmvr_loop(id, 64);
+    EXPECT_NE(nest.name().find(std::to_string(id)), std::string::npos);
+    EXPECT_NE(nest.name().find(info.name), std::string::npos);
+  }
+}
+
+TEST(Parmvr, RejectsBadIds) {
+  EXPECT_THROW(make_parmvr_loop(0), CheckFailure);
+  EXPECT_THROW(make_parmvr_loop(16), CheckFailure);
+  EXPECT_THROW(parmvr_loop_info(-1), CheckFailure);
+  EXPECT_THROW(make_parmvr_loop(1, 0), CheckFailure);
+}
+
+TEST(Parmvr, FullScaleFootprintsMatchEnlargedProblem) {
+  // Paper §3.1: "the amount of data accessed by each loop ranges from 256KB
+  // to 17MB" in the enlarged problem.
+  std::uint64_t smallest = ~0ull, largest = 0;
+  for (int id = 1; id <= kNumParmvrLoops; ++id) {
+    const LoopNest nest = make_parmvr_loop(id, 1);
+    const std::uint64_t fp = nest.footprint_bytes();
+    smallest = std::min(smallest, fp);
+    largest = std::max(largest, fp);
+  }
+  EXPECT_GE(smallest, 256u * 1024);
+  EXPECT_LE(smallest, 512u * 1024);
+  EXPECT_GE(largest, 14ull * 1024 * 1024);
+  EXPECT_LE(largest, 20ull * 1024 * 1024);
+}
+
+TEST(Parmvr, ScaleShrinksFootprintsProportionally) {
+  for (int id : {2, 8, 15}) {
+    const std::uint64_t full = make_parmvr_loop(id, 1).footprint_bytes();
+    const std::uint64_t quarter = make_parmvr_loop(id, 4).footprint_bytes();
+    EXPECT_LT(quarter, full);
+    EXPECT_NEAR(static_cast<double>(full) / static_cast<double>(quarter), 4.0, 0.7);
+  }
+}
+
+TEST(Parmvr, EveryLoopHasAtLeastOneReadOnlyOperandExceptPureUpdates) {
+  // Restructuring needs read-only data; the model gives every loop some
+  // (index arrays count — they are read-only by construction).
+  for (int id = 1; id <= kNumParmvrLoops; ++id) {
+    const LoopNest nest = make_parmvr_loop(id, 64);
+    bool has_ro = false;
+    for (const auto& acc : nest.accesses()) {
+      if (acc.index_via || (nest.array(acc.array).read_only && !acc.is_write)) {
+        has_ro = true;
+      }
+    }
+    EXPECT_TRUE(has_ro) << "loop " << id;
+  }
+}
+
+TEST(Parmvr, MixOfDirectAndIndirectLoops) {
+  int indirect = 0;
+  for (int id = 1; id <= kNumParmvrLoops; ++id) {
+    const LoopNest nest = make_parmvr_loop(id, 64);
+    for (const auto& acc : nest.accesses()) {
+      if (acc.index_via) {
+        ++indirect;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(indirect, 5);
+  EXPECT_LE(indirect, 10);
+}
+
+TEST(Parmvr, DeterministicAcrossConstructions) {
+  const LoopNest a = make_parmvr_loop(5, 64);
+  const LoopNest b = make_parmvr_loop(5, 64);
+  const auto ra = a.all_refs();
+  const auto rb = b.all_refs();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].mem.addr, rb[i].mem.addr);
+  }
+}
+
+TEST(Parmvr, MiniatureLoopsRunUnderTheEngine) {
+  // Smoke: every loop simulates end-to-end at scale 64 on a small machine.
+  casc::sim::MachineConfig cfg = casc::sim::MachineConfig::pentium_pro(2);
+  casc::cascade::CascadeSimulator sim(cfg);
+  casc::cascade::CascadeOptions opt;
+  opt.helper = casc::cascade::HelperKind::kRestructure;
+  opt.chunk_bytes = 16 * 1024;
+  for (int id = 1; id <= kNumParmvrLoops; ++id) {
+    const LoopNest nest = make_parmvr_loop(id, 64);
+    const double s = sim.speedup(nest, opt);
+    EXPECT_GT(s, 0.05) << "loop " << id;
+    EXPECT_LT(s, 50.0) << "loop " << id;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,303 @@
+// cascsim — command-line driver for the cascaded-execution simulator.
+//
+// Examples:
+//   cascsim --machine=r10000 --loop=parmvr:8 --helper=restructure
+//   cascsim --machine=ppro --procs=4 --loop=parmvr --chunk=64K
+//   cascsim --machine=future:8 --loop=synth:sparse --unbounded --sweep=1K:256K --plot
+//   cascsim --loop=file:myloop.casc --helper=auto --threecs
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "casc/cascade/engine.hpp"
+#include "casc/cascade/helper_selector.hpp"
+#include "casc/cascade/sequence.hpp"
+#include "casc/cli/args.hpp"
+#include "casc/common/check.hpp"
+#include "casc/loopir/loop_spec.hpp"
+#include "casc/report/ascii_plot.hpp"
+#include "casc/report/table.hpp"
+#include "casc/sim/three_cs.hpp"
+#include "casc/synth/synthetic_loop.hpp"
+#include "casc/trace/trace.hpp"
+#include "casc/wave5/parmvr.hpp"
+
+namespace {
+
+using namespace casc;  // NOLINT(build/namespaces)
+
+const std::vector<cli::OptionSpec> kSpecs = {
+    {"machine", "ppro|r10000|future:N", "machine model", "ppro"},
+    {"procs", "N", "processor count (0 = machine default)", "0"},
+    {"loop", "parmvr[:id]|synth:dense|synth:sparse|file:PATH|trace:PATH",
+     "workload", "parmvr"},
+    {"dump-trace", "PATH", "capture the (single) loop's trace to a file and exit", ""},
+    {"scale", "N", "divide PARMVR footprints by N", "1"},
+    {"helper", "none|prefetch|restructure|auto", "helper strategy", "restructure"},
+    {"chunk", "BYTES", "chunk size (K/M suffixes ok)", "64K"},
+    {"sweep", "MIN:MAX", "sweep chunk sizes instead of a single run", ""},
+    {"calls", "N", "repeat the workload N times on one machine", "1"},
+    {"start", "cold|distributed|warm", "initial cache state", "distributed"},
+    {"unbounded", "", "paper-style unbounded helper time", ""},
+    {"no-jump-out", "", "disable helper jump-out", ""},
+    {"plot", "", "render sweeps as an ASCII plot", ""},
+    {"threecs", "", "classify L1/L2 misses (compulsory/capacity/conflict)", ""},
+    {"help", "", "show this help", ""},
+};
+
+sim::MachineConfig make_machine(const cli::Args& args) {
+  const std::string name = args.get("machine");
+  sim::MachineConfig cfg;
+  if (name == "ppro" || name == "pentium_pro") {
+    cfg = sim::MachineConfig::pentium_pro();
+  } else if (name == "r10000" || name == "r10k") {
+    cfg = sim::MachineConfig::r10000();
+  } else if (name.rfind("future:", 0) == 0) {
+    cfg = sim::MachineConfig::future(std::stod(name.substr(7)));
+  } else {
+    CASC_CHECK(false, "unknown machine '" + name + "'");
+  }
+  const std::uint64_t procs = args.get_u64("procs");
+  if (procs != 0) cfg.num_processors = static_cast<unsigned>(procs);
+  return cfg;
+}
+
+std::vector<loopir::LoopNest> make_loops(const cli::Args& args) {
+  const std::string loop = args.get("loop");
+  const unsigned scale = static_cast<unsigned>(std::max<std::uint64_t>(1, args.get_u64("scale")));
+  std::vector<loopir::LoopNest> loops;
+  if (loop == "parmvr") {
+    loops = wave5::make_parmvr(scale);
+  } else if (loop.rfind("parmvr:", 0) == 0) {
+    loops.push_back(wave5::make_parmvr_loop(std::stoi(loop.substr(7)), scale));
+  } else if (loop == "synth:dense") {
+    loops.push_back(synth::make_synthetic_loop(synth::Density::kDense));
+  } else if (loop == "synth:sparse") {
+    loops.push_back(synth::make_synthetic_loop(synth::Density::kSparse));
+  } else if (loop.rfind("file:", 0) == 0) {
+    const std::string path = loop.substr(5);
+    std::ifstream in(path);
+    CASC_CHECK(in.good(), "cannot open loop spec '" + path + "'");
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    loops.push_back(loopir::LoopSpec::parse(buffer.str()).instantiate());
+  } else {
+    CASC_CHECK(false, "unknown loop '" + loop + "'");
+  }
+  return loops;
+}
+
+cascade::CascadeOptions make_options(const cli::Args& args) {
+  cascade::CascadeOptions opt;
+  opt.chunk_bytes = args.get_bytes("chunk");
+  opt.jump_out = !args.has("no-jump-out");
+  if (args.has("unbounded")) opt.time_model = cascade::HelperTimeModel::kUnbounded;
+  const std::string start = args.get("start");
+  if (start == "cold") {
+    opt.start_state = cascade::StartState::kCold;
+  } else if (start == "distributed") {
+    opt.start_state = cascade::StartState::kDistributed;
+  } else if (start == "warm") {
+    opt.start_state = cascade::StartState::kWarmSingle;
+  } else {
+    CASC_CHECK(false, "unknown start state '" + start + "'");
+  }
+  const std::string helper = args.get("helper");
+  if (helper == "none") {
+    opt.helper = cascade::HelperKind::kNone;
+  } else if (helper == "prefetch") {
+    opt.helper = cascade::HelperKind::kPrefetch;
+  } else if (helper == "restructure" || helper == "auto") {
+    opt.helper = cascade::HelperKind::kRestructure;
+  } else {
+    CASC_CHECK(false, "unknown helper '" + helper + "'");
+  }
+  return opt;
+}
+
+void run_threecs(const std::vector<loopir::LoopNest>& loops,
+                 const sim::MachineConfig& cfg) {
+  report::Table table({"Loop", "Level", "Accesses", "Compulsory", "Capacity",
+                       "Conflict", "Conflict share"});
+  table.set_title("Three-Cs miss classification on " + cfg.name);
+  for (const loopir::LoopNest& nest : loops) {
+    for (const auto* level : {&cfg.l1, &cfg.l2}) {
+      sim::MissClassifier classifier(*level);
+      std::vector<loopir::Ref> refs;
+      for (std::uint64_t it = 0; it < nest.num_iterations(); ++it) {
+        refs.clear();
+        nest.refs_for_iteration(it, refs);
+        for (const loopir::Ref& r : refs) classifier.access(r.mem.addr, r.mem.size);
+      }
+      const sim::ThreeCs& c = classifier.counts();
+      table.add_row({nest.name(), level->name, report::fmt_count(c.accesses),
+                     report::fmt_count(c.compulsory), report::fmt_count(c.capacity),
+                     report::fmt_count(c.conflict),
+                     report::fmt_percent(c.conflict_fraction())});
+    }
+  }
+  table.print(std::cout);
+}
+
+int run(const cli::Args& args) {
+  const sim::MachineConfig cfg = make_machine(args);
+  cascade::CascadeOptions opt = make_options(args);
+
+  // Trace replay is a dedicated path: traces are Workloads, not LoopNests.
+  if (args.get("loop").rfind("trace:", 0) == 0) {
+    const trace::Trace t = trace::Trace::load(args.get("loop").substr(6));
+    const trace::TraceWorkload workload(t);
+    cascade::CascadeSimulator sim(cfg);
+    const auto seq = sim.run_sequential(workload, opt.start_state);
+    const auto casc_result = sim.run_cascaded(workload, opt);
+    report::Table table({"Trace", "Iterations", "Refs", "Seq cycles",
+                         "Cascaded cycles", "Speedup"});
+    table.set_title(cfg.name + ": trace replay (" + cascade::to_string(opt.helper) +
+                    ", " + report::fmt_bytes(opt.chunk_bytes) + " chunks)");
+    table.add_row({t.meta().name, report::fmt_count(t.num_iterations()),
+                   report::fmt_count(t.num_refs()),
+                   report::fmt_count(seq.total_cycles),
+                   report::fmt_count(casc_result.total_cycles),
+                   report::fmt_double(static_cast<double>(seq.total_cycles) /
+                                      static_cast<double>(casc_result.total_cycles))});
+    table.print(std::cout);
+    return 0;
+  }
+
+  const std::vector<loopir::LoopNest> loops = make_loops(args);
+  cascade::CascadeSimulator sim(cfg);
+
+  if (args.has("threecs")) {
+    run_threecs(loops, cfg);
+    return 0;
+  }
+
+  if (args.has("dump-trace")) {
+    CASC_CHECK(loops.size() == 1, "--dump-trace needs a single-loop workload");
+    const trace::Trace t = trace::Trace::capture(loops[0]);
+    t.save(args.get("dump-trace"));
+    std::cout << "wrote " << report::fmt_count(t.num_refs()) << " refs over "
+              << report::fmt_count(t.num_iterations()) << " iterations to "
+              << args.get("dump-trace") << "\n";
+    return 0;
+  }
+
+  if (args.has("sweep")) {
+    const std::string sweep = args.get("sweep");
+    const auto colon = sweep.find(':');
+    CASC_CHECK(colon != std::string::npos, "--sweep expects MIN:MAX");
+    const std::uint64_t lo = cli::parse_bytes(sweep.substr(0, colon));
+    const std::uint64_t hi = cli::parse_bytes(sweep.substr(colon + 1));
+    CASC_CHECK(lo > 0 && lo <= hi, "invalid sweep range");
+
+    std::vector<double> xs;
+    report::Series curve{"speedup (" + cascade::to_string(opt.helper) + ")", {}};
+    report::Table table({"Chunk", "Speedup"});
+    table.set_title(cfg.name + ": chunk sweep over " + std::to_string(loops.size()) +
+                    " loop(s)");
+    for (std::uint64_t bytes = lo; bytes <= hi; bytes *= 2) {
+      opt.chunk_bytes = bytes;
+      std::uint64_t seq = 0, casc_cycles = 0;
+      for (const auto& nest : loops) {
+        seq += sim.run_sequential(nest, opt.start_state).total_cycles;
+        casc_cycles += sim.run_cascaded(nest, opt).total_cycles;
+      }
+      const double speedup =
+          static_cast<double>(seq) / static_cast<double>(casc_cycles);
+      xs.push_back(static_cast<double>(bytes) / 1024.0);
+      curve.ys.push_back(speedup);
+      table.add_row({report::fmt_bytes(bytes), report::fmt_double(speedup)});
+    }
+    table.print(std::cout);
+    if (args.has("plot")) {
+      report::PlotOptions plot;
+      plot.log_x = true;
+      plot.x_label = "KB per chunk";
+      plot.y_label = "speedup";
+      std::cout << "\n" << report::render_plot(xs, {curve}, plot);
+    }
+    return 0;
+  }
+
+  if (args.get("helper") == "auto") {
+    report::Table table({"Loop", "Chosen helper", "Chunk", "Speedup", "none",
+                         "prefetch", "restructure"});
+    table.set_title(cfg.name + ": automatic helper selection");
+    for (const auto& nest : loops) {
+      const cascade::HelperChoice choice = cascade::select_helper(sim, nest, opt);
+      table.add_row({nest.name(), cascade::to_string(choice.helper),
+                     report::fmt_bytes(choice.chunk_bytes),
+                     report::fmt_double(choice.speedup),
+                     report::fmt_double(choice.speedup_by_kind[0]),
+                     report::fmt_double(choice.speedup_by_kind[1]),
+                     report::fmt_double(choice.speedup_by_kind[2])});
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
+  const unsigned calls = static_cast<unsigned>(std::max<std::uint64_t>(1, args.get_u64("calls")));
+  if (calls > 1) {
+    const auto seq = cascade::run_sequence_sequential(sim, loops, calls, opt.start_state);
+    const auto casc_seq = cascade::run_sequence_cascaded(sim, loops, calls, opt);
+    report::Table table({"Call", "Sequential cycles", "Cascaded cycles", "Speedup"});
+    table.set_title(cfg.name + ": " + std::to_string(calls) + " repeated calls");
+    for (unsigned c = 1; c <= calls; ++c) {
+      table.add_row({std::to_string(c), report::fmt_count(seq.call(c)),
+                     report::fmt_count(casc_seq.call(c)),
+                     report::fmt_double(static_cast<double>(seq.call(c)) /
+                                        static_cast<double>(casc_seq.call(c)))});
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
+  report::Table table({"Loop", "Footprint", "Seq cycles", "Cascaded cycles", "Speedup",
+                       "Exec L2 misses", "Seq L2 misses", "Helper coverage"});
+  table.set_title(cfg.name + " (" + std::to_string(cfg.num_processors) + " procs, " +
+                  report::fmt_bytes(opt.chunk_bytes) + " chunks, " +
+                  cascade::to_string(opt.helper) + ")");
+  std::uint64_t seq_total = 0, casc_total = 0;
+  for (const auto& nest : loops) {
+    const auto seq = sim.run_sequential(nest, opt.start_state);
+    const auto casc_result = sim.run_cascaded(nest, opt);
+    seq_total += seq.total_cycles;
+    casc_total += casc_result.total_cycles;
+    table.add_row({nest.name(), report::fmt_bytes(nest.footprint_bytes()),
+                   report::fmt_count(seq.total_cycles),
+                   report::fmt_count(casc_result.total_cycles),
+                   report::fmt_double(static_cast<double>(seq.total_cycles) /
+                                      static_cast<double>(casc_result.total_cycles)),
+                   report::fmt_count(casc_result.l2_exec.misses),
+                   report::fmt_count(seq.l2.misses),
+                   report::fmt_percent(casc_result.helper_coverage())});
+  }
+  table.print(std::cout);
+  if (loops.size() > 1) {
+    std::cout << "overall speedup: "
+              << report::fmt_double(static_cast<double>(seq_total) /
+                                    static_cast<double>(casc_total))
+              << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> raw(argv + 1, argv + argc);
+  try {
+    const cli::Args args = cli::Args::parse(raw, kSpecs);
+    if (args.has("help")) {
+      std::cout << cli::Args::help("cascsim", "cascaded-execution simulator driver",
+                                   kSpecs);
+      return 0;
+    }
+    return run(args);
+  } catch (const casc::common::CheckFailure& e) {
+    std::cerr << "error: " << e.what() << "\n\n"
+              << casc::cli::Args::help("cascsim", "cascaded-execution simulator driver",
+                                       kSpecs);
+    return 2;
+  }
+}
