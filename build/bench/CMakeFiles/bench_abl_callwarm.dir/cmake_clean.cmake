@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_callwarm.dir/bench_abl_callwarm.cpp.o"
+  "CMakeFiles/bench_abl_callwarm.dir/bench_abl_callwarm.cpp.o.d"
+  "bench_abl_callwarm"
+  "bench_abl_callwarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_callwarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

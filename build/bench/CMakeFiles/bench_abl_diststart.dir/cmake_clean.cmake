@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_diststart.dir/bench_abl_diststart.cpp.o"
+  "CMakeFiles/bench_abl_diststart.dir/bench_abl_diststart.cpp.o.d"
+  "bench_abl_diststart"
+  "bench_abl_diststart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_diststart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_abl_helpers.cpp" "bench/CMakeFiles/bench_abl_helpers.dir/bench_abl_helpers.cpp.o" "gcc" "bench/CMakeFiles/bench_abl_helpers.dir/bench_abl_helpers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cascade/CMakeFiles/casc_cascade.dir/DependInfo.cmake"
+  "/root/repo/build/src/wave5/CMakeFiles/casc_wave5.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/casc_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/casc_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/loopir/CMakeFiles/casc_loopir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/casc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/casc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

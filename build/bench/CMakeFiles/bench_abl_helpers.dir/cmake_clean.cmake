@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_helpers.dir/bench_abl_helpers.cpp.o"
+  "CMakeFiles/bench_abl_helpers.dir/bench_abl_helpers.cpp.o.d"
+  "bench_abl_helpers"
+  "bench_abl_helpers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_helpers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

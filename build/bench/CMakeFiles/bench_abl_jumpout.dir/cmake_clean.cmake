@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_jumpout.dir/bench_abl_jumpout.cpp.o"
+  "CMakeFiles/bench_abl_jumpout.dir/bench_abl_jumpout.cpp.o.d"
+  "bench_abl_jumpout"
+  "bench_abl_jumpout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_jumpout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_lookahead.dir/bench_abl_lookahead.cpp.o"
+  "CMakeFiles/bench_abl_lookahead.dir/bench_abl_lookahead.cpp.o.d"
+  "bench_abl_lookahead"
+  "bench_abl_lookahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_lookahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_threecs.dir/bench_abl_threecs.cpp.o"
+  "CMakeFiles/bench_abl_threecs.dir/bench_abl_threecs.cpp.o.d"
+  "bench_abl_threecs"
+  "bench_abl_threecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_threecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_transfer.dir/bench_abl_transfer.cpp.o"
+  "CMakeFiles/bench_abl_transfer.dir/bench_abl_transfer.cpp.o.d"
+  "bench_abl_transfer"
+  "bench_abl_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

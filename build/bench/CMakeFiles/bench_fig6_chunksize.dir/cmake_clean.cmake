@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_chunksize.dir/bench_fig6_chunksize.cpp.o"
+  "CMakeFiles/bench_fig6_chunksize.dir/bench_fig6_chunksize.cpp.o.d"
+  "bench_fig6_chunksize"
+  "bench_fig6_chunksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_chunksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_future.dir/bench_fig7_future.cpp.o"
+  "CMakeFiles/bench_fig7_future.dir/bench_fig7_future.cpp.o.d"
+  "bench_fig7_future"
+  "bench_fig7_future.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

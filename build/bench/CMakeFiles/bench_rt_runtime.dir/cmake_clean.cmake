@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rt_runtime.dir/bench_rt_runtime.cpp.o"
+  "CMakeFiles/bench_rt_runtime.dir/bench_rt_runtime.cpp.o.d"
+  "bench_rt_runtime"
+  "bench_rt_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rt_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunk_tuner.dir/chunk_tuner.cpp.o"
+  "CMakeFiles/chunk_tuner.dir/chunk_tuner.cpp.o.d"
+  "chunk_tuner"
+  "chunk_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunk_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_memory.dir/future_memory.cpp.o"
+  "CMakeFiles/future_memory.dir/future_memory.cpp.o.d"
+  "future_memory"
+  "future_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave5_parmvr.dir/wave5_parmvr.cpp.o"
+  "CMakeFiles/wave5_parmvr.dir/wave5_parmvr.cpp.o.d"
+  "wave5_parmvr"
+  "wave5_parmvr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave5_parmvr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cascade/analytic.cpp" "src/cascade/CMakeFiles/casc_cascade.dir/analytic.cpp.o" "gcc" "src/cascade/CMakeFiles/casc_cascade.dir/analytic.cpp.o.d"
+  "/root/repo/src/cascade/chunk_tuner.cpp" "src/cascade/CMakeFiles/casc_cascade.dir/chunk_tuner.cpp.o" "gcc" "src/cascade/CMakeFiles/casc_cascade.dir/chunk_tuner.cpp.o.d"
+  "/root/repo/src/cascade/chunking.cpp" "src/cascade/CMakeFiles/casc_cascade.dir/chunking.cpp.o" "gcc" "src/cascade/CMakeFiles/casc_cascade.dir/chunking.cpp.o.d"
+  "/root/repo/src/cascade/engine.cpp" "src/cascade/CMakeFiles/casc_cascade.dir/engine.cpp.o" "gcc" "src/cascade/CMakeFiles/casc_cascade.dir/engine.cpp.o.d"
+  "/root/repo/src/cascade/helper_selector.cpp" "src/cascade/CMakeFiles/casc_cascade.dir/helper_selector.cpp.o" "gcc" "src/cascade/CMakeFiles/casc_cascade.dir/helper_selector.cpp.o.d"
+  "/root/repo/src/cascade/seq_buffer.cpp" "src/cascade/CMakeFiles/casc_cascade.dir/seq_buffer.cpp.o" "gcc" "src/cascade/CMakeFiles/casc_cascade.dir/seq_buffer.cpp.o.d"
+  "/root/repo/src/cascade/sequence.cpp" "src/cascade/CMakeFiles/casc_cascade.dir/sequence.cpp.o" "gcc" "src/cascade/CMakeFiles/casc_cascade.dir/sequence.cpp.o.d"
+  "/root/repo/src/cascade/workload.cpp" "src/cascade/CMakeFiles/casc_cascade.dir/workload.cpp.o" "gcc" "src/cascade/CMakeFiles/casc_cascade.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/casc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/casc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/loopir/CMakeFiles/casc_loopir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

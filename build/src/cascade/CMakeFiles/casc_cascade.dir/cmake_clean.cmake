@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_cascade.dir/analytic.cpp.o"
+  "CMakeFiles/casc_cascade.dir/analytic.cpp.o.d"
+  "CMakeFiles/casc_cascade.dir/chunk_tuner.cpp.o"
+  "CMakeFiles/casc_cascade.dir/chunk_tuner.cpp.o.d"
+  "CMakeFiles/casc_cascade.dir/chunking.cpp.o"
+  "CMakeFiles/casc_cascade.dir/chunking.cpp.o.d"
+  "CMakeFiles/casc_cascade.dir/engine.cpp.o"
+  "CMakeFiles/casc_cascade.dir/engine.cpp.o.d"
+  "CMakeFiles/casc_cascade.dir/helper_selector.cpp.o"
+  "CMakeFiles/casc_cascade.dir/helper_selector.cpp.o.d"
+  "CMakeFiles/casc_cascade.dir/seq_buffer.cpp.o"
+  "CMakeFiles/casc_cascade.dir/seq_buffer.cpp.o.d"
+  "CMakeFiles/casc_cascade.dir/sequence.cpp.o"
+  "CMakeFiles/casc_cascade.dir/sequence.cpp.o.d"
+  "CMakeFiles/casc_cascade.dir/workload.cpp.o"
+  "CMakeFiles/casc_cascade.dir/workload.cpp.o.d"
+  "libcasc_cascade.a"
+  "libcasc_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcasc_cascade.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_cli.dir/args.cpp.o"
+  "CMakeFiles/casc_cli.dir/args.cpp.o.d"
+  "libcasc_cli.a"
+  "libcasc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

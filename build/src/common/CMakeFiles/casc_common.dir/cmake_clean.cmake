@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_common.dir/check.cpp.o"
+  "CMakeFiles/casc_common.dir/check.cpp.o.d"
+  "CMakeFiles/casc_common.dir/stats.cpp.o"
+  "CMakeFiles/casc_common.dir/stats.cpp.o.d"
+  "libcasc_common.a"
+  "libcasc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

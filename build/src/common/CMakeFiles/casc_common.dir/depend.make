@@ -1,0 +1,2 @@
+# Empty dependencies file for casc_common.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_loopir.dir/loop_nest.cpp.o"
+  "CMakeFiles/casc_loopir.dir/loop_nest.cpp.o.d"
+  "CMakeFiles/casc_loopir.dir/loop_spec.cpp.o"
+  "CMakeFiles/casc_loopir.dir/loop_spec.cpp.o.d"
+  "libcasc_loopir.a"
+  "libcasc_loopir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_loopir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_report.dir/ascii_plot.cpp.o"
+  "CMakeFiles/casc_report.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/casc_report.dir/gantt.cpp.o"
+  "CMakeFiles/casc_report.dir/gantt.cpp.o.d"
+  "CMakeFiles/casc_report.dir/table.cpp.o"
+  "CMakeFiles/casc_report.dir/table.cpp.o.d"
+  "libcasc_report.a"
+  "libcasc_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_runtime.dir/adaptive.cpp.o"
+  "CMakeFiles/casc_runtime.dir/adaptive.cpp.o.d"
+  "CMakeFiles/casc_runtime.dir/executor.cpp.o"
+  "CMakeFiles/casc_runtime.dir/executor.cpp.o.d"
+  "libcasc_runtime.a"
+  "libcasc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

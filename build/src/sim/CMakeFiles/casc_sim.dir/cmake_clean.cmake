@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_sim.dir/cache.cpp.o"
+  "CMakeFiles/casc_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/casc_sim.dir/machine.cpp.o"
+  "CMakeFiles/casc_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/casc_sim.dir/stack_distance.cpp.o"
+  "CMakeFiles/casc_sim.dir/stack_distance.cpp.o.d"
+  "CMakeFiles/casc_sim.dir/three_cs.cpp.o"
+  "CMakeFiles/casc_sim.dir/three_cs.cpp.o.d"
+  "libcasc_sim.a"
+  "libcasc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_synth.dir/synthetic_loop.cpp.o"
+  "CMakeFiles/casc_synth.dir/synthetic_loop.cpp.o.d"
+  "libcasc_synth.a"
+  "libcasc_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_trace.dir/trace.cpp.o"
+  "CMakeFiles/casc_trace.dir/trace.cpp.o.d"
+  "libcasc_trace.a"
+  "libcasc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

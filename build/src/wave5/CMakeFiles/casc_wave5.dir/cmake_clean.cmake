@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_wave5.dir/parmvr.cpp.o"
+  "CMakeFiles/casc_wave5.dir/parmvr.cpp.o.d"
+  "libcasc_wave5.a"
+  "libcasc_wave5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_wave5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

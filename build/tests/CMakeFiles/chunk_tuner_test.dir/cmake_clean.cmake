@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunk_tuner_test.dir/chunk_tuner_test.cpp.o"
+  "CMakeFiles/chunk_tuner_test.dir/chunk_tuner_test.cpp.o.d"
+  "chunk_tuner_test"
+  "chunk_tuner_test.pdb"
+  "chunk_tuner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunk_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

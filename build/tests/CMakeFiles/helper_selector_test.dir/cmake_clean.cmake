@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helper_selector_test.dir/helper_selector_test.cpp.o"
+  "CMakeFiles/helper_selector_test.dir/helper_selector_test.cpp.o.d"
+  "helper_selector_test"
+  "helper_selector_test.pdb"
+  "helper_selector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helper_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_spec_test.dir/loop_spec_test.cpp.o"
+  "CMakeFiles/loop_spec_test.dir/loop_spec_test.cpp.o.d"
+  "loop_spec_test"
+  "loop_spec_test.pdb"
+  "loop_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loopir_test.dir/loopir_test.cpp.o"
+  "CMakeFiles/loopir_test.dir/loopir_test.cpp.o.d"
+  "loopir_test"
+  "loopir_test.pdb"
+  "loopir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loopir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_model_test.dir/machine_model_test.cpp.o"
+  "CMakeFiles/machine_model_test.dir/machine_model_test.cpp.o.d"
+  "machine_model_test"
+  "machine_model_test.pdb"
+  "machine_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restructured_test.dir/restructured_test.cpp.o"
+  "CMakeFiles/restructured_test.dir/restructured_test.cpp.o.d"
+  "restructured_test"
+  "restructured_test.pdb"
+  "restructured_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restructured_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_buffer_test.dir/seq_buffer_test.cpp.o"
+  "CMakeFiles/seq_buffer_test.dir/seq_buffer_test.cpp.o.d"
+  "seq_buffer_test"
+  "seq_buffer_test.pdb"
+  "seq_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_cs_test.dir/three_cs_test.cpp.o"
+  "CMakeFiles/three_cs_test.dir/three_cs_test.cpp.o.d"
+  "three_cs_test"
+  "three_cs_test.pdb"
+  "three_cs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_cs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave5_test.dir/wave5_test.cpp.o"
+  "CMakeFiles/wave5_test.dir/wave5_test.cpp.o.d"
+  "wave5_test"
+  "wave5_test.pdb"
+  "wave5_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascsim.dir/cascsim.cpp.o"
+  "CMakeFiles/cascsim.dir/cascsim.cpp.o.d"
+  "cascsim"
+  "cascsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cascsim.
+# This may be replaced when dependencies are built.
