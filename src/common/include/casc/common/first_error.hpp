@@ -1,0 +1,66 @@
+// First-failure latch for concurrent workers.  Many threads may fail at
+// once; exactly one exception must win, be kept alive as a
+// std::exception_ptr, and later be rethrown on the thread that owns the
+// operation.  The latch is lock-free on the failure path (a single CAS), and
+// the winner's exception_ptr/tag writes are published to the reader by
+// whatever synchronization ends the operation (e.g. a join or a
+// mutex-guarded done-count) — the latch itself only guarantees uniqueness.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+
+namespace casc::common {
+
+class FirstError {
+ public:
+  /// Sentinel tag meaning "no failure recorded".
+  static constexpr std::uint64_t kNoTag = ~0ull;
+
+  /// Records the in-flight exception (must be called inside a catch block)
+  /// with a caller-chosen tag (e.g. the failing chunk index).  Only the
+  /// first caller wins; returns true iff this call captured.
+  bool capture(std::uint64_t tag) noexcept {
+    bool expected = false;
+    if (!latched_.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+      return false;
+    }
+    error_ = std::current_exception();
+    tag_ = tag;
+    return true;
+  }
+
+  /// True once some thread has captured.  Acquire, so a reader that already
+  /// synchronized with the winner may read error()/tag().
+  [[nodiscard]] bool failed() const noexcept {
+    return latched_.load(std::memory_order_acquire);
+  }
+
+  /// The winning exception (null if none).  Only safe to call after the
+  /// winner's thread has been synchronized with (see class comment).
+  [[nodiscard]] std::exception_ptr error() const noexcept { return error_; }
+
+  /// The winner's tag, or kNoTag.
+  [[nodiscard]] std::uint64_t tag() const noexcept {
+    return failed() ? tag_ : kNoTag;
+  }
+
+  /// Rethrows the captured exception.  Precondition: failed().
+  [[noreturn]] void rethrow() const { std::rethrow_exception(error_); }
+
+  /// Re-arms the latch for the next operation (single-threaded context only).
+  void reset() noexcept {
+    error_ = nullptr;
+    tag_ = kNoTag;
+    latched_.store(false, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> latched_{false};
+  std::exception_ptr error_;
+  std::uint64_t tag_ = kNoTag;
+};
+
+}  // namespace casc::common

@@ -1,6 +1,7 @@
 #include "casc/rt/executor.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "casc/common/check.hpp"
 
@@ -30,6 +31,9 @@ void try_pin_to_cpu(unsigned cpu) {
 CascadeExecutor::CascadeExecutor(ExecutorConfig config) {
   num_threads_ = config.num_threads != 0 ? config.num_threads
                                          : std::max(1u, std::thread::hardware_concurrency());
+  watchdog_budget_ = config.watchdog;
+  std::vector<common::CacheAligned<WorkerState>> slots(num_threads_);
+  worker_state_ = std::move(slots);
   if (config.pin_threads) try_pin_to_cpu(0);
   pool_.reserve(num_threads_ - 1);
   for (unsigned id = 1; id < num_threads_; ++id) {
@@ -38,9 +42,11 @@ CascadeExecutor::CascadeExecutor(ExecutorConfig config) {
       worker_main(id);
     });
   }
+  detail::register_executor(this);
 }
 
 CascadeExecutor::~CascadeExecutor() {
+  detail::unregister_executor(this);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
@@ -65,33 +71,124 @@ void CascadeExecutor::worker_main(unsigned id) {
       std::lock_guard<std::mutex> lock(mutex_);
       pooled_outcome_.helpers_completed += outcome.helpers_completed;
       pooled_outcome_.helpers_jumped_out += outcome.helpers_jumped_out;
+      pooled_outcome_.chunks_executed += outcome.chunks_executed;
       ++workers_done_;
     }
     done_cv_.notify_one();
   }
 }
 
-CascadeExecutor::WorkerOutcome CascadeExecutor::participate(unsigned id, const Job& job) {
+CascadeStateDump CascadeExecutor::snapshot() const {
+  CascadeStateDump dump;
+  dump.run_active = active_.load(std::memory_order_relaxed);
+  dump.aborted = token_.aborted();
+  dump.watchdog_expired = watchdog_fired_.load(std::memory_order_relaxed);
+  dump.token = token_.current();
+  dump.num_chunks = snap_num_chunks_.load(std::memory_order_relaxed);
+  dump.total_iters = snap_total_iters_.load(std::memory_order_relaxed);
+  dump.workers.reserve(num_threads_);
+  for (unsigned id = 0; id < num_threads_; ++id) {
+    const WorkerState& ws = worker_state_[id].value;
+    WorkerSnapshot w;
+    w.id = id;
+    w.phase = static_cast<WorkerPhase>(ws.phase.load(std::memory_order_relaxed));
+    w.chunk = ws.chunk.load(std::memory_order_relaxed);
+    w.iters_completed = ws.iters_completed.load(std::memory_order_relaxed);
+    dump.workers.push_back(w);
+  }
+  return dump;
+}
+
+bool CascadeExecutor::past_deadline() const {
+  return watchdog_enabled_ && std::chrono::steady_clock::now() >= deadline_;
+}
+
+void CascadeExecutor::fire_watchdog() {
+  bool expected = false;
+  if (watchdog_fired_.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel)) {
+    // Capture the dump BEFORE poisoning the token so it shows the stuck
+    // state (who holds the token, who is spinning) rather than the unwind.
+    watchdog_dump_ = snapshot();
+    watchdog_dump_.watchdog_expired = true;
+    token_.abort();
+  }
+}
+
+bool CascadeExecutor::await_turn(std::uint64_t c) {
+  SpinWait spin;
+  std::uint32_t polls = 0;
+  for (;;) {
+    if (token_.current() == c) return true;
+    if (token_.aborted()) return false;
+    // The deadline check is amortized: one clock read every 1024 polls.
+    if (watchdog_enabled_ && (++polls & 0x3FFu) == 0 && past_deadline()) {
+      fire_watchdog();
+      return false;
+    }
+    spin.wait();
+  }
+}
+
+CascadeExecutor::WorkerOutcome CascadeExecutor::participate(unsigned id,
+                                                            const Job& job) {
   WorkerOutcome outcome;
   const unsigned P = num_threads_;
+  WorkerState& ws = worker_state_[id].value;
   for (std::uint64_t c = id; c < job.num_chunks; c += P) {
+    if (token_.aborted()) break;
+    if (past_deadline()) {
+      // Covers stalls on this worker itself (including P == 1, where no one
+      // is ever blocked in await_turn to notice the expiry).
+      fire_watchdog();
+      break;
+    }
+    ws.chunk.store(c, std::memory_order_relaxed);
     const std::uint64_t begin = c * job.iters_per_chunk;
     const std::uint64_t end = std::min(begin + job.iters_per_chunk, job.total_iters);
     if (job.helper != nullptr && *job.helper) {
+      ws.phase.store(static_cast<std::uint8_t>(WorkerPhase::kHelper),
+                     std::memory_order_relaxed);
       const TokenWatch watch(&token_, c);
       // A helper that starts after the signal would only steal execution
       // time; skip it entirely in that case (degenerate jump-out).
       if (!watch.signalled()) {
-        const bool completed = (*job.helper)(begin, end, watch);
+        bool completed = false;
+        try {
+          completed = (*job.helper)(begin, end, watch);
+        } catch (...) {
+          first_error_->capture(c);
+          token_.abort();
+          break;
+        }
         (completed ? outcome.helpers_completed : outcome.helpers_jumped_out)++;
       } else {
         ++outcome.helpers_jumped_out;
       }
     }
-    token_.await(c);
-    (*job.exec)(begin, end);
+    ws.phase.store(static_cast<std::uint8_t>(WorkerPhase::kAwaiting),
+                   std::memory_order_relaxed);
+    if (!await_turn(c)) break;
+    ws.phase.store(static_cast<std::uint8_t>(WorkerPhase::kExecuting),
+                   std::memory_order_relaxed);
+    try {
+      (*job.exec)(begin, end);
+    } catch (...) {
+      // The thrower holds the token and will never pass it; poison the
+      // cascade so every await/watch unwinds instead of spinning forever.
+      first_error_->capture(c);
+      token_.abort();
+      break;
+    }
+    ++outcome.chunks_executed;
+    ws.iters_completed.fetch_add(end - begin, std::memory_order_relaxed);
+    // An abort that arrived mid-execution means the run has failed; don't
+    // extend the chain (a successor may already have unwound past its turn).
+    if (token_.aborted()) break;
     token_.pass(c);
   }
+  ws.phase.store(static_cast<std::uint8_t>(WorkerPhase::kIdle),
+                 std::memory_order_relaxed);
   return outcome;
 }
 
@@ -99,6 +196,14 @@ void CascadeExecutor::run(std::uint64_t total_iters, std::uint64_t iters_per_chu
                           ExecFn exec, HelperFn helper) {
   CASC_CHECK(static_cast<bool>(exec), "run() requires an execution function");
   CASC_CHECK(iters_per_chunk > 0, "iters_per_chunk must be positive");
+  CASC_CHECK(!active_.exchange(true, std::memory_order_acq_rel),
+             "run() is not reentrant: a cascade is already in flight on this "
+             "executor (nested or concurrent run() would deadlock)");
+  struct ActiveGuard {
+    std::atomic<bool>& flag;
+    ~ActiveGuard() { flag.store(false, std::memory_order_release); }
+  } guard{active_};
+
   if (total_iters == 0) {
     stats_ = RunStats{};
     return;
@@ -112,6 +217,22 @@ void CascadeExecutor::run(std::uint64_t total_iters, std::uint64_t iters_per_chu
   job.helper = helper ? &helper : nullptr;
 
   token_.reset();
+  first_error_->reset();
+  watchdog_fired_.store(false, std::memory_order_relaxed);
+  watchdog_dump_ = CascadeStateDump{};
+  watchdog_enabled_ = watchdog_budget_.count() > 0;
+  if (watchdog_enabled_) {
+    deadline_ = std::chrono::steady_clock::now() + watchdog_budget_;
+  }
+  snap_num_chunks_.store(job.num_chunks, std::memory_order_relaxed);
+  snap_total_iters_.store(total_iters, std::memory_order_relaxed);
+  for (auto& slot : worker_state_) {
+    slot.value.phase.store(static_cast<std::uint8_t>(WorkerPhase::kIdle),
+                           std::memory_order_relaxed);
+    slot.value.chunk.store(0, std::memory_order_relaxed);
+    slot.value.iters_completed.store(0, std::memory_order_relaxed);
+  }
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = job;
@@ -126,18 +247,48 @@ void CascadeExecutor::run(std::uint64_t total_iters, std::uint64_t iters_per_chu
 
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return workers_done_ == num_threads_ - 1; });
-    CASC_CHECK(token_.current() == job.num_chunks,
-               "cascade finished with an unexecuted chunk");
+    const auto done = [&] { return workers_done_ == num_threads_ - 1; };
+    if (watchdog_enabled_ && !done_cv_.wait_until(lock, deadline_, done)) {
+      // The done-waiter doubles as the watchdog sentinel: abort the cascade,
+      // then wait (without a deadline) for the pool to quiesce.  Workers
+      // stuck in user code can only be awaited, never preempted.
+      lock.unlock();
+      fire_watchdog();
+      lock.lock();
+    }
+    done_cv_.wait(lock, done);
+
     stats_ = RunStats{};
     stats_.total_iters = total_iters;
     stats_.num_chunks = job.num_chunks;
     stats_.iters_per_chunk = iters_per_chunk;
-    stats_.transfers = job.num_chunks;  // one pass() per chunk, incl. the final one
-    stats_.helpers_completed = pooled_outcome_.helpers_completed + mine.helpers_completed;
+    stats_.helpers_completed =
+        pooled_outcome_.helpers_completed + mine.helpers_completed;
     stats_.helpers_jumped_out =
         pooled_outcome_.helpers_jumped_out + mine.helpers_jumped_out;
+    stats_.chunks_executed = pooled_outcome_.chunks_executed + mine.chunks_executed;
+    stats_.aborted = token_.aborted();
+    stats_.first_failed_chunk = first_error_->tag();
+    // The final pass() closes the protocol but has no receiving processor,
+    // so it is not a hand-off (the paper's "#chunks x transfer cost" model
+    // charges num_chunks - 1).  On an aborted run, count the hand-offs that
+    // actually happened.
+    stats_.transfers = stats_.aborted ? std::min(token_.current(), job.num_chunks - 1)
+                                      : job.num_chunks - 1;
   }
+
+  // All workers have quiesced: safe to rethrow / report.  The pool is back
+  // in its idle wait, so the executor is immediately reusable.
+  if (first_error_->failed()) first_error_->rethrow();
+  if (watchdog_fired_.load(std::memory_order_acquire)) {
+    throw WatchdogExpired("cascade watchdog expired after " +
+                              std::to_string(watchdog_budget_.count()) +
+                              " ms (chunk " + std::to_string(token_.current()) +
+                              " of " + std::to_string(job.num_chunks) + ")",
+                          watchdog_dump_);
+  }
+  CASC_CHECK(token_.current() == job.num_chunks,
+             "cascade finished with an unexecuted chunk");
 }
 
 }  // namespace casc::rt

@@ -1,0 +1,93 @@
+#include "casc/rt/fault_injection.hpp"
+
+#include <thread>
+#include <utility>
+
+namespace casc::rt {
+
+namespace {
+
+/// Sleeps for `total`, optionally polling `watch` so the stall can be cut
+/// short by jump-out.  Returns true iff the full stall elapsed.
+bool stall(std::chrono::milliseconds total, const TokenWatch* watch) {
+  const auto until = std::chrono::steady_clock::now() + total;
+  constexpr auto kSlice = std::chrono::microseconds(200);
+  while (std::chrono::steady_clock::now() < until) {
+    if (watch != nullptr && watch->signalled()) return false;
+    std::this_thread::sleep_for(kSlice);
+  }
+  return true;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::throw_in_exec(std::uint64_t chunk, std::uint64_t iters_per_chunk) {
+  FaultPlan plan;
+  plan.site = Site::kExec;
+  plan.action = Action::kThrow;
+  plan.chunk = chunk;
+  plan.iters_per_chunk = iters_per_chunk;
+  return plan;
+}
+
+FaultPlan FaultPlan::stall_in_exec(std::uint64_t chunk, std::uint64_t iters_per_chunk,
+                                   std::chrono::milliseconds for_duration) {
+  FaultPlan plan = throw_in_exec(chunk, iters_per_chunk);
+  plan.action = Action::kStall;
+  plan.stall_for = for_duration;
+  return plan;
+}
+
+FaultPlan FaultPlan::throw_in_helper(std::uint64_t chunk,
+                                     std::uint64_t iters_per_chunk) {
+  FaultPlan plan = throw_in_exec(chunk, iters_per_chunk);
+  plan.site = Site::kHelper;
+  return plan;
+}
+
+FaultPlan FaultPlan::stall_in_helper(std::uint64_t chunk,
+                                     std::uint64_t iters_per_chunk,
+                                     std::chrono::milliseconds for_duration,
+                                     bool honor_jump_out) {
+  FaultPlan plan = stall_in_exec(chunk, iters_per_chunk, for_duration);
+  plan.site = Site::kHelper;
+  plan.honor_jump_out = honor_jump_out;
+  return plan;
+}
+
+ExecFn FaultPlan::arm(ExecFn inner) const {
+  if (site != Site::kExec) return inner;
+  const FaultPlan plan = *this;
+  return [plan, inner = std::move(inner)](std::uint64_t begin, std::uint64_t end) {
+    if (begin / plan.iters_per_chunk == plan.chunk) {
+      if (plan.action == Action::kThrow) {
+        throw InjectedFault("injected exec fault at chunk " +
+                                std::to_string(plan.chunk),
+                            plan.chunk);
+      }
+      stall(plan.stall_for, nullptr);  // the executing worker holds the token
+    }
+    if (inner) inner(begin, end);
+  };
+}
+
+HelperFn FaultPlan::arm(HelperFn inner) const {
+  if (site != Site::kHelper) return inner;
+  const FaultPlan plan = *this;
+  return [plan, inner = std::move(inner)](std::uint64_t begin, std::uint64_t end,
+                                          const TokenWatch& watch) -> bool {
+    if (begin / plan.iters_per_chunk == plan.chunk) {
+      if (plan.action == Action::kThrow) {
+        throw InjectedFault("injected helper fault at chunk " +
+                                std::to_string(plan.chunk),
+                            plan.chunk);
+      }
+      if (!stall(plan.stall_for, plan.honor_jump_out ? &watch : nullptr)) {
+        return false;  // jumped out mid-stall
+      }
+    }
+    return inner ? inner(begin, end, watch) : true;
+  };
+}
+
+}  // namespace casc::rt

@@ -8,16 +8,34 @@
 // one worker is in an execution phase at any instant, so the loop's
 // sequential semantics are preserved while the other P-1 workers optimize
 // their memory state.
+//
+// Failure semantics (full protocol in docs/RUNTIME.md):
+//   * An exception escaping an ExecFn or HelperFn on ANY worker poisons the
+//     token; every other worker unwinds promptly instead of spinning, and
+//     run() rethrows the first exception on the calling thread once the pool
+//     has quiesced.  No std::terminate, no wedged pool: the executor is
+//     reusable for the next run().
+//   * An optional per-run watchdog deadline (ExecutorConfig::watchdog)
+//     bounds how long run() will let the cascade make no progress; on expiry
+//     the cascade is aborted, a CascadeStateDump is captured, and run()
+//     throws WatchdogExpired carrying that dump.
+//   * After a failed run, last_run_stats() is still valid and records the
+//     abort (aborted / chunks_executed / first_failed_chunk).
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "casc/common/align.hpp"
+#include "casc/common/first_error.hpp"
+#include "casc/rt/state_dump.hpp"
 #include "casc/rt/token.hpp"
 
 namespace casc::rt {
@@ -41,20 +59,44 @@ struct ExecutorConfig {
   /// Best-effort: pin worker i to CPU i (Linux only; ignored elsewhere or on
   /// failure).
   bool pin_threads = false;
+  /// Per-run deadline; once exceeded the cascade is aborted and run() throws
+  /// WatchdogExpired.  Zero (the default) disables the watchdog.
+  std::chrono::milliseconds watchdog{0};
 };
 
-/// Statistics from the most recent run().
+/// Statistics from the most recent run() — including a failed one.
 struct RunStats {
+  /// first_failed_chunk value when no chunk failed.
+  static constexpr std::uint64_t kNoFailedChunk = ~0ull;
+
   std::uint64_t total_iters = 0;
   std::uint64_t num_chunks = 0;
   std::uint64_t iters_per_chunk = 0;
-  std::uint64_t transfers = 0;               ///< token hand-offs performed
-  std::uint64_t helpers_completed = 0;       ///< helper phases that finished
-  std::uint64_t helpers_jumped_out = 0;      ///< helper phases cut short by the token
+  std::uint64_t transfers = 0;           ///< token hand-offs with a receiver
+                                         ///< (num_chunks - 1 on success)
+  std::uint64_t helpers_completed = 0;   ///< helper phases that finished
+  std::uint64_t helpers_jumped_out = 0;  ///< helper phases cut short by the token
+  std::uint64_t chunks_executed = 0;     ///< execution phases that completed
+  bool aborted = false;                  ///< the run was cut short
+  std::uint64_t first_failed_chunk = kNoFailedChunk;  ///< chunk whose phase threw
+};
+
+/// Thrown by run() when the watchdog deadline expires; carries the cascade
+/// state captured at expiry.
+class WatchdogExpired : public std::runtime_error {
+ public:
+  WatchdogExpired(const std::string& what, CascadeStateDump dump)
+      : std::runtime_error(what), dump_(std::move(dump)) {}
+
+  [[nodiscard]] const CascadeStateDump& dump() const noexcept { return dump_; }
+
+ private:
+  CascadeStateDump dump_;
 };
 
 /// The runtime.  Thread-safe for sequential use (one run() at a time from the
-/// owning thread); not reentrant.
+/// owning thread); not reentrant — a nested or concurrent run() fails loudly
+/// with a CheckFailure instead of deadlocking.
 class CascadeExecutor {
  public:
   explicit CascadeExecutor(ExecutorConfig config = {});
@@ -66,9 +108,11 @@ class CascadeExecutor {
   /// Cascades `exec` over [0, total_iters) in chunks of `iters_per_chunk`.
   /// `helper`, if provided, is invoked on each worker for its next chunk
   /// before that chunk's execution phase.  Blocks until the whole loop has
-  /// executed.  The calling thread participates as worker 0 (it executes
-  /// chunk 0 immediately, so a cascade over fewer iterations than one chunk
-  /// degenerates to a plain sequential loop).
+  /// executed — or, on failure, until every worker has quiesced, after which
+  /// the first captured exception is rethrown here (see the header comment
+  /// for the full failure semantics).  The calling thread participates as
+  /// worker 0 (it executes chunk 0 immediately, so a cascade over fewer
+  /// iterations than one chunk degenerates to a plain sequential loop).
   void run(std::uint64_t total_iters, std::uint64_t iters_per_chunk, ExecFn exec,
            HelperFn helper = nullptr);
 
@@ -76,6 +120,10 @@ class CascadeExecutor {
   [[nodiscard]] unsigned num_threads() const noexcept { return num_threads_; }
 
   [[nodiscard]] const RunStats& last_run_stats() const noexcept { return stats_; }
+
+  /// Point-in-time diagnostic snapshot (see state_dump.hpp).  Callable from
+  /// any thread, even while a run is in flight.
+  [[nodiscard]] CascadeStateDump snapshot() const;
 
  private:
   struct Job {
@@ -86,14 +134,31 @@ class CascadeExecutor {
     const HelperFn* helper = nullptr;
   };
 
+  /// Per-worker observability slot, written with relaxed stores on the hot
+  /// path and read racily by snapshot().  Cache-aligned: a worker's phase
+  /// updates must not false-share with its neighbours'.
+  struct WorkerState {
+    std::atomic<std::uint8_t> phase{0};  // WorkerPhase
+    std::atomic<std::uint64_t> chunk{0};
+    std::atomic<std::uint64_t> iters_completed{0};
+  };
+
   /// Worker body for ids 1..P-1 (id 0 is the caller inside run()).
   void worker_main(unsigned id);
-  /// Runs worker `id`'s share of the current job; returns its helper stats.
+  /// Runs worker `id`'s share of the current job; returns its stats.
   struct WorkerOutcome {
     std::uint64_t helpers_completed = 0;
     std::uint64_t helpers_jumped_out = 0;
+    std::uint64_t chunks_executed = 0;
   };
   WorkerOutcome participate(unsigned id, const Job& job);
+
+  /// Waits for chunk `c`'s turn; returns false on abort or watchdog expiry.
+  bool await_turn(std::uint64_t c);
+  /// First caller captures the state dump and poisons the token.
+  void fire_watchdog();
+  /// True iff the per-run deadline is enabled and has passed.
+  [[nodiscard]] bool past_deadline() const;
 
   unsigned num_threads_;
   std::vector<std::thread> pool_;
@@ -110,6 +175,30 @@ class CascadeExecutor {
 
   Token token_;
   RunStats stats_;
+
+  // Re-entrancy guard: set for the whole duration of run().
+  std::atomic<bool> active_{false};
+
+  // Failure state, reset at the start of each run.
+  common::CacheAligned<common::FirstError> first_error_;
+  std::atomic<bool> watchdog_fired_{false};
+  CascadeStateDump watchdog_dump_;  // written by the fire_watchdog() winner
+
+  // Watchdog deadline for the current run (valid when watchdog_enabled_).
+  bool watchdog_enabled_ = false;
+  std::chrono::milliseconds watchdog_budget_{0};
+  std::chrono::steady_clock::time_point deadline_{};
+
+  // Snapshot inputs that must be readable without mutex_.
+  std::atomic<std::uint64_t> snap_num_chunks_{0};
+  std::atomic<std::uint64_t> snap_total_iters_{0};
+  std::vector<common::CacheAligned<WorkerState>> worker_state_;
 };
+
+namespace detail {
+/// Process-wide executor registry backing dump_state() (state_dump.cpp).
+void register_executor(const CascadeExecutor* executor);
+void unregister_executor(const CascadeExecutor* executor);
+}  // namespace detail
 
 }  // namespace casc::rt

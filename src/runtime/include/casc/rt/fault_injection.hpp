@@ -1,0 +1,71 @@
+// Fault-injection harness for the cascaded-execution runtime.  Tests and
+// stress benches wrap their ExecFn/HelperFn through a FaultPlan to inject
+// the failure modes the fault-tolerant executor must survive:
+//
+//   * throw in an execution phase at chunk k (the token is never passed);
+//   * stall an execution phase at chunk k for a duration (wedges the chain);
+//   * throw in a helper phase at chunk k;
+//   * stall a helper at chunk k, either honouring jump-out (polls the watch)
+//     or ignoring it (simulates a helper that never checks the token).
+//
+// This is deliberately a library, not test-local code: every later
+// performance PR (chunk tuner, adaptive runtime) regression-tests its
+// abort/exception paths against the same plans.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "casc/rt/executor.hpp"
+
+namespace casc::rt {
+
+/// The exception injected by throwing fault plans.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(const std::string& what, std::uint64_t chunk)
+      : std::runtime_error(what), chunk_(chunk) {}
+
+  [[nodiscard]] std::uint64_t chunk() const noexcept { return chunk_; }
+
+ private:
+  std::uint64_t chunk_;
+};
+
+/// Describes one fault and arms it onto user functions.  Copyable; the
+/// armed wrappers hold their own copy of the plan.
+struct FaultPlan {
+  enum class Site : std::uint8_t { kNone, kExec, kHelper };
+  enum class Action : std::uint8_t { kThrow, kStall };
+
+  Site site = Site::kNone;
+  Action action = Action::kThrow;
+  std::uint64_t chunk = 0;  ///< chunk index at which the fault fires
+  std::chrono::milliseconds stall_for{0};  ///< duration for Action::kStall
+  /// Stalling helpers only: poll the watch and cut the stall short on
+  /// jump-out.  False simulates a helper that never checks the token.
+  bool honor_jump_out = false;
+  /// Chunk geometry of the run this plan will be armed for (maps an exec
+  /// phase's `begin` back to its chunk index).
+  std::uint64_t iters_per_chunk = 1;
+
+  // Named constructors for the common plans.
+  static FaultPlan throw_in_exec(std::uint64_t chunk, std::uint64_t iters_per_chunk);
+  static FaultPlan stall_in_exec(std::uint64_t chunk, std::uint64_t iters_per_chunk,
+                                 std::chrono::milliseconds for_duration);
+  static FaultPlan throw_in_helper(std::uint64_t chunk, std::uint64_t iters_per_chunk);
+  static FaultPlan stall_in_helper(std::uint64_t chunk, std::uint64_t iters_per_chunk,
+                                   std::chrono::milliseconds for_duration,
+                                   bool honor_jump_out);
+
+  /// Wraps `inner` so the planned exec-site fault fires before the chunk's
+  /// body runs (a stall runs the body after the stall completes).
+  [[nodiscard]] ExecFn arm(ExecFn inner) const;
+  /// Wraps `inner` likewise for helper-site faults.  A stall that honours
+  /// jump-out returns false (jumped out) when cut short.
+  [[nodiscard]] HelperFn arm(HelperFn inner) const;
+};
+
+}  // namespace casc::rt

@@ -1,0 +1,55 @@
+// Post-mortem diagnostics for the real runtime.  When a cascade is aborted
+// (exception, watchdog) — or from any thread while one is in flight — a
+// CascadeStateDump captures the protocol state needed to answer "who was
+// holding the token, and what was everyone else doing": the token value and,
+// per worker, its phase, current chunk, and iterations completed.
+//
+// Every live CascadeExecutor is registered in a process-wide list, so
+// dump_state() can be called from a failure path (e.g. tools/cascsim's
+// top-level handler) without plumbing executor references through the stack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace casc::rt {
+
+/// What a worker was last observed doing.
+enum class WorkerPhase : std::uint8_t {
+  kIdle = 0,       ///< between runs (or finished its share of this run)
+  kHelper = 1,     ///< inside a helper phase
+  kAwaiting = 2,   ///< spinning in await() for its chunk's turn
+  kExecuting = 3,  ///< inside an execution phase (holds the token)
+};
+
+[[nodiscard]] const char* to_string(WorkerPhase phase) noexcept;
+
+/// One worker's slice of a CascadeStateDump.
+struct WorkerSnapshot {
+  unsigned id = 0;
+  WorkerPhase phase = WorkerPhase::kIdle;
+  std::uint64_t chunk = 0;            ///< chunk the worker last started on
+  std::uint64_t iters_completed = 0;  ///< iterations it has executed this run
+};
+
+/// Point-in-time snapshot of one executor's cascade state.
+struct CascadeStateDump {
+  bool run_active = false;        ///< a run() was in flight when captured
+  bool aborted = false;           ///< the token was poisoned
+  bool watchdog_expired = false;  ///< the abort came from the watchdog
+  std::uint64_t token = 0;        ///< chunk currently allowed to execute
+  std::uint64_t num_chunks = 0;   ///< chunk count of the current/last run
+  std::uint64_t total_iters = 0;  ///< iteration count of the current/last run
+  std::vector<WorkerSnapshot> workers;
+};
+
+/// Human-readable rendering (multi-line, trailing newline).
+[[nodiscard]] std::string render(const CascadeStateDump& dump);
+
+/// Snapshots every live CascadeExecutor in the process.  Lock-light and
+/// safe to call from any thread at any time (snapshots are racy-by-design
+/// reads of relaxed atomics — a diagnostic, not a linearization point).
+[[nodiscard]] std::vector<CascadeStateDump> dump_state();
+
+}  // namespace casc::rt

@@ -3,6 +3,12 @@
 // value" (paper §3.3, footnote 2).  The flag here is a monotonically
 // increasing chunk counter on its own cache line: chunk c may execute when
 // the counter equals c, and passing control is a single release-store of c+1.
+//
+// Fault tolerance adds a second flag, on its own cache line so the hot
+// counter line stays exclusive to the passer: a sticky abort (poison)
+// sentinel.  Once set, await() returns without the token and helper watches
+// report signalled, so every worker unwinds promptly instead of spinning on
+// a chain that will never advance (see docs/RUNTIME.md for the protocol).
 #pragma once
 
 #include <atomic>
@@ -16,8 +22,12 @@ namespace casc::rt {
 /// Shared token state.  One instance per executor; all workers poll it.
 class Token {
  public:
-  /// Resets the token to chunk 0 (single-threaded context only).
-  void reset() noexcept { current_.value.store(0, std::memory_order_relaxed); }
+  /// Resets the token to chunk 0 and clears any abort (single-threaded
+  /// context only).
+  void reset() noexcept {
+    current_.value.store(0, std::memory_order_relaxed);
+    aborted_.value.store(false, std::memory_order_relaxed);
+  }
 
   /// Chunk currently allowed to execute (acquire: pairs with pass()).
   [[nodiscard]] std::uint64_t current() const noexcept {
@@ -30,10 +40,31 @@ class Token {
     return current_.value.load(std::memory_order_relaxed);
   }
 
-  /// Blocks (spin, then yield) until it is chunk `c`'s turn.
-  void await(std::uint64_t c) const noexcept {
+  /// Poisons the cascade: await() stops blocking and watches report
+  /// signalled.  Sticky until reset().  Safe to call from any thread, any
+  /// number of times.
+  void abort() noexcept { aborted_.value.store(true, std::memory_order_release); }
+
+  /// True once the cascade has been poisoned (acquire: pairs with abort()).
+  [[nodiscard]] bool aborted() const noexcept {
+    return aborted_.value.load(std::memory_order_acquire);
+  }
+
+  /// Relaxed variant for high-frequency polls (helper jump-out).
+  [[nodiscard]] bool aborted_relaxed() const noexcept {
+    return aborted_.value.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks (spin, then yield) until it is chunk `c`'s turn or the cascade
+  /// is aborted.  Returns true iff the token actually arrived — on false the
+  /// caller must NOT execute its chunk.
+  [[nodiscard]] bool await(std::uint64_t c) const noexcept {
     SpinWait spin;
-    while (current() != c) spin.wait();
+    for (;;) {
+      if (current() == c) return true;
+      if (aborted()) return false;
+      spin.wait();
+    }
   }
 
   /// Passes control to chunk `c + 1`; the release pairs with await()'s
@@ -45,20 +76,23 @@ class Token {
 
  private:
   common::CacheAligned<std::atomic<std::uint64_t>> current_;
+  common::CacheAligned<std::atomic<bool>> aborted_;
 };
 
 /// Read-only view a helper receives so it can jump out as soon as its own
 /// execution phase is signalled (paper §3.3: "performance is improved by
 /// causing a processor to jump out of a helper phase ... as soon as it is
-/// signaled to begin execution").
+/// signaled to begin execution").  An aborted cascade also reads as
+/// signalled: helpers must unwind promptly when the run is being torn down.
 class TokenWatch {
  public:
   TokenWatch(const Token* token, std::uint64_t my_chunk) noexcept
       : token_(token), my_chunk_(my_chunk) {}
 
-  /// True once the helper's processor has been signalled to execute.
+  /// True once the helper's processor has been signalled to execute (or the
+  /// cascade has been aborted).
   [[nodiscard]] bool signalled() const noexcept {
-    return token_->current_relaxed() >= my_chunk_;
+    return token_->current_relaxed() >= my_chunk_ || token_->aborted_relaxed();
   }
 
   [[nodiscard]] std::uint64_t chunk() const noexcept { return my_chunk_; }

@@ -1,0 +1,81 @@
+#include "casc/rt/state_dump.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+
+#include "casc/rt/executor.hpp"
+
+namespace casc::rt {
+
+namespace {
+
+// Live-executor registry.  Constructed on first use so registration from
+// executors created during static initialization is safe.
+struct Registry {
+  std::mutex mu;
+  std::vector<const CascadeExecutor*> executors;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: usable during static teardown
+  return *r;
+}
+
+}  // namespace
+
+namespace detail {
+
+void register_executor(const CascadeExecutor* executor) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.executors.push_back(executor);
+}
+
+void unregister_executor(const CascadeExecutor* executor) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.executors.erase(std::remove(r.executors.begin(), r.executors.end(), executor),
+                    r.executors.end());
+}
+
+}  // namespace detail
+
+const char* to_string(WorkerPhase phase) noexcept {
+  switch (phase) {
+    case WorkerPhase::kIdle:
+      return "idle";
+    case WorkerPhase::kHelper:
+      return "helper";
+    case WorkerPhase::kAwaiting:
+      return "awaiting";
+    case WorkerPhase::kExecuting:
+      return "executing";
+  }
+  return "?";
+}
+
+std::string render(const CascadeStateDump& dump) {
+  std::ostringstream os;
+  os << "cascade state: token=" << dump.token << "/" << dump.num_chunks
+     << " chunks, " << dump.total_iters << " iters"
+     << (dump.run_active ? ", run active" : ", no run active")
+     << (dump.aborted ? ", ABORTED" : "")
+     << (dump.watchdog_expired ? ", WATCHDOG EXPIRED" : "") << "\n";
+  for (const WorkerSnapshot& w : dump.workers) {
+    os << "  worker " << w.id << ": " << to_string(w.phase) << " (chunk "
+       << w.chunk << ", " << w.iters_completed << " iters completed)\n";
+  }
+  return os.str();
+}
+
+std::vector<CascadeStateDump> dump_state() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<CascadeStateDump> dumps;
+  dumps.reserve(r.executors.size());
+  for (const CascadeExecutor* ex : r.executors) dumps.push_back(ex->snapshot());
+  return dumps;
+}
+
+}  // namespace casc::rt

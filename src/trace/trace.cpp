@@ -16,6 +16,23 @@ constexpr char kMagic[8] = {'C', 'A', 'S', 'C', 'T', 'R', 'C', '1'};
 /// Guard against absurd (likely corrupted) counts before allocating.
 constexpr std::uint64_t kMaxReasonable = 1ull << 40;
 
+/// Bytes of one packed on-disk reference record (addr + size + flags).
+constexpr std::uint64_t kRefRecordBytes = 8 + 4 + 1;
+
+/// Bytes left in the stream after the current position, or kMaxReasonable
+/// when the stream is not seekable.  Used to reject corrupt headers whose
+/// counts would otherwise drive multi-gigabyte allocations before the first
+/// truncated read is ever noticed.
+std::uint64_t remaining_bytes(std::istream& is) {
+  const std::istream::pos_type here = is.tellg();
+  if (here == std::istream::pos_type(-1)) return kMaxReasonable;
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(here);
+  if (end == std::istream::pos_type(-1) || end < here) return kMaxReasonable;
+  return static_cast<std::uint64_t>(end - here);
+}
+
 template <typename T>
 void put(std::ostream& os, const T& value) {
   static_assert(std::is_trivially_copyable_v<T>);
@@ -151,6 +168,10 @@ Trace Trace::read(std::istream& is) {
   const auto refs = get<std::uint64_t>(is);
   CASC_CHECK(iters < kMaxReasonable && refs < kMaxReasonable,
              "trace header counts are implausible (corrupt file?)");
+  const std::uint64_t remaining = remaining_bytes(is);
+  CASC_CHECK(iters <= remaining / sizeof(std::uint64_t) &&
+                 refs <= remaining / kRefRecordBytes,
+             "trace header counts exceed the stream size (corrupt file?)");
   trace.iter_offsets_.resize(iters + 1);
   for (auto& offset : trace.iter_offsets_) offset = get<std::uint64_t>(is);
   CASC_CHECK(trace.iter_offsets_.front() == 0 && trace.iter_offsets_.back() == refs,

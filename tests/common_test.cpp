@@ -1,12 +1,15 @@
 // Unit tests for casc_common: alignment helpers, checks, RNG, statistics.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "casc/common/align.hpp"
 #include "casc/common/check.hpp"
+#include "casc/common/first_error.hpp"
 #include "casc/common/rng.hpp"
 #include "casc/common/stats.hpp"
 
@@ -205,4 +208,85 @@ TEST(GeometricMean, KnownValuesAndGuards) {
   EXPECT_NEAR(cc::geometric_mean({2.0, 8.0}), 4.0, 1e-12);
   EXPECT_DOUBLE_EQ(cc::geometric_mean({}), 0.0);
   EXPECT_THROW(cc::geometric_mean({1.0, 0.0}), cc::CheckFailure);
+}
+
+// ---- first_error ----------------------------------------------------------
+
+TEST(FirstError, StartsClean) {
+  cc::FirstError latch;
+  EXPECT_FALSE(latch.failed());
+  EXPECT_EQ(latch.error(), nullptr);
+  EXPECT_EQ(latch.tag(), cc::FirstError::kNoTag);
+}
+
+TEST(FirstError, CapturesTheInFlightException) {
+  cc::FirstError latch;
+  try {
+    throw std::runtime_error("first");
+  } catch (...) {
+    EXPECT_TRUE(latch.capture(7));
+  }
+  EXPECT_TRUE(latch.failed());
+  EXPECT_EQ(latch.tag(), 7u);
+  EXPECT_THROW(latch.rethrow(), std::runtime_error);
+}
+
+TEST(FirstError, OnlyTheFirstCaptureWins) {
+  cc::FirstError latch;
+  try {
+    throw std::runtime_error("winner");
+  } catch (...) {
+    EXPECT_TRUE(latch.capture(1));
+  }
+  try {
+    throw std::logic_error("loser");
+  } catch (...) {
+    EXPECT_FALSE(latch.capture(2));
+  }
+  EXPECT_EQ(latch.tag(), 1u);
+  try {
+    latch.rethrow();
+    FAIL() << "rethrow must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "winner");
+  }
+}
+
+TEST(FirstError, ConcurrentCapturesProduceExactlyOneWinner) {
+  cc::FirstError latch;
+  constexpr int kThreads = 8;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        throw std::runtime_error("thread " + std::to_string(t));
+      } catch (...) {
+        if (latch.capture(static_cast<std::uint64_t>(t))) winners.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(winners.load(), 1);
+  EXPECT_TRUE(latch.failed());
+  EXPECT_LT(latch.tag(), static_cast<std::uint64_t>(kThreads));
+}
+
+TEST(FirstError, ResetReArmsTheLatch) {
+  cc::FirstError latch;
+  try {
+    throw std::runtime_error("x");
+  } catch (...) {
+    latch.capture(0);
+  }
+  latch.reset();
+  EXPECT_FALSE(latch.failed());
+  EXPECT_EQ(latch.tag(), cc::FirstError::kNoTag);
+  try {
+    throw std::logic_error("y");
+  } catch (...) {
+    EXPECT_TRUE(latch.capture(3));
+  }
+  EXPECT_EQ(latch.tag(), 3u);
 }

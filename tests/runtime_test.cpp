@@ -36,9 +36,9 @@ TEST(Token, StartsAtZeroAndPasses) {
 TEST(Token, AwaitReturnsImmediatelyWhenHeld) {
   Token t;
   t.reset();
-  t.await(0);  // must not hang
+  EXPECT_TRUE(t.await(0));  // must not hang
   t.pass(0);
-  t.await(1);
+  EXPECT_TRUE(t.await(1));
 }
 
 TEST(TokenWatch, SignalledOnceTurnArrives) {
@@ -142,9 +142,14 @@ TEST_P(ExecutorThreads, StatsAccountForEveryChunk) {
       [](std::uint64_t, std::uint64_t, const TokenWatch&) { return true; });
   const auto& stats = ex.last_run_stats();
   EXPECT_EQ(stats.num_chunks, 16u);
-  EXPECT_EQ(stats.transfers, 16u);
+  // The final pass() has no receiving processor, so 16 chunks make 15
+  // hand-offs (the paper's "#chunks x transfer cost" model).
+  EXPECT_EQ(stats.transfers, 15u);
   EXPECT_EQ(stats.helpers_completed + stats.helpers_jumped_out, 16u);
+  EXPECT_EQ(stats.chunks_executed, 16u);
   EXPECT_EQ(stats.total_iters, 1000u);
+  EXPECT_FALSE(stats.aborted);
+  EXPECT_EQ(stats.first_failed_chunk, casc::rt::RunStats::kNoFailedChunk);
 }
 
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ExecutorThreads,
@@ -181,6 +186,61 @@ TEST(Executor, SingleChunkDegeneratesToCallerOnly) {
     exec_thread = std::this_thread::get_id();
   });
   EXPECT_EQ(exec_thread, caller) << "chunk 0 belongs to the calling thread";
+}
+
+TEST(Executor, SingleChunkRunHasNoHandOffs) {
+  // total_iters < iters_per_chunk: one chunk, zero control transfers — the
+  // cascade degenerates to a plain sequential loop on the caller.
+  CascadeExecutor ex(ExecutorConfig{4, false});
+  std::uint64_t covered = 0;
+  ex.run(
+      10, 100, [&](std::uint64_t b, std::uint64_t e) { covered = e - b; },
+      [](std::uint64_t, std::uint64_t, const TokenWatch&) { return true; });
+  const auto& stats = ex.last_run_stats();
+  EXPECT_EQ(covered, 10u);
+  EXPECT_EQ(stats.num_chunks, 1u);
+  EXPECT_EQ(stats.transfers, 0u);
+  EXPECT_EQ(stats.chunks_executed, 1u);
+  // Chunk 0 is signalled from the start, so its helper is always skipped.
+  EXPECT_EQ(stats.helpers_completed, 0u);
+  EXPECT_EQ(stats.helpers_jumped_out, 1u);
+}
+
+TEST(Executor, SingleThreadSkipsEveryHelper) {
+  // With P == 1 the token is always already at the worker's next chunk when
+  // the helper would start (the executor.cpp skip-when-signalled branch):
+  // every helper must be counted as jumped out and never invoked.
+  CascadeExecutor ex(ExecutorConfig{1, false});
+  std::uint64_t helper_calls = 0;
+  ex.run(
+      640, 64, [](std::uint64_t, std::uint64_t) {},
+      [&](std::uint64_t, std::uint64_t, const TokenWatch&) {
+        ++helper_calls;
+        return true;
+      });
+  const auto& stats = ex.last_run_stats();
+  EXPECT_EQ(helper_calls, 0u);
+  EXPECT_EQ(stats.helpers_completed, 0u);
+  EXPECT_EQ(stats.helpers_jumped_out, 10u);
+  EXPECT_EQ(stats.chunks_executed, 10u);
+  EXPECT_EQ(stats.transfers, 9u);
+}
+
+TEST(Executor, ZeroIterationsAfterFailedRunResetsStats) {
+  CascadeExecutor ex(ExecutorConfig{2, false});
+  EXPECT_THROW(ex.run(100, 10,
+                      [](std::uint64_t b, std::uint64_t) {
+                        if (b == 30) throw std::runtime_error("boom");
+                      }),
+               std::runtime_error);
+  EXPECT_TRUE(ex.last_run_stats().aborted);
+  int calls = 0;
+  ex.run(0, 10, [&](std::uint64_t, std::uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(ex.last_run_stats().num_chunks, 0u);
+  EXPECT_FALSE(ex.last_run_stats().aborted) << "a no-op run clears the failure";
+  EXPECT_EQ(ex.last_run_stats().first_failed_chunk,
+            casc::rt::RunStats::kNoFailedChunk);
 }
 
 TEST(Executor, DefaultThreadCountIsHardwareConcurrency) {

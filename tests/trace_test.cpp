@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "casc/cascade/engine.hpp"
@@ -135,6 +136,29 @@ TEST(Trace, RejectsBadMagicAndTruncation) {
 
 TEST(Trace, RejectsMissingFile) {
   EXPECT_THROW(Trace::load("/nonexistent/path/x.trc"), CheckFailure);
+}
+
+TEST(Trace, RejectsHeaderCountsExceedingStreamSize) {
+  // A corrupt header advertising huge (but < kMaxReasonable) counts must be
+  // rejected against the actual stream size, not answered with a
+  // multi-gigabyte allocation and an eventual bad_alloc / OOM kill.
+  const LoopNest nest = make_stream_loop(64, 1, LayoutPolicy::kStaggered);
+  std::stringstream buffer;
+  Trace::capture(nest).write(buffer);
+  std::string bytes = buffer.str();
+
+  // Layout: magic(8) + name_len(4) + name + 2x u32 + 2x u64 + iters(8) + refs(8).
+  const std::uint32_t name_len = [&] {
+    std::uint32_t len = 0;
+    std::memcpy(&len, bytes.data() + 8, sizeof(len));
+    return len;
+  }();
+  const std::size_t iters_at = 8 + 4 + name_len + 4 + 4 + 8 + 8;
+  const std::uint64_t huge = 1ull << 35;  // 32G iterations, ~256 GB of offsets
+  std::memcpy(bytes.data() + iters_at, &huge, sizeof(huge));
+
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(Trace::read(corrupted), CheckFailure);
 }
 
 TEST(Trace, RangesCoverEveryReference) {

@@ -17,6 +17,8 @@
 #include "casc/loopir/loop_spec.hpp"
 #include "casc/report/ascii_plot.hpp"
 #include "casc/report/table.hpp"
+#include "casc/rt/executor.hpp"
+#include "casc/rt/state_dump.hpp"
 #include "casc/sim/three_cs.hpp"
 #include "casc/synth/synthetic_loop.hpp"
 #include "casc/trace/trace.hpp"
@@ -282,6 +284,15 @@ int run(const cli::Args& args) {
   return 0;
 }
 
+/// On failure, any in-flight cascade runtime state is part of the story:
+/// render every live executor's dump (e.g. a run wedged by a user workload).
+void print_cascade_dumps() {
+  const std::vector<rt::CascadeStateDump> dumps = rt::dump_state();
+  for (const rt::CascadeStateDump& dump : dumps) {
+    std::cerr << rt::render(dump);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -295,9 +306,21 @@ int main(int argc, char** argv) {
     }
     return run(args);
   } catch (const casc::common::CheckFailure& e) {
-    std::cerr << "error: " << e.what() << "\n\n"
+    std::cerr << "error: " << e.what() << "\n";
+    print_cascade_dumps();
+    std::cerr << "\n"
               << casc::cli::Args::help("cascsim", "cascaded-execution simulator driver",
                                        kSpecs);
+    return 2;
+  } catch (const casc::rt::WatchdogExpired& e) {
+    std::cerr << "error: " << e.what() << "\n" << casc::rt::render(e.dump());
+    print_cascade_dumps();
+    return 3;
+  } catch (const std::exception& e) {
+    // Malformed numeric arguments (std::stod etc.) and other library errors
+    // must not escape to std::terminate.
+    std::cerr << "error: " << e.what() << "\n";
+    print_cascade_dumps();
     return 2;
   }
 }
