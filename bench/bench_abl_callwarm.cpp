@@ -9,13 +9,11 @@
 #include "casc/cascade/sequence.hpp"
 
 namespace {
+
 using namespace casc;         // NOLINT(build/namespaces)
 using namespace casc::bench;  // NOLINT(build/namespaces)
-}  // namespace
 
-int main() {
-  print_scale_banner();
-  const unsigned scale = workload_scale();
+void run_abl(unsigned scale, telemetry::BenchReporter& rep) {
   constexpr unsigned kCalls = 12;
 
   for (const auto& cfg :
@@ -42,9 +40,21 @@ int main() {
            report::fmt_double(ratio(seq.call(c), casc_result.call(c)))});
     }
     table.print(std::cout);
-    std::cout << "call-12 speedup: "
-              << report::fmt_double(ratio(seq.call(kCalls), casc_result.call(kCalls)))
+    const double call12 = ratio(seq.call(kCalls), casc_result.call(kCalls));
+    std::cout << "call-12 speedup: " << report::fmt_double(call12)
               << " (the paper reports the 12th call)\n\n";
+    const std::string key = machine_key(cfg);
+    rep.add_metric(key + "_call1_speedup", ratio(seq.call(1), casc_result.call(1)));
+    rep.add_metric(key + "_call12_speedup", call12);
   }
+}
+
+}  // namespace
+
+int main() {
+  print_scale_banner();
+  const unsigned scale = workload_scale();
+  telemetry::BenchReporter rep("abl_callwarm");
+  run_and_report(rep, [&] { run_abl(scale, rep); });
   return 0;
 }

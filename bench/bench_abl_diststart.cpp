@@ -8,14 +8,11 @@
 #include "bench_util.hpp"
 
 namespace {
+
 using namespace casc;         // NOLINT(build/namespaces)
 using namespace casc::bench;  // NOLINT(build/namespaces)
-}  // namespace
 
-int main() {
-  print_scale_banner();
-  const unsigned scale = workload_scale();
-
+void run_abl(unsigned scale, telemetry::BenchReporter& rep) {
   for (const auto& cfg :
        {sim::MachineConfig::pentium_pro(4), sim::MachineConfig::r10000(8)}) {
     cascade::CascadeSimulator sim(cfg);
@@ -23,6 +20,7 @@ int main() {
                          "Speedup"});
     table.set_title("Ablation (" + cfg.name + "): initial cache state, 64 KB chunks");
     const std::vector<loopir::LoopNest> loops = wave5::make_parmvr(scale);
+    const std::string key = machine_key(cfg);
     for (cascade::StartState start :
          {cascade::StartState::kCold, cascade::StartState::kDistributed,
           cascade::StartState::kWarmSingle}) {
@@ -38,9 +36,20 @@ int main() {
       table.add_row({to_string(start), report::fmt_count(seq),
                      report::fmt_count(casc_cycles),
                      report::fmt_double(ratio(seq, casc_cycles))});
+      rep.add_metric(key + "_" + to_string(start) + "_speedup",
+                     ratio(seq, casc_cycles));
     }
     table.print(std::cout);
     std::cout << "\n";
   }
+}
+
+}  // namespace
+
+int main() {
+  print_scale_banner();
+  const unsigned scale = workload_scale();
+  telemetry::BenchReporter rep("abl_diststart");
+  run_and_report(rep, [&] { run_abl(scale, rep); });
   return 0;
 }

@@ -7,16 +7,14 @@
 #include "bench_util.hpp"
 
 namespace {
+
 using namespace casc;         // NOLINT(build/namespaces)
 using namespace casc::bench;  // NOLINT(build/namespaces)
-}  // namespace
 
-int main() {
-  print_scale_banner();
-  const unsigned scale = workload_scale();
-
+void run_abl(unsigned scale, telemetry::BenchReporter& rep) {
   for (const auto& cfg :
        {sim::MachineConfig::pentium_pro(4), sim::MachineConfig::r10000(8)}) {
+    const std::string key = machine_key(cfg);
     cascade::CascadeSimulator sim(cfg);
     report::Table table(
         {"Helper", "Jump-out", "Total cycles", "Stall cycles", "Speedup vs seq"});
@@ -41,10 +39,24 @@ int main() {
         table.add_row({to_string(helper), jump ? "yes" : "no",
                        report::fmt_count(total), report::fmt_count(stalls),
                        report::fmt_double(ratio(seq_total, total))});
+        if (helper == cascade::HelperKind::kRestructure) {
+          rep.add_metric(key + (jump ? "_restructured_jumpout_cycles"
+                                     : "_restructured_nojump_cycles"),
+                         static_cast<double>(total));
+        }
       }
     }
     table.print(std::cout);
     std::cout << "\n";
   }
+}
+
+}  // namespace
+
+int main() {
+  print_scale_banner();
+  const unsigned scale = workload_scale();
+  telemetry::BenchReporter rep("abl_jumpout");
+  run_and_report(rep, [&] { run_abl(scale, rep); });
   return 0;
 }

@@ -8,14 +8,11 @@
 #include "bench_util.hpp"
 
 namespace {
+
 using namespace casc;         // NOLINT(build/namespaces)
 using namespace casc::bench;  // NOLINT(build/namespaces)
-}  // namespace
 
-int main() {
-  print_scale_banner();
-  const unsigned scale = workload_scale();
-
+void run_abl(unsigned scale, telemetry::BenchReporter& rep) {
   for (const auto& base :
        {sim::MachineConfig::pentium_pro(2), sim::MachineConfig::r10000(2)}) {
     report::Table table({"Lookahead", "Helper coverage", "Speedup (restructured)"});
@@ -26,6 +23,7 @@ int main() {
     std::uint64_t seq_total = 0;
     for (const auto& nest : loops) seq_total += sim.run_sequential(nest).total_cycles;
 
+    const std::string key = machine_key(base);
     for (unsigned lookahead : {1u, 2u, 4u, 8u}) {
       cascade::CascadeOptions opt;
       opt.helper = cascade::HelperKind::kRestructure;
@@ -41,9 +39,20 @@ int main() {
       table.add_row({std::to_string(lookahead),
                      report::fmt_percent(ratio(done, target)),
                      report::fmt_double(ratio(seq_total, total))});
+      rep.add_metric(key + "_lookahead" + std::to_string(lookahead) + "_speedup",
+                     ratio(seq_total, total));
     }
     table.print(std::cout);
     std::cout << "\n";
   }
+}
+
+}  // namespace
+
+int main() {
+  print_scale_banner();
+  const unsigned scale = workload_scale();
+  telemetry::BenchReporter rep("abl_lookahead");
+  run_and_report(rep, [&] { run_abl(scale, rep); });
   return 0;
 }

@@ -9,14 +9,11 @@
 #include "casc/common/stats.hpp"
 
 namespace {
+
 using namespace casc;         // NOLINT(build/namespaces)
 using namespace casc::bench;  // NOLINT(build/namespaces)
-}  // namespace
 
-int main() {
-  print_scale_banner();
-  const unsigned scale = workload_scale();
-
+void run_abl(unsigned scale, telemetry::BenchReporter& rep) {
   common::RunningStats error_stats;
   for (const auto& cfg :
        {sim::MachineConfig::pentium_pro(4), sim::MachineConfig::r10000(8)}) {
@@ -52,5 +49,17 @@ int main() {
             << report::fmt_double(error_stats.mean()) << ", min "
             << report::fmt_double(error_stats.min()) << ", max "
             << report::fmt_double(error_stats.max()) << "\n";
+  rep.add_metric("pred_over_sim_mean", error_stats.mean());
+  rep.add_metric("pred_over_sim_min", error_stats.min());
+  rep.add_metric("pred_over_sim_max", error_stats.max());
+}
+
+}  // namespace
+
+int main() {
+  print_scale_banner();
+  const unsigned scale = workload_scale();
+  telemetry::BenchReporter rep("abl_model");
+  run_and_report(rep, [&] { run_abl(scale, rep); });
   return 0;
 }

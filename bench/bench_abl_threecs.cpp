@@ -10,14 +10,11 @@
 #include "casc/sim/three_cs.hpp"
 
 namespace {
+
 using namespace casc;         // NOLINT(build/namespaces)
 using namespace casc::bench;  // NOLINT(build/namespaces)
-}  // namespace
 
-int main() {
-  print_scale_banner();
-  const unsigned scale = workload_scale();
-
+void run_abl(unsigned scale, telemetry::BenchReporter& rep) {
   for (const auto& cfg :
        {sim::MachineConfig::pentium_pro(4), sim::MachineConfig::r10000(4)}) {
     report::Table table({"Loop", "Accesses", "Compulsory", "Capacity", "Conflict",
@@ -45,6 +42,17 @@ int main() {
     table.print(std::cout);
     std::cout << "overall conflict share of misses: "
               << report::fmt_percent(ratio(total_conflict, total_misses)) << "\n\n";
+    rep.add_metric(machine_key(cfg) + "_conflict_share",
+                   ratio(total_conflict, total_misses));
   }
+}
+
+}  // namespace
+
+int main() {
+  print_scale_banner();
+  const unsigned scale = workload_scale();
+  telemetry::BenchReporter rep("abl_threecs");
+  run_and_report(rep, [&] { run_abl(scale, rep); });
   return 0;
 }

@@ -8,13 +8,11 @@
 #include "casc/cascade/chunk_tuner.hpp"
 
 namespace {
+
 using namespace casc;         // NOLINT(build/namespaces)
 using namespace casc::bench;  // NOLINT(build/namespaces)
-}  // namespace
 
-int main() {
-  print_scale_banner();
-  const unsigned scale = workload_scale();
+void run_abl(unsigned scale, telemetry::BenchReporter& rep) {
   const auto nest = wave5::make_parmvr_loop(8, scale);
 
   report::Table table({"Transfer cycles", "Best chunk", "Best speedup",
@@ -32,8 +30,21 @@ int main() {
                    report::fmt_double(tune.best_speedup),
                    report::fmt_double(tune.points.front().speedup),
                    report::fmt_double(tune.points.back().speedup)});
+    rep.add_metric("transfer" + std::to_string(transfer) + "_best_chunk_bytes",
+                   static_cast<double>(tune.best_chunk_bytes));
+    rep.add_metric("transfer" + std::to_string(transfer) + "_best_speedup",
+                   tune.best_speedup);
   }
   table.print(std::cout);
   std::cout << "expectation: higher transfer cost pushes the optimum chunk larger\n";
+}
+
+}  // namespace
+
+int main() {
+  print_scale_banner();
+  const unsigned scale = workload_scale();
+  telemetry::BenchReporter rep("abl_transfer");
+  run_and_report(rep, [&] { run_abl(scale, rep); });
   return 0;
 }

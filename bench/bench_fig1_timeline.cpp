@@ -3,20 +3,23 @@
 // whole sequential section while the others idle.  Panel (b): cascaded
 // execution — the section cascades across three processors, each alternating
 // helper (h) and execution (E) phases, with control transfers (t) between.
+//
+// Besides the ASCII gantt, the simulated timeline is exported as a
+// Chrome/Perfetto trace (TRACE_fig1_timeline.json) — the interactive
+// counterpart of the figure.
+#include <cstdlib>
 #include <iostream>
 
 #include "bench_util.hpp"
 #include "casc/report/gantt.hpp"
+#include "casc/telemetry/timeline_export.hpp"
 
 namespace {
+
 using namespace casc;         // NOLINT(build/namespaces)
 using namespace casc::bench;  // NOLINT(build/namespaces)
-}  // namespace
 
-int main() {
-  print_scale_banner();
-  const unsigned scale = workload_scale();
-
+void run_fig1(unsigned scale, telemetry::BenchReporter& rep) {
   // Three processors, as drawn in the paper's Figure 1; a conflict-heavy
   // loop so the cascaded section is visibly shorter.
   sim::MachineConfig cfg = sim::MachineConfig::pentium_pro(3);
@@ -61,5 +64,33 @@ int main() {
             << " cycles;  speedup "
             << report::fmt_double(ratio(seq.total_cycles, casc_result.total_cycles))
             << "\n";
+
+  rep.add_metric("seq_cycles", static_cast<double>(seq.total_cycles));
+  rep.add_metric("cascaded_cycles", static_cast<double>(casc_result.total_cycles));
+  rep.add_metric("speedup", ratio(seq.total_cycles, casc_result.total_cycles));
+
+  telemetry::TraceWriter trace;
+  telemetry::append_sim_timeline(trace, casc_result.timeline, cfg.num_processors, 0,
+                                 "Figure 1 cascade (" + cfg.name + ")");
+  std::string dir;
+  if (const char* env = std::getenv("CASC_BENCH_DIR")) {
+    if (env[0] != '\0') dir = std::string(env) + "/";
+  }
+  const std::string trace_path = dir + "TRACE_fig1_timeline.json";
+  try {
+    trace.save(trace_path);
+    std::cerr << "trace json: " << trace_path << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "warning: " << e.what() << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_scale_banner();
+  const unsigned scale = workload_scale();
+  telemetry::BenchReporter rep("fig1_timeline");
+  run_and_report(rep, [&] { run_fig1(scale, rep); });
   return 0;
 }

@@ -13,7 +13,8 @@ using namespace casc;          // NOLINT(build/namespaces)
 using namespace casc::bench;   // NOLINT(build/namespaces)
 
 void run_machine(const char* label, sim::MachineConfig (*make)(unsigned),
-                 unsigned min_procs, unsigned max_procs, unsigned scale) {
+                 unsigned min_procs, unsigned max_procs, unsigned scale,
+                 telemetry::BenchReporter& rep, const std::string& key) {
   report::Table table({"Processors", "Prefetched speedup", "Restructured speedup"});
   table.set_title(std::string("Figure 2 (") + label +
                   "): overall PARMVR speedup, 64 KB chunks");
@@ -47,6 +48,12 @@ void run_machine(const char* label, sim::MachineConfig (*make)(unsigned),
             << report::fmt_percent(1.0 - ratio(pre_l2, seq_l2))
             << " restructured=" << report::fmt_percent(1.0 - ratio(restr_l2, seq_l2))
             << "\n\n";
+  rep.add_metric(key + "_speedup_prefetched",
+                 ratio(full_totals.seq, full_totals.prefetched));
+  rep.add_metric(key + "_speedup_restructured",
+                 ratio(full_totals.seq, full_totals.restructured));
+  rep.add_metric(key + "_l2_miss_reduction_restructured",
+                 1.0 - ratio(restr_l2, seq_l2));
 }
 
 }  // namespace
@@ -54,7 +61,11 @@ void run_machine(const char* label, sim::MachineConfig (*make)(unsigned),
 int main() {
   print_scale_banner();
   const unsigned scale = workload_scale();
-  run_machine("Pentium Pro", &sim::MachineConfig::pentium_pro, 2, 4, scale);
-  run_machine("R10000", &sim::MachineConfig::r10000, 2, 8, scale);
+  telemetry::BenchReporter rep("fig2_speedup");
+  run_and_report(rep, [&] {
+    run_machine("Pentium Pro", &sim::MachineConfig::pentium_pro, 2, 4, scale, rep,
+                "ppro");
+    run_machine("R10000", &sim::MachineConfig::r10000, 2, 8, scale, rep, "r10k");
+  });
   return 0;
 }

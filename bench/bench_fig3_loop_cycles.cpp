@@ -10,8 +10,13 @@ namespace {
 using namespace casc;         // NOLINT(build/namespaces)
 using namespace casc::bench;  // NOLINT(build/namespaces)
 
-void run_machine(const sim::MachineConfig& cfg, unsigned scale) {
+void run_machine(const sim::MachineConfig& cfg, unsigned scale,
+                 telemetry::BenchReporter& rep, const std::string& key) {
   const auto study = run_parmvr_study(cfg, 64 * 1024, scale);
+  const StudyTotals t = totals(study);
+  rep.add_metric(key + "_seq_cycles", static_cast<double>(t.seq));
+  rep.add_metric(key + "_prefetched_cycles", static_cast<double>(t.prefetched));
+  rep.add_metric(key + "_restructured_cycles", static_cast<double>(t.restructured));
   report::Table table({"Loop", "Original Sequential", "Prefetched", "Restructured",
                        "Speedup (restr)"});
   table.set_title("Figure 3 (" + cfg.name +
@@ -33,6 +38,7 @@ void run_machine(const sim::MachineConfig& cfg, unsigned scale) {
     best = std::max(best, sp);
     worst = std::min(worst, sp);
   }
+  rep.add_metric(key + "_best_loop_speedup", best);
   std::cout << "per-loop best-variant speedup range: " << report::fmt_double(worst)
             << " .. " << report::fmt_double(best) << "\n\n";
 }
@@ -42,7 +48,10 @@ void run_machine(const sim::MachineConfig& cfg, unsigned scale) {
 int main() {
   print_scale_banner();
   const unsigned scale = workload_scale();
-  run_machine(sim::MachineConfig::pentium_pro(4), scale);
-  run_machine(sim::MachineConfig::r10000(4), scale);
+  telemetry::BenchReporter rep("fig3_loop_cycles");
+  run_and_report(rep, [&] {
+    run_machine(sim::MachineConfig::pentium_pro(4), scale, rep, "ppro");
+    run_machine(sim::MachineConfig::r10000(4), scale, rep, "r10k");
+  });
   return 0;
 }

@@ -12,7 +12,8 @@ namespace {
 using namespace casc;         // NOLINT(build/namespaces)
 using namespace casc::bench;  // NOLINT(build/namespaces)
 
-void run_machine(const sim::MachineConfig& cfg, unsigned scale) {
+void run_machine(const sim::MachineConfig& cfg, unsigned scale,
+                 telemetry::BenchReporter& rep, const std::string& key) {
   const auto study = run_parmvr_study(cfg, 64 * 1024, scale);
   report::Table table({"Loop", "Original Sequential", "Prefetched", "Restructured",
                        "Prefetched (helper)", "Restructured (helper)"});
@@ -34,6 +35,9 @@ void run_machine(const sim::MachineConfig& cfg, unsigned scale) {
             << "; eliminated: prefetched=" << report::fmt_percent(1.0 - ratio(pre, seq))
             << " restructured=" << report::fmt_percent(1.0 - ratio(restr, seq))
             << "\n\n";
+  rep.add_metric(key + "_seq_l2_misses", static_cast<double>(seq));
+  rep.add_metric(key + "_prefetched_l2_misses", static_cast<double>(pre));
+  rep.add_metric(key + "_restructured_l2_misses", static_cast<double>(restr));
 }
 
 }  // namespace
@@ -41,21 +45,25 @@ void run_machine(const sim::MachineConfig& cfg, unsigned scale) {
 int main() {
   print_scale_banner();
   const unsigned scale = workload_scale();
-  const auto ppro = sim::MachineConfig::pentium_pro(4);
-  const auto r10k = sim::MachineConfig::r10000(4);
-  run_machine(ppro, scale);
-  run_machine(r10k, scale);
+  telemetry::BenchReporter rep("fig4_l2_misses");
+  run_and_report(rep, [&] {
+    const auto ppro = sim::MachineConfig::pentium_pro(4);
+    const auto r10k = sim::MachineConfig::r10000(4);
+    run_machine(ppro, scale, rep, "ppro");
+    run_machine(r10k, scale, rep, "r10k");
 
-  // Paper §3.3: the R10000 takes ~2.59x the PPro's sequential L2 misses.
-  std::uint64_t ppro_misses = 0, r10k_misses = 0;
-  for (const LoopStudy& s : run_parmvr_study(ppro, 64 * 1024, scale)) {
-    ppro_misses += s.seq.l2.misses;
-  }
-  for (const LoopStudy& s : run_parmvr_study(r10k, 64 * 1024, scale)) {
-    r10k_misses += s.seq.l2.misses;
-  }
-  std::cout << "sequential L2 miss ratio R10000/PentiumPro: "
-            << casc::report::fmt_double(ratio(r10k_misses, ppro_misses))
-            << " (paper: 2.59)\n";
+    // Paper §3.3: the R10000 takes ~2.59x the PPro's sequential L2 misses.
+    std::uint64_t ppro_misses = 0, r10k_misses = 0;
+    for (const LoopStudy& s : run_parmvr_study(ppro, 64 * 1024, scale)) {
+      ppro_misses += s.seq.l2.misses;
+    }
+    for (const LoopStudy& s : run_parmvr_study(r10k, 64 * 1024, scale)) {
+      r10k_misses += s.seq.l2.misses;
+    }
+    const double miss_ratio = ratio(r10k_misses, ppro_misses);
+    rep.add_metric("r10k_over_ppro_seq_l2_miss_ratio", miss_ratio);
+    std::cout << "sequential L2 miss ratio R10000/PentiumPro: "
+              << casc::report::fmt_double(miss_ratio) << " (paper: 2.59)\n";
+  });
   return 0;
 }

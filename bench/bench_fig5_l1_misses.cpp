@@ -9,21 +9,31 @@ namespace {
 using namespace casc;         // NOLINT(build/namespaces)
 using namespace casc::bench;  // NOLINT(build/namespaces)
 
-void run_machine(const sim::MachineConfig& cfg, unsigned scale) {
+void run_machine(const sim::MachineConfig& cfg, unsigned scale,
+                 telemetry::BenchReporter& rep, const std::string& key) {
   const auto study = run_parmvr_study(cfg, 64 * 1024, scale);
   report::Table table({"Loop", "Original Sequential", "Prefetched", "Restructured"});
   table.set_title("Figure 5 (" + cfg.name +
                   "): L1 data cache misses in PARMVR — 4 procs, 64 KB chunks");
   int loops_with_l1_eliminated = 0;
+  std::uint64_t seq = 0, pre = 0, restr = 0;
   for (const LoopStudy& s : study) {
     table.add_row({std::to_string(s.loop_id), report::fmt_count(s.seq.l1.misses),
                    report::fmt_count(s.prefetched.l1_exec.misses),
                    report::fmt_count(s.restructured.l1_exec.misses)});
+    seq += s.seq.l1.misses;
+    pre += s.prefetched.l1_exec.misses;
+    restr += s.restructured.l1_exec.misses;
     if (s.restructured.l1_exec.misses < s.seq.l1.misses / 2) {
       ++loops_with_l1_eliminated;
     }
   }
   table.print(std::cout);
+  rep.add_metric(key + "_seq_l1_misses", static_cast<double>(seq));
+  rep.add_metric(key + "_prefetched_l1_misses", static_cast<double>(pre));
+  rep.add_metric(key + "_restructured_l1_misses", static_cast<double>(restr));
+  rep.add_metric(key + "_loops_with_l1_majority_eliminated",
+                 static_cast<double>(loops_with_l1_eliminated));
   std::cout << "loops where restructuring removed the majority of L1 misses: "
             << loops_with_l1_eliminated << " of " << study.size() << "\n\n";
 }
@@ -33,7 +43,10 @@ void run_machine(const sim::MachineConfig& cfg, unsigned scale) {
 int main() {
   print_scale_banner();
   const unsigned scale = workload_scale();
-  run_machine(sim::MachineConfig::pentium_pro(4), scale);
-  run_machine(sim::MachineConfig::r10000(4), scale);
+  telemetry::BenchReporter rep("fig5_l1_misses");
+  run_and_report(rep, [&] {
+    run_machine(sim::MachineConfig::pentium_pro(4), scale, rep, "ppro");
+    run_machine(sim::MachineConfig::r10000(4), scale, rep, "r10k");
+  });
   return 0;
 }

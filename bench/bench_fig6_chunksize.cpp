@@ -10,7 +10,8 @@ namespace {
 using namespace casc;         // NOLINT(build/namespaces)
 using namespace casc::bench;  // NOLINT(build/namespaces)
 
-void run_machine(const sim::MachineConfig& cfg, unsigned scale) {
+void run_machine(const sim::MachineConfig& cfg, unsigned scale,
+                 telemetry::BenchReporter& rep, const std::string& key) {
   report::Table table({"KBytes per chunk", "Prefetched", "Restructured"});
   table.set_title("Figure 6 (" + cfg.name +
                   "): PARMVR speedup vs chunk size — 4 processors");
@@ -45,6 +46,8 @@ void run_machine(const sim::MachineConfig& cfg, unsigned scale) {
   std::cout << "best restructured chunk: " << report::fmt_bytes(best_bytes)
             << " (speedup " << report::fmt_double(best) << "); L1 size is "
             << report::fmt_bytes(cfg.l1.size_bytes) << "\n\n";
+  rep.add_metric(key + "_best_restructured_speedup", best);
+  rep.add_metric(key + "_best_chunk_bytes", static_cast<double>(best_bytes));
 }
 
 }  // namespace
@@ -52,7 +55,10 @@ void run_machine(const sim::MachineConfig& cfg, unsigned scale) {
 int main() {
   print_scale_banner();
   const unsigned scale = workload_scale();
-  run_machine(sim::MachineConfig::pentium_pro(4), scale);
-  run_machine(sim::MachineConfig::r10000(4), scale);
+  telemetry::BenchReporter rep("fig6_chunksize");
+  run_and_report(rep, [&] {
+    run_machine(sim::MachineConfig::pentium_pro(4), scale, rep, "ppro");
+    run_machine(sim::MachineConfig::r10000(4), scale, rep, "r10k");
+  });
   return 0;
 }

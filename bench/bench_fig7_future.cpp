@@ -18,7 +18,8 @@ using namespace casc;         // NOLINT(build/namespaces)
 using namespace casc::bench;  // NOLINT(build/namespaces)
 using synth::Density;
 
-void run_machine(const sim::MachineConfig& base, unsigned scale) {
+void run_machine(const sim::MachineConfig& base, unsigned scale,
+                 telemetry::BenchReporter& rep, const std::string& key) {
   sim::MachineConfig cfg = base;
   cfg.num_processors = 1;  // the paper's single-processor alternation model
   // §3.4's methodology is strictly additive: "overall execution time is
@@ -64,6 +65,7 @@ void run_machine(const sim::MachineConfig& base, unsigned scale) {
     table.add_row(std::move(row));
   }
   table.print(std::cout);
+  rep.add_metric(key + "_peak_sparse_speedup", peak_sparse);
   std::cout << "peak sparse speedup: " << report::fmt_double(peak_sparse) << "\n\n";
 }
 
@@ -72,7 +74,10 @@ void run_machine(const sim::MachineConfig& base, unsigned scale) {
 int main() {
   print_scale_banner();
   const unsigned scale = workload_scale();
-  run_machine(sim::MachineConfig::pentium_pro(1), scale);
-  run_machine(sim::MachineConfig::r10000(1), scale);
+  telemetry::BenchReporter rep("fig7_future");
+  run_and_report(rep, [&] {
+    run_machine(sim::MachineConfig::pentium_pro(1), scale, rep, "ppro");
+    run_machine(sim::MachineConfig::r10000(1), scale, rep, "r10k");
+  });
   return 0;
 }

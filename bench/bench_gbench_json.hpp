@@ -1,0 +1,83 @@
+// Adapter routing google-benchmark results into casc::telemetry::BenchReporter,
+// so the real-runtime microbenchmarks emit the same schema-versioned
+// BENCH_<name>.json as the simulator figure benches.
+//
+// Kept out of bench_util.hpp so the simulator benches don't pick up a
+// google-benchmark dependency.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "casc/common/stopwatch.hpp"
+#include "casc/telemetry/bench_reporter.hpp"
+#include "casc/telemetry/perf_counters.hpp"
+
+namespace casc::bench {
+
+/// Display reporter that prints the normal console table AND records each
+/// benchmark's per-iteration real/cpu time (ns) as BenchReporter metrics.
+/// Used as the *display* reporter: google-benchmark refuses a custom file
+/// reporter unless --benchmark_out is also given.
+class GbenchCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit GbenchCaptureReporter(telemetry::BenchReporter& rep) : rep_(rep) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      rep_.add_metric(run.benchmark_name() + ":real_ns_per_iter",
+                      run.real_accumulated_time / iters * 1e9);
+      rep_.add_metric(run.benchmark_name() + ":cpu_ns_per_iter",
+                      run.cpu_accumulated_time / iters * 1e9);
+      ++captured_;
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] std::size_t captured() const { return captured_; }
+
+ private:
+  telemetry::BenchReporter& rep_;
+  std::size_t captured_ = 0;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body: runs the registered
+/// benchmarks with console output, wraps the whole run in one wall-clock
+/// sample and one hardware-counter group, and writes BENCH_<name>.json.
+inline int run_gbench_and_report(const std::string& name, int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  telemetry::BenchReporter rep(name);
+  rep.set_param("harness", "google-benchmark");
+  GbenchCaptureReporter capture(rep);
+
+  telemetry::PerfCounters counters;
+  counters.start();
+  common::Stopwatch sw;
+  benchmark::RunSpecifiedBenchmarks(&capture);
+  rep.add_wall_ns(sw.elapsed_ns());
+  counters.stop();
+  rep.set_counters(counters.read(), counters.available(),
+                   counters.unavailable_reason());
+  rep.set_param("benchmarks_captured",
+                static_cast<std::uint64_t>(capture.captured()));
+
+  const std::string path = rep.write_file();
+  if (path.empty()) {
+    std::cerr << "warning: could not write " << rep.output_path() << "\n";
+  } else {
+    std::cerr << "bench json: " << path << "\n";
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace casc::bench

@@ -9,6 +9,7 @@
 #include <numeric>
 #include <vector>
 
+#include "bench_gbench_json.hpp"
 #include "casc/rt/executor.hpp"
 #include "casc/rt/helpers.hpp"
 
@@ -105,4 +106,6 @@ BENCHMARK(BM_CascadedGatherRestructure)->Arg(2)->Arg(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return casc::bench::run_gbench_and_report("rt_runtime", argc, argv);
+}

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "bench_gbench_json.hpp"
 #include "casc/rt/executor.hpp"
 #include "casc/rt/helpers.hpp"
 #include "casc/rt/seq_buffer.hpp"
@@ -93,4 +94,6 @@ BENCHMARK(BM_PrefetchSpan)->Arg(8192)->Arg(262144);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return casc::bench::run_gbench_and_report("rt_transfer", argc, argv);
+}

@@ -3,10 +3,13 @@
 // the table documents exactly what every other bench runs on.
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "casc/report/table.hpp"
 #include "casc/sim/machine.hpp"
 
-int main() {
+namespace {
+
+void run_table1(casc::telemetry::BenchReporter& rep) {
   using casc::report::fmt_bytes;
   using casc::sim::MachineConfig;
 
@@ -36,5 +39,19 @@ int main() {
                    cfg.compiler_prefetch ? "yes (MIPSpro model)" : "no"});
   }
   extra.print(std::cout);
+
+  const MachineConfig ppro = MachineConfig::pentium_pro();
+  const MachineConfig r10k = MachineConfig::r10000();
+  rep.add_metric("ppro_memory_latency", static_cast<double>(ppro.memory_latency));
+  rep.add_metric("r10k_memory_latency", static_cast<double>(r10k.memory_latency));
+  rep.add_metric("ppro_l2_bytes", static_cast<double>(ppro.l2.size_bytes));
+  rep.add_metric("r10k_l2_bytes", static_cast<double>(r10k.l2.size_bytes));
+}
+
+}  // namespace
+
+int main() {
+  casc::telemetry::BenchReporter rep("table1");
+  casc::bench::run_and_report(rep, [&] { run_table1(rep); });
   return 0;
 }

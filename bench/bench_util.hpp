@@ -6,27 +6,59 @@
 // shrink with the footprints.
 #pragma once
 
+#include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "casc/cascade/engine.hpp"
 #include "casc/cascade/options.hpp"
+#include "casc/common/stopwatch.hpp"
 #include "casc/report/table.hpp"
 #include "casc/sim/machine.hpp"
+#include "casc/telemetry/bench_reporter.hpp"
+#include "casc/telemetry/perf_counters.hpp"
 #include "casc/wave5/parmvr.hpp"
 
 namespace casc::bench {
 
 /// Workload scale divisor from CASC_SCALE (>= 1; default 1 = full scale).
+/// Malformed, non-positive, or out-of-range values are rejected with a
+/// warning to stderr and fall back to full scale — a typo in CASC_SCALE must
+/// not silently run a 16x-smaller (or full-size) problem than intended.
 inline unsigned workload_scale() {
-  if (const char* env = std::getenv("CASC_SCALE")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<unsigned>(v);
+  const char* env = std::getenv("CASC_SCALE");
+  if (env == nullptr || env[0] == '\0') return 1;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (errno == ERANGE || end == env || *end != '\0' || v <= 0 || v > INT_MAX) {
+    std::cerr << "warning: ignoring invalid CASC_SCALE='" << env
+              << "' (expected a positive integer); running at full scale\n";
+    return 1;
   }
-  return 1;
+  return static_cast<unsigned>(v);
+}
+
+/// Measurement repetitions from CASC_BENCH_REPS (>= 1; default 1).  Invalid
+/// values warn and fall back, mirroring workload_scale().
+inline unsigned bench_repetitions() {
+  const char* env = std::getenv("CASC_BENCH_REPS");
+  if (env == nullptr || env[0] == '\0') return 1;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (errno == ERANGE || end == env || *end != '\0' || v <= 0 || v > 10000) {
+    std::cerr << "warning: ignoring invalid CASC_BENCH_REPS='" << env
+              << "' (expected a positive integer); running once\n";
+    return 1;
+  }
+  return static_cast<unsigned>(v);
 }
 
 inline void print_scale_banner(std::ostream& os = std::cout) {
@@ -86,6 +118,49 @@ inline StudyTotals totals(const std::vector<LoopStudy>& study) {
 
 inline double ratio(std::uint64_t num, std::uint64_t den) {
   return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+/// Short metric-key prefix for a machine config ("ppro", "r10k", ...).
+inline std::string machine_key(const sim::MachineConfig& cfg) {
+  if (cfg.name == "PentiumPro") return "ppro";
+  if (cfg.name == "R10000") return "r10k";
+  std::string key;
+  for (char c : cfg.name) {
+    if (c == ' ' || c == '-') c = '_';
+    key.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return key;
+}
+
+/// Runs `payload` CASC_BENCH_REPS times under a wall-clock stopwatch and one
+/// hardware-counter group (counters cover all repetitions), then writes
+/// BENCH_<name>.json next to the binary (or into $CASC_BENCH_DIR).
+///
+/// The payload is the bench's whole study — including its human-readable
+/// table printing, which therefore repeats when CASC_BENCH_REPS > 1.  The
+/// payload should (re-)record its headline numbers via rep.add_metric(); the
+/// simulator is deterministic, so re-recording the same key each repetition
+/// is idempotent.
+template <typename Payload>
+inline void run_and_report(telemetry::BenchReporter& rep, Payload&& payload) {
+  const unsigned reps = bench_repetitions();
+  rep.set_param("scale", static_cast<std::uint64_t>(workload_scale()));
+  telemetry::PerfCounters counters;
+  counters.start();
+  for (unsigned r = 0; r < reps; ++r) {
+    common::Stopwatch sw;
+    payload();
+    rep.add_wall_ns(sw.elapsed_ns());
+  }
+  counters.stop();
+  rep.set_counters(counters.read(), counters.available(),
+                   counters.unavailable_reason());
+  const std::string path = rep.write_file();
+  if (path.empty()) {
+    std::cerr << "warning: could not write " << rep.output_path() << "\n";
+  } else {
+    std::cerr << "bench json: " << path << "\n";
+  }
 }
 
 }  // namespace casc::bench

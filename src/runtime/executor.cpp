@@ -31,6 +31,7 @@ void try_pin_to_cpu(unsigned cpu) {
 CascadeExecutor::CascadeExecutor(ExecutorConfig config) {
   num_threads_ = config.num_threads != 0 ? config.num_threads
                                          : std::max(1u, std::thread::hardware_concurrency());
+  log_ = config.event_log;
   watchdog_budget_ = config.watchdog;
   std::vector<common::CacheAligned<WorkerState>> slots(num_threads_);
   worker_state_ = std::move(slots);
@@ -96,6 +97,9 @@ CascadeStateDump CascadeExecutor::snapshot() const {
     w.iters_completed = ws.iters_completed.load(std::memory_order_relaxed);
     dump.workers.push_back(w);
   }
+  if (log_ != nullptr) {
+    dump.recent_events = log_->recent(CascadeStateDump::kRecentEvents);
+  }
   return dump;
 }
 
@@ -111,6 +115,9 @@ void CascadeExecutor::fire_watchdog() {
     // state (who holds the token, who is spinning) rather than the unwind.
     watchdog_dump_ = snapshot();
     watchdog_dump_.watchdog_expired = true;
+    // Attributed to worker 0's ring: the firing thread has no worker id here
+    // (it may be the done-waiter); the chunk payload is the stuck token.
+    note(0, telemetry::EventKind::kWatchdog, token_.current());
     token_.abort();
   }
 }
@@ -153,14 +160,17 @@ CascadeExecutor::WorkerOutcome CascadeExecutor::participate(unsigned id,
       // A helper that starts after the signal would only steal execution
       // time; skip it entirely in that case (degenerate jump-out).
       if (!watch.signalled()) {
+        note(id, telemetry::EventKind::kHelperBegin, c);
         bool completed = false;
         try {
           completed = (*job.helper)(begin, end, watch);
         } catch (...) {
+          note(id, telemetry::EventKind::kAbort, c);
           first_error_->capture(c);
           token_.abort();
           break;
         }
+        note(id, telemetry::EventKind::kHelperEnd, c);
         (completed ? outcome.helpers_completed : outcome.helpers_jumped_out)++;
       } else {
         ++outcome.helpers_jumped_out;
@@ -169,23 +179,28 @@ CascadeExecutor::WorkerOutcome CascadeExecutor::participate(unsigned id,
     ws.phase.store(static_cast<std::uint8_t>(WorkerPhase::kAwaiting),
                    std::memory_order_relaxed);
     if (!await_turn(c)) break;
+    note(id, telemetry::EventKind::kTokenAcquire, c);
     ws.phase.store(static_cast<std::uint8_t>(WorkerPhase::kExecuting),
                    std::memory_order_relaxed);
+    note(id, telemetry::EventKind::kExecBegin, c);
     try {
       (*job.exec)(begin, end);
     } catch (...) {
       // The thrower holds the token and will never pass it; poison the
       // cascade so every await/watch unwinds instead of spinning forever.
+      note(id, telemetry::EventKind::kAbort, c);
       first_error_->capture(c);
       token_.abort();
       break;
     }
+    note(id, telemetry::EventKind::kExecEnd, c);
     ++outcome.chunks_executed;
     ws.iters_completed.fetch_add(end - begin, std::memory_order_relaxed);
     // An abort that arrived mid-execution means the run has failed; don't
     // extend the chain (a successor may already have unwound past its turn).
     if (token_.aborted()) break;
     token_.pass(c);
+    note(id, telemetry::EventKind::kTokenPass, c);
   }
   ws.phase.store(static_cast<std::uint8_t>(WorkerPhase::kIdle),
                  std::memory_order_relaxed);
@@ -240,6 +255,7 @@ void CascadeExecutor::run(std::uint64_t total_iters, std::uint64_t iters_per_chu
     pooled_outcome_ = WorkerOutcome{};
     ++epoch_;
   }
+  note(0, telemetry::EventKind::kRunBegin, job.num_chunks);
   cv_.notify_all();
 
   // The calling thread is worker 0; it executes chunk 0 without waiting.
@@ -279,6 +295,7 @@ void CascadeExecutor::run(std::uint64_t total_iters, std::uint64_t iters_per_chu
 
   // All workers have quiesced: safe to rethrow / report.  The pool is back
   // in its idle wait, so the executor is immediately reusable.
+  note(0, telemetry::EventKind::kRunEnd, stats_.chunks_executed);
   if (first_error_->failed()) first_error_->rethrow();
   if (watchdog_fired_.load(std::memory_order_acquire)) {
     throw WatchdogExpired("cascade watchdog expired after " +

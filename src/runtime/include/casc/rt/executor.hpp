@@ -37,6 +37,7 @@
 #include "casc/common/first_error.hpp"
 #include "casc/rt/state_dump.hpp"
 #include "casc/rt/token.hpp"
+#include "casc/telemetry/event_log.hpp"
 
 namespace casc::rt {
 
@@ -62,6 +63,12 @@ struct ExecutorConfig {
   /// Per-run deadline; once exceeded the cascade is aborted and run() throws
   /// WatchdogExpired.  Zero (the default) disables the watchdog.
   std::chrono::milliseconds watchdog{0};
+  /// Optional phase-event timeline (non-owning; must outlive the executor
+  /// and have at least num_threads worker rings).  Every worker records
+  /// token/helper/exec/abort events into its ring; null (the default) turns
+  /// the instrumentation into a single never-taken branch on the hot path.
+  /// The events also surface in snapshot()/render() failure dumps.
+  telemetry::EventLog* event_log = nullptr;
 };
 
 /// Statistics from the most recent run() — including a failed one.
@@ -155,12 +162,17 @@ class CascadeExecutor {
 
   /// Waits for chunk `c`'s turn; returns false on abort or watchdog expiry.
   bool await_turn(std::uint64_t c);
+  /// Telemetry hook: one predictable branch when no log is attached.
+  void note(unsigned id, telemetry::EventKind kind, std::uint64_t chunk) noexcept {
+    if (log_ != nullptr) log_->record(id, kind, chunk);
+  }
   /// First caller captures the state dump and poisons the token.
   void fire_watchdog();
   /// True iff the per-run deadline is enabled and has passed.
   [[nodiscard]] bool past_deadline() const;
 
   unsigned num_threads_;
+  telemetry::EventLog* log_ = nullptr;  ///< ExecutorConfig::event_log
   std::vector<std::thread> pool_;
 
   // Job hand-off: guarded by mutex_/cv_; workers wake on epoch_ changes.

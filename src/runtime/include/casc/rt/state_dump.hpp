@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "casc/telemetry/event_ring.hpp"
+
 namespace casc::rt {
 
 /// What a worker was last observed doing.
@@ -35,6 +37,9 @@ struct WorkerSnapshot {
 
 /// Point-in-time snapshot of one executor's cascade state.
 struct CascadeStateDump {
+  /// How many trailing telemetry events snapshot() keeps per dump.
+  static constexpr std::size_t kRecentEvents = 32;
+
   bool run_active = false;        ///< a run() was in flight when captured
   bool aborted = false;           ///< the token was poisoned
   bool watchdog_expired = false;  ///< the abort came from the watchdog
@@ -42,6 +47,10 @@ struct CascadeStateDump {
   std::uint64_t num_chunks = 0;   ///< chunk count of the current/last run
   std::uint64_t total_iters = 0;  ///< iteration count of the current/last run
   std::vector<WorkerSnapshot> workers;
+  /// The newest telemetry events (time-sorted) when the executor had an
+  /// EventLog attached — what each worker was doing just before the dump.
+  /// Empty when telemetry is off.
+  std::vector<telemetry::Event> recent_events;
 };
 
 /// Human-readable rendering (multi-line, trailing newline).

@@ -66,6 +66,13 @@ std::string render(const CascadeStateDump& dump) {
     os << "  worker " << w.id << ": " << to_string(w.phase) << " (chunk "
        << w.chunk << ", " << w.iters_completed << " iters completed)\n";
   }
+  if (!dump.recent_events.empty()) {
+    os << "  recent events (newest last):\n";
+    for (const telemetry::Event& e : dump.recent_events) {
+      os << "    +" << e.ns / 1000 << "us worker " << e.worker << " "
+         << telemetry::to_string(e.kind) << " chunk " << e.chunk << "\n";
+    }
+  }
   return os.str();
 }
 

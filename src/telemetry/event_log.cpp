@@ -1,0 +1,101 @@
+#include "casc/telemetry/event_log.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace casc::telemetry {
+
+namespace {
+
+std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kRunBegin:
+      return "run_begin";
+    case EventKind::kRunEnd:
+      return "run_end";
+    case EventKind::kHelperBegin:
+      return "helper_begin";
+    case EventKind::kHelperEnd:
+      return "helper_end";
+    case EventKind::kTokenAcquire:
+      return "token_acquire";
+    case EventKind::kExecBegin:
+      return "exec_begin";
+    case EventKind::kExecEnd:
+      return "exec_end";
+    case EventKind::kTokenPass:
+      return "token_pass";
+    case EventKind::kAbort:
+      return "abort";
+    case EventKind::kWatchdog:
+      return "watchdog";
+  }
+  return "?";
+}
+
+EventLog::EventLog(unsigned num_workers, std::size_t events_per_worker) {
+  CASC_CHECK(num_workers > 0, "EventLog needs at least one worker");
+  rings_.reserve(num_workers);
+  for (unsigned i = 0; i < num_workers; ++i) {
+    rings_.push_back(std::make_unique<EventRing>(events_per_worker));
+  }
+  epoch_ns_ = steady_ns();
+}
+
+void EventLog::record(unsigned worker, EventKind kind, std::uint64_t chunk) noexcept {
+  // Clamp the ring index (never write out of bounds) but record the caller's
+  // worker id, so a misconfigured producer is visible in the timeline.
+  const unsigned w = std::min<unsigned>(worker, num_workers() - 1);
+  rings_[w]->append(now_ns(), kind, static_cast<std::uint16_t>(worker), chunk);
+}
+
+void EventLog::rebase_epoch() noexcept { epoch_ns_ = steady_ns(); }
+
+std::size_t EventLog::events_per_worker() const noexcept {
+  return rings_.front()->capacity();
+}
+
+std::uint64_t EventLog::now_ns() const noexcept {
+  const std::uint64_t now = steady_ns();
+  return now >= epoch_ns_ ? now - epoch_ns_ : 0;
+}
+
+std::vector<Event> EventLog::snapshot() const {
+  std::vector<Event> all;
+  for (const auto& ring : rings_) {
+    std::vector<Event> events = ring->snapshot();
+    all.insert(all.end(), events.begin(), events.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Event& a, const Event& b) { return a.ns < b.ns; });
+  return all;
+}
+
+std::vector<Event> EventLog::recent(std::size_t n) const {
+  std::vector<Event> all = snapshot();
+  if (all.size() > n) all.erase(all.begin(), all.end() - static_cast<std::ptrdiff_t>(n));
+  return all;
+}
+
+std::uint64_t EventLog::dropped() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->dropped();
+  return total;
+}
+
+std::uint64_t EventLog::recorded() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->appended();
+  return total;
+}
+
+}  // namespace casc::telemetry

@@ -1,0 +1,87 @@
+// Machine-readable benchmark output: schema-versioned BENCH_<name>.json.
+//
+// Every bench binary routes its results through a BenchReporter so the
+// project accumulates a perf trajectory that tools (tools/bench_diff.py, the
+// CI bench-smoke job) can diff instead of eyeballing ASCII tables:
+//
+//   {
+//     "schema": "casc-bench-v1",
+//     "name": "fig3_loop_cycles",
+//     "params":  { ... string/number knobs: scale, machine, chunk ... },
+//     "repetitions": 3,
+//     "wall_ns": { "median": ..., "min": ..., "max": ...,
+//                  "mean": ..., "stddev": ... },
+//     "counters_available": true,
+//     "counters": { "cycles": { "value": ..., "scaling": ... }, ... },
+//     "metrics":  { ... deterministic headline numbers (simulated cycles,
+//                   speedups, miss counts) keyed for bench_diff ... }
+//   }
+//
+// wall_ns and counters are host-dependent; metrics from the simulator are
+// bit-deterministic, which is what regression gating keys on.  Counters
+// cover all repetitions (one start/stop around the measurement loop) and
+// come back invalid/absent on hosts where perf_event_open is unavailable —
+// the schema keeps the keys so consumers need no special cases.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "casc/telemetry/perf_counters.hpp"
+
+namespace casc::telemetry {
+
+class BenchReporter {
+ public:
+  static constexpr const char* kSchema = "casc-bench-v1";
+
+  /// `name` lands in the filename (BENCH_<name>.json): keep it
+  /// [A-Za-z0-9_-].
+  explicit BenchReporter(std::string name);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  // Params document how the bench was configured.  Re-setting a key
+  // overwrites (a repeated payload records identical params each time).
+  void set_param(const std::string& key, const std::string& value);
+  void set_param(const std::string& key, std::uint64_t value);
+  void set_param(const std::string& key, double value);
+
+  /// Deterministic headline results; key on stable names (bench_diff
+  /// compares these between runs).  Re-setting a key overwrites.
+  void add_metric(const std::string& key, double value);
+
+  /// One wall-clock repetition sample.
+  void add_wall_ns(std::int64_t ns);
+
+  /// Records a counter sample (typically PerfCounters::read() after stop()).
+  void set_counters(const CounterSample& sample, bool available,
+                    const std::string& unavailable_reason);
+
+  [[nodiscard]] std::size_t repetitions() const noexcept { return wall_ns_.size(); }
+
+  /// Emits the JSON document.
+  void write(std::ostream& os) const;
+
+  /// "BENCH_<name>.json", under $CASC_BENCH_DIR when set (else the CWD).
+  [[nodiscard]] std::string output_path() const;
+
+  /// write() to output_path().  Returns the path written, or an empty string
+  /// on I/O failure (benches warn and carry on; a read-only CWD must not
+  /// fail a perf run).
+  std::string write_file() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> params_;  // pre-rendered JSON
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::int64_t> wall_ns_;
+  bool counters_available_ = false;
+  std::string counters_unavailable_reason_ = "not collected";
+  CounterSample counters_;
+};
+
+}  // namespace casc::telemetry

@@ -1,0 +1,72 @@
+// Per-worker event timelines for a cascade run.
+//
+// An EventLog owns one EventRing per worker (each a separate allocation, so
+// worker i's appends never false-share with worker j's ring header) plus a
+// common steady-clock epoch, so events from different workers order on one
+// nanosecond axis.  The
+// runtime records through a raw pointer — a null pointer means telemetry is
+// off and the instrumentation reduces to a single predictable branch.
+//
+// Reading (snapshot / recent / export) is safe at any time, including while
+// a run is in flight: rings tolerate concurrent readers (see event_ring.hpp)
+// and readers merge-sort by timestamp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "casc/telemetry/event_ring.hpp"
+
+namespace casc::telemetry {
+
+class EventLog {
+ public:
+  /// `events_per_worker` must be a power of two (>= 2).
+  explicit EventLog(unsigned num_workers, std::size_t events_per_worker = 4096);
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Records one event on `worker`'s ring, timestamped now.  Wait-free.
+  /// `worker` indices beyond num_workers() are clamped onto the last ring
+  /// (defensive: a misconfigured caller must not write out of bounds).
+  void record(unsigned worker, EventKind kind, std::uint64_t chunk) noexcept;
+
+  /// Rebases the epoch to now and is otherwise a no-op: existing events keep
+  /// their old (now possibly negative-looking) offsets, so call it between
+  /// runs, not during one.
+  void rebase_epoch() noexcept;
+
+  [[nodiscard]] unsigned num_workers() const noexcept {
+    return static_cast<unsigned>(rings_.size());
+  }
+  [[nodiscard]] std::size_t events_per_worker() const noexcept;
+
+  /// Nanoseconds since the epoch (the log's clock; exposed for callers that
+  /// want to timestamp non-worker annotations consistently).
+  [[nodiscard]] std::uint64_t now_ns() const noexcept;
+
+  /// All retained events across all workers, sorted by timestamp.
+  [[nodiscard]] std::vector<Event> snapshot() const;
+
+  /// The `n` newest events across all workers, sorted by timestamp.
+  [[nodiscard]] std::vector<Event> recent(std::size_t n) const;
+
+  /// Total events overwritten (summed over rings).
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+  /// Total events ever recorded (summed over rings).
+  [[nodiscard]] std::uint64_t recorded() const noexcept;
+
+  /// Direct ring access (tests, exporters).
+  [[nodiscard]] const EventRing& ring(unsigned worker) const { return *rings_[worker]; }
+
+ private:
+  // unique_ptr elements: EventRing is neither copyable nor movable, and the
+  // per-ring allocations isolate each ring's write cursor on its own lines.
+  std::vector<std::unique_ptr<EventRing>> rings_;
+  std::uint64_t epoch_ns_ = 0;  ///< steady-clock ns at construction/rebase
+};
+
+}  // namespace casc::telemetry

@@ -1,0 +1,170 @@
+// Lock-free fixed-capacity event ring for per-worker phase timelines.
+//
+// The cascade runtime is latency-sensitive: a worker records a phase event
+// (token acquire, exec begin, helper end, ...) on every chunk, and the hot
+// path must never block, allocate, or contend on a shared lock.  EventRing is
+// a power-of-two circular buffer of cache-line-friendly slots written with
+// plain atomics:
+//
+//   * append() claims a position with one fetch_add, writes the payload, and
+//     publishes it with a release store of the slot's ticket — wait-free.
+//   * The ring never refuses a write: once full it overwrites the oldest
+//     event (drop-oldest) and dropped() reports how many were overwritten.
+//   * snapshot() can run at any time, even while writers are active (the
+//     watchdog and state-dump paths read rings of live workers).  It
+//     validates each slot's ticket before and after reading the payload and
+//     skips slots that were overwritten mid-read, so it returns only events
+//     that were completely published.  All slot fields are atomics — the
+//     ring is ThreadSanitizer-clean by construction, with no "benign race"
+//     carve-outs.
+//
+// The intended topology is one ring per worker (single writer), which makes
+// snapshots exact.  Multiple concurrent writers on one ring are memory-safe
+// and TSan-clean too; under a same-slot wrap race the nanosecond field may
+// pair with a neighbouring generation's payload, which a diagnostic consumer
+// tolerates (the packed payload word itself is always internally consistent
+// because it is a single atomic).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "casc/common/align.hpp"
+#include "casc/common/check.hpp"
+
+namespace casc::telemetry {
+
+/// Phase events emitted by the cascade runtime (and anything else that wants
+/// a timeline).  Values are stable: they appear in serialized traces.
+enum class EventKind : std::uint8_t {
+  kRunBegin = 0,      ///< run() accepted a job (worker 0)
+  kRunEnd = 1,        ///< run() finished, successfully or not (worker 0)
+  kHelperBegin = 2,   ///< helper phase entered for `chunk`
+  kHelperEnd = 3,     ///< helper phase left (completed or jumped out)
+  kTokenAcquire = 4,  ///< await() returned with the token for `chunk`
+  kExecBegin = 5,     ///< execution phase entered for `chunk`
+  kExecEnd = 6,       ///< execution phase completed for `chunk`
+  kTokenPass = 7,     ///< token released to `chunk + 1`
+  kAbort = 8,         ///< this worker poisoned the cascade (chunk = culprit)
+  kWatchdog = 9,      ///< the watchdog fired (chunk = token at expiry)
+};
+
+[[nodiscard]] const char* to_string(EventKind kind) noexcept;
+
+/// One recorded event.  `ns` is nanoseconds since the owning log's epoch.
+struct Event {
+  std::uint64_t ns = 0;
+  std::uint64_t chunk = 0;
+  EventKind kind = EventKind::kRunBegin;
+  std::uint16_t worker = 0;
+};
+
+namespace detail {
+
+/// Packs kind/worker/chunk into one word so the payload publishes atomically.
+/// Chunk indices are truncated to 40 bits (~10^12 chunks — far beyond any
+/// real run; RunStats holds the authoritative 64-bit counts).
+constexpr std::uint64_t kChunkBits = 40;
+constexpr std::uint64_t kChunkMask = (std::uint64_t{1} << kChunkBits) - 1;
+
+constexpr std::uint64_t pack_event(EventKind kind, std::uint16_t worker,
+                                   std::uint64_t chunk) noexcept {
+  return (static_cast<std::uint64_t>(kind) << 56) |
+         (static_cast<std::uint64_t>(worker) << kChunkBits) | (chunk & kChunkMask);
+}
+
+constexpr EventKind packed_kind(std::uint64_t packed) noexcept {
+  return static_cast<EventKind>(packed >> 56);
+}
+
+constexpr std::uint16_t packed_worker(std::uint64_t packed) noexcept {
+  return static_cast<std::uint16_t>((packed >> kChunkBits) & 0xFFFF);
+}
+
+constexpr std::uint64_t packed_chunk(std::uint64_t packed) noexcept {
+  return packed & kChunkMask;
+}
+
+}  // namespace detail
+
+/// Fixed-capacity drop-oldest ring; see the header comment for guarantees.
+class EventRing {
+ public:
+  /// `capacity` must be a power of two (>= 2).
+  explicit EventRing(std::size_t capacity = 4096) : slots_(capacity) {
+    CASC_CHECK(common::is_pow2(capacity) && capacity >= 2,
+               "EventRing capacity must be a power of two >= 2");
+    mask_ = capacity - 1;
+  }
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  /// Wait-free append; never fails (overwrites the oldest event when full).
+  void append(std::uint64_t ns, EventKind kind, std::uint16_t worker,
+              std::uint64_t chunk) noexcept {
+    const std::uint64_t pos = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots_[pos & mask_];
+    s.ns.store(ns, std::memory_order_relaxed);
+    s.packed.store(detail::pack_event(kind, worker, chunk), std::memory_order_relaxed);
+    // Publishing the ticket last (release) lets snapshot() know the payload
+    // stores above are complete once it observes pos + 1.
+    s.ticket.store(pos + 1, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Total events ever appended.
+  [[nodiscard]] std::uint64_t appended() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  /// Events lost to drop-oldest overwrites.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    const std::uint64_t n = appended();
+    return n > capacity() ? n - capacity() : 0;
+  }
+
+  /// Copies the (up to `capacity()`) newest fully-published events, oldest
+  /// first.  Safe concurrently with writers; events overwritten mid-read are
+  /// skipped rather than returned torn.
+  [[nodiscard]] std::vector<Event> snapshot() const {
+    std::vector<Event> out;
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t begin = head > capacity() ? head - capacity() : 0;
+    out.reserve(static_cast<std::size_t>(head - begin));
+    for (std::uint64_t pos = begin; pos < head; ++pos) {
+      const Slot& s = slots_[pos & mask_];
+      if (s.ticket.load(std::memory_order_acquire) != pos + 1) continue;
+      Event e;
+      e.ns = s.ns.load(std::memory_order_relaxed);
+      const std::uint64_t packed = s.packed.load(std::memory_order_relaxed);
+      // Revalidate: if a wrapping writer claimed this slot while we were
+      // reading, the payload may belong to the newer generation — drop it.
+      if (s.ticket.load(std::memory_order_acquire) != pos + 1) continue;
+      e.kind = detail::packed_kind(packed);
+      e.worker = detail::packed_worker(packed);
+      e.chunk = detail::packed_chunk(packed);
+      out.push_back(e);
+    }
+    return out;
+  }
+
+ private:
+  /// Slot fields are individually atomic so concurrent snapshot() is
+  /// race-free; CacheAligned is deliberately NOT used here — a ring is
+  /// single-writer, so padding every slot to 64 bytes would only waste the
+  /// writer's own cache.
+  struct Slot {
+    std::atomic<std::uint64_t> ticket{0};  ///< pos + 1 once published
+    std::atomic<std::uint64_t> ns{0};
+    std::atomic<std::uint64_t> packed{0};
+  };
+
+  std::vector<Slot> slots_;
+  std::uint64_t mask_ = 0;
+  alignas(common::kCacheLineSize) std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace casc::telemetry

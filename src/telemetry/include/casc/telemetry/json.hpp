@@ -1,0 +1,68 @@
+// Minimal streaming JSON writer — no external dependencies, deterministic
+// output (insertion order, fixed float formatting), correct string escaping.
+// Used by the trace-event and bench exporters; deliberately write-only (the
+// repo never needs to parse arbitrary JSON; tests carry their own tiny
+// validating reader).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace casc::telemetry {
+
+/// Emits one JSON document to an ostream.  Usage:
+///
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.key("name"); w.value("fig3");
+///   w.key("reps"); w.value(std::uint64_t{5});
+///   w.end_object();
+///
+/// Misuse (value without key inside an object, unbalanced end) fails a
+/// CASC_CHECK rather than emitting malformed JSON.
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 = compact single-line output.
+  explicit JsonWriter(std::ostream& os, int indent = 2) : os_(os), indent_(indent) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v);
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void null();
+
+  /// Splices pre-rendered JSON (a scalar or a whole subdocument) as the next
+  /// value.  The caller vouches for its validity.
+  void raw(std::string_view json);
+
+  /// JSON string escaping (quotes not included).
+  [[nodiscard]] static std::string escape(std::string_view s);
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+  bool key_pending_ = false;
+};
+
+}  // namespace casc::telemetry

@@ -1,0 +1,105 @@
+// Hardware performance counters via Linux perf_event_open(2).
+//
+// The paper's evaluation is counter-driven (loop cycles, L1/L2 miss counts
+// read from the Pentium Pro and R10000 counter registers); PerfCounters is
+// this repro's equivalent for the real-thread runtime and benches.  Design
+// points:
+//
+//   * Counters are opened as one group (leader = first counter that opens)
+//     so all members are scheduled onto the PMU together and one read(2)
+//     returns a consistent snapshot.
+//   * Reads carry TIME_ENABLED/TIME_RUNNING, and read() scales each value by
+//     enabled/running to correct for kernel multiplexing when the group
+//     shares the PMU with other sessions.
+//   * Failure is a mode, not an error.  Restricted kernels
+//     (perf_event_paranoid >= 3, seccomp, ENOSYS), VMs without a PMU
+//     (ENOENT for hardware events), and non-Linux hosts all degrade to
+//     available() == false (or to a subset of counters), with the reason
+//     preserved; callers emit "counters unavailable" output and carry on.
+//     Tests and CI exercise this path explicitly via CASC_NO_PERF=1, which
+//     forces the fallback regardless of kernel support.
+//
+// The counters measure the calling thread (inherit=0).  Open/close are
+// syscalls — construct once per measurement region, not per iteration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace casc::telemetry {
+
+/// The counter set mirrors the paper's figures: cycles and instructions for
+/// Figure 3, L1D/LLC misses for Figures 4-5, task-clock as a software
+/// fallback that works even where the PMU is absent.
+enum class Counter : std::uint8_t {
+  kCycles,
+  kInstructions,
+  kL1DMisses,
+  kLLCMisses,
+  kTaskClockNs,
+};
+
+[[nodiscard]] const char* to_string(Counter counter) noexcept;
+
+/// One counter's scaled reading.
+struct CounterValue {
+  Counter counter = Counter::kCycles;
+  bool valid = false;        ///< the counter opened and was scheduled
+  std::uint64_t value = 0;   ///< scaled count (raw * enabled / running)
+  double scaling = 1.0;      ///< running / enabled (1.0 = never multiplexed)
+};
+
+/// A consistent group reading.
+struct CounterSample {
+  std::vector<CounterValue> values;
+
+  /// Lookup; returns an invalid CounterValue when absent.
+  [[nodiscard]] CounterValue get(Counter counter) const noexcept;
+};
+
+class PerfCounters {
+ public:
+  /// The default set: every Counter enumerator.
+  [[nodiscard]] static std::vector<Counter> default_counters();
+
+  /// False when the platform can never deliver counters (non-Linux) or when
+  /// CASC_NO_PERF is set in the environment.  True is necessary but not
+  /// sufficient for available(): the kernel may still refuse at open time.
+  [[nodiscard]] static bool platform_supported() noexcept;
+
+  /// Opens `counters` for the calling thread.  Never throws on kernel
+  /// refusal — check available() / unavailable_reason().
+  explicit PerfCounters(std::vector<Counter> counters = default_counters());
+  ~PerfCounters();
+
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True iff at least one counter opened.
+  [[nodiscard]] bool available() const noexcept { return !fds_.empty(); }
+
+  /// Why available() is false (empty string while available).
+  [[nodiscard]] const std::string& unavailable_reason() const noexcept {
+    return unavailable_reason_;
+  }
+
+  /// Zeroes and enables the group.  No-op when unavailable.
+  void start() noexcept;
+
+  /// Disables the group (values freeze).  No-op when unavailable.
+  void stop() noexcept;
+
+  /// Reads the group (scaled for multiplexing).  Counters that failed to
+  /// open come back with valid == false; when available() is false every
+  /// value is invalid.  Callable whether running or stopped.
+  [[nodiscard]] CounterSample read() const;
+
+ private:
+  std::vector<Counter> requested_;
+  std::vector<Counter> opened_;  ///< parallel to fds_
+  std::vector<int> fds_;         ///< fds_[0] is the group leader
+  std::string unavailable_reason_;
+};
+
+}  // namespace casc::telemetry

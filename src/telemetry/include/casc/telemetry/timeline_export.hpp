@@ -1,0 +1,62 @@
+// Adapter: simulated cascade timelines -> Chrome trace events.
+//
+// Header-only on purpose: casc_telemetry must stay a leaf library (it
+// depends only on casc_common), while cascade::TimelineSpan lives in
+// casc_cascade.  Only translation units that already link both (cascsim,
+// tests) include this header.
+//
+// Simulated timestamps are cycles; the trace-event format wants
+// microseconds.  We export 1 cycle = 1 us — the absolute scale is
+// meaningless for a simulation, and this mapping keeps Perfetto's zoom and
+// duration labels readable ("1.2ms" = 1200 cycles).
+#pragma once
+
+#include <string>
+
+#include "casc/cascade/options.hpp"
+#include "casc/telemetry/trace_json.hpp"
+
+namespace casc::telemetry {
+
+/// Appends one simulated cascade run's timeline under process `pid`.  Each
+/// simulated processor becomes a thread track; helper/exec/transfer/stall
+/// spans become slices categorized by kind (so Perfetto can filter on, e.g.,
+/// cat:exec when checking that execution phases never overlap).
+inline void append_sim_timeline(TraceWriter& writer,
+                                const std::vector<cascade::TimelineSpan>& timeline,
+                                unsigned num_processors, std::uint32_t pid,
+                                const std::string& process_name) {
+  writer.set_process_name(pid, process_name);
+  for (unsigned p = 0; p < num_processors; ++p) {
+    writer.set_thread_name(pid, p, "processor " + std::to_string(p));
+  }
+  std::uint64_t chunk_guess = 0;  // spans carry no chunk id; label exec spans in order
+  for (const cascade::TimelineSpan& span : timeline) {
+    TraceSlice s;
+    switch (span.kind) {
+      case cascade::TimelineSpan::Kind::kHelper:
+        s.name = "helper";
+        s.category = "helper";
+        break;
+      case cascade::TimelineSpan::Kind::kExec:
+        s.name = "exec chunk " + std::to_string(chunk_guess++);
+        s.category = "exec";
+        break;
+      case cascade::TimelineSpan::Kind::kTransfer:
+        s.name = "transfer";
+        s.category = "transfer";
+        break;
+      case cascade::TimelineSpan::Kind::kStall:
+        s.name = "stall";
+        s.category = "stall";
+        break;
+    }
+    s.pid = pid;
+    s.tid = span.proc;
+    s.ts_us = static_cast<double>(span.begin);
+    s.dur_us = static_cast<double>(span.end - span.begin);
+    writer.add_slice(std::move(s));
+  }
+}
+
+}  // namespace casc::telemetry

@@ -1,0 +1,82 @@
+// Chrome/Perfetto trace-event JSON export.
+//
+// Writes the Trace Event Format's JSON-object form ({"traceEvents": [...]}),
+// which both chrome://tracing and ui.perfetto.dev open directly.  Slices are
+// complete events (ph "X") with microsecond timestamps; point-in-time marks
+// (aborts, watchdog) are instant events (ph "i"); process/thread labels are
+// metadata events (ph "M").
+//
+// Two producers feed it:
+//   * the real runtime's EventLog (append_event_log(): helper/exec phases
+//     per worker, nanosecond wall clock), and
+//   * the simulator's CascadeResult::timeline (see timeline_export.hpp:
+//     helper/exec/transfer/stall spans per simulated processor, cycle
+//     timestamps exported 1 cycle = 1 us so Perfetto's zoom works).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "casc/telemetry/event_log.hpp"
+
+namespace casc::telemetry {
+
+/// One duration slice on one track.
+struct TraceSlice {
+  std::string name;
+  std::string category;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  double ts_us = 0;   ///< slice start
+  double dur_us = 0;  ///< slice duration
+};
+
+/// One instantaneous marker on one track.
+struct TraceInstant {
+  std::string name;
+  std::string category;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  double ts_us = 0;
+};
+
+class TraceWriter {
+ public:
+  void set_process_name(std::uint32_t pid, std::string name);
+  void set_thread_name(std::uint32_t pid, std::uint32_t tid, std::string name);
+
+  void add_slice(TraceSlice slice) { slices_.push_back(std::move(slice)); }
+  void add_instant(TraceInstant instant) { instants_.push_back(std::move(instant)); }
+
+  /// Converts an EventLog's begin/end pairs into slices (helper and exec
+  /// phases per worker, named by chunk) and its aborts/watchdog events into
+  /// instants, all under process `pid`.  Unpaired begins (run aborted inside
+  /// a phase, or the begin was overwritten in the ring) become zero-length
+  /// slices at the begin timestamp so the evidence is still visible.
+  void append_event_log(const EventLog& log, std::uint32_t pid = 0,
+                        const std::string& process_name = "cascade runtime");
+
+  [[nodiscard]] std::size_t num_slices() const noexcept { return slices_.size(); }
+
+  /// Emits the full document.
+  void write(std::ostream& os) const;
+
+  /// write() to `path`; throws CheckFailure when the file cannot be opened.
+  void save(const std::string& path) const;
+
+ private:
+  struct Meta {
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    bool is_thread = false;
+    std::string name;
+  };
+
+  std::vector<Meta> meta_;
+  std::vector<TraceSlice> slices_;
+  std::vector<TraceInstant> instants_;
+};
+
+}  // namespace casc::telemetry

@@ -1,0 +1,149 @@
+#include "casc/telemetry/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "casc/common/check.hpp"
+
+namespace casc::telemetry {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    for (int s = 0; s < indent_; ++s) os_ << ' ';
+  }
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) return;  // top-level document value
+  if (stack_.back() == Scope::kObject) {
+    CASC_CHECK(key_pending_, "JsonWriter: value inside an object requires key()");
+    key_pending_ = false;
+    return;
+  }
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  newline_indent();
+}
+
+void JsonWriter::key(std::string_view k) {
+  CASC_CHECK(!stack_.empty() && stack_.back() == Scope::kObject,
+             "JsonWriter: key() outside an object");
+  CASC_CHECK(!key_pending_, "JsonWriter: consecutive key() calls");
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  newline_indent();
+  os_ << '"' << escape(k) << "\":" << (indent_ > 0 ? " " : "");
+  key_pending_ = true;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  CASC_CHECK(!stack_.empty() && stack_.back() == Scope::kObject && !key_pending_,
+             "JsonWriter: unbalanced end_object()");
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  os_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  CASC_CHECK(!stack_.empty() && stack_.back() == Scope::kArray,
+             "JsonWriter: unbalanced end_array()");
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  os_ << ']';
+}
+
+void JsonWriter::value(std::string_view v) {
+  before_value();
+  os_ << '"' << escape(v) << '"';
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {  // JSON has no Inf/NaN
+    os_ << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os_ << buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+}
+
+void JsonWriter::null() {
+  before_value();
+  os_ << "null";
+}
+
+void JsonWriter::raw(std::string_view json) {
+  before_value();
+  os_ << json;
+}
+
+}  // namespace casc::telemetry

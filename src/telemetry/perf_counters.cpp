@@ -1,0 +1,214 @@
+#include "casc/telemetry/perf_counters.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace casc::telemetry {
+
+namespace {
+
+bool disabled_by_env() noexcept {
+  const char* env = std::getenv("CASC_NO_PERF");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+}  // namespace
+
+const char* to_string(Counter counter) noexcept {
+  switch (counter) {
+    case Counter::kCycles:
+      return "cycles";
+    case Counter::kInstructions:
+      return "instructions";
+    case Counter::kL1DMisses:
+      return "l1d_misses";
+    case Counter::kLLCMisses:
+      return "llc_misses";
+    case Counter::kTaskClockNs:
+      return "task_clock_ns";
+  }
+  return "?";
+}
+
+CounterValue CounterSample::get(Counter counter) const noexcept {
+  for (const CounterValue& v : values) {
+    if (v.counter == counter) return v;
+  }
+  CounterValue missing;
+  missing.counter = counter;
+  return missing;
+}
+
+std::vector<Counter> PerfCounters::default_counters() {
+  return {Counter::kCycles, Counter::kInstructions, Counter::kL1DMisses,
+          Counter::kLLCMisses, Counter::kTaskClockNs};
+}
+
+bool PerfCounters::platform_supported() noexcept {
+#if defined(__linux__)
+  return !disabled_by_env();
+#else
+  return false;
+#endif
+}
+
+#if defined(__linux__)
+
+namespace {
+
+/// perf_event_attr type/config for one Counter.
+void fill_attr(Counter counter, perf_event_attr* attr) noexcept {
+  std::memset(attr, 0, sizeof(*attr));
+  attr->size = sizeof(*attr);
+  switch (counter) {
+    case Counter::kCycles:
+      attr->type = PERF_TYPE_HARDWARE;
+      attr->config = PERF_COUNT_HW_CPU_CYCLES;
+      break;
+    case Counter::kInstructions:
+      attr->type = PERF_TYPE_HARDWARE;
+      attr->config = PERF_COUNT_HW_INSTRUCTIONS;
+      break;
+    case Counter::kL1DMisses:
+      attr->type = PERF_TYPE_HW_CACHE;
+      attr->config = PERF_COUNT_HW_CACHE_L1D |
+                     (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                     (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+      break;
+    case Counter::kLLCMisses:
+      attr->type = PERF_TYPE_HARDWARE;
+      attr->config = PERF_COUNT_HW_CACHE_MISSES;
+      break;
+    case Counter::kTaskClockNs:
+      attr->type = PERF_TYPE_SOFTWARE;
+      attr->config = PERF_COUNT_SW_TASK_CLOCK;
+      break;
+  }
+  attr->disabled = 1;  // armed by start(); group members follow the leader
+  attr->exclude_kernel = 1;
+  attr->exclude_hv = 1;
+  attr->read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                      PERF_FORMAT_TOTAL_TIME_RUNNING;
+}
+
+int perf_event_open_syscall(perf_event_attr* attr, int group_fd) noexcept {
+  // pid = 0 / cpu = -1: this thread, any CPU.
+  return static_cast<int>(
+      ::syscall(SYS_perf_event_open, attr, 0, -1, group_fd, 0ul));
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters(std::vector<Counter> counters)
+    : requested_(std::move(counters)) {
+  if (disabled_by_env()) {
+    unavailable_reason_ = "disabled by CASC_NO_PERF";
+    return;
+  }
+  int first_errno = 0;
+  for (Counter counter : requested_) {
+    perf_event_attr attr;
+    fill_attr(counter, &attr);
+    const int group_fd = fds_.empty() ? -1 : fds_.front();
+    const int fd = perf_event_open_syscall(&attr, group_fd);
+    if (fd < 0) {
+      if (first_errno == 0) first_errno = errno;
+      continue;  // e.g. ENOENT: this PMU lacks the event; keep the rest
+    }
+    fds_.push_back(fd);
+    opened_.push_back(counter);
+  }
+  if (fds_.empty()) {
+    unavailable_reason_ =
+        std::string("perf_event_open failed: ") +
+        (first_errno != 0 ? std::strerror(first_errno) : "no counters requested");
+  }
+}
+
+PerfCounters::~PerfCounters() {
+  for (int fd : fds_) ::close(fd);
+}
+
+void PerfCounters::start() noexcept {
+  if (!available()) return;
+  ::ioctl(fds_.front(), PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ::ioctl(fds_.front(), PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+void PerfCounters::stop() noexcept {
+  if (!available()) return;
+  ::ioctl(fds_.front(), PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+}
+
+CounterSample PerfCounters::read() const {
+  CounterSample sample;
+  sample.values.reserve(requested_.size());
+  for (Counter counter : requested_) {
+    CounterValue v;
+    v.counter = counter;
+    sample.values.push_back(v);  // invalid until filled below
+  }
+  if (!available()) return sample;
+
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+  std::vector<std::uint64_t> buf(3 + fds_.size());
+  const ssize_t want =
+      static_cast<ssize_t>(buf.size() * sizeof(std::uint64_t));
+  const ssize_t got = ::read(fds_.front(), buf.data(), static_cast<size_t>(want));
+  if (got < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) return sample;
+  const std::uint64_t nr = buf[0];
+  const std::uint64_t enabled = buf[1];
+  const std::uint64_t running = buf[2];
+  const double scale =
+      (running > 0 && enabled > running)
+          ? static_cast<double>(enabled) / static_cast<double>(running)
+          : 1.0;
+  for (std::uint64_t i = 0; i < nr && i < opened_.size(); ++i) {
+    for (CounterValue& v : sample.values) {
+      if (v.counter != opened_[i]) continue;
+      v.valid = true;
+      v.value = static_cast<std::uint64_t>(static_cast<double>(buf[3 + i]) * scale);
+      v.scaling = enabled > 0
+                      ? static_cast<double>(running) / static_cast<double>(enabled)
+                      : 0.0;
+      break;
+    }
+  }
+  return sample;
+}
+
+#else  // !defined(__linux__)
+
+PerfCounters::PerfCounters(std::vector<Counter> counters)
+    : requested_(std::move(counters)) {
+  unavailable_reason_ = disabled_by_env() ? "disabled by CASC_NO_PERF"
+                                          : "perf_event_open is Linux-only";
+}
+
+PerfCounters::~PerfCounters() = default;
+
+void PerfCounters::start() noexcept {}
+void PerfCounters::stop() noexcept {}
+
+CounterSample PerfCounters::read() const {
+  CounterSample sample;
+  sample.values.reserve(requested_.size());
+  for (Counter counter : requested_) {
+    CounterValue v;
+    v.counter = counter;
+    sample.values.push_back(v);
+  }
+  return sample;
+}
+
+#endif
+
+}  // namespace casc::telemetry

@@ -1,0 +1,172 @@
+#include "casc/telemetry/trace_json.hpp"
+
+#include <fstream>
+#include <string>
+
+#include "casc/common/check.hpp"
+#include "casc/telemetry/json.hpp"
+
+namespace casc::telemetry {
+
+void TraceWriter::set_process_name(std::uint32_t pid, std::string name) {
+  meta_.push_back({pid, 0, false, std::move(name)});
+}
+
+void TraceWriter::set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                                  std::string name) {
+  meta_.push_back({pid, tid, true, std::move(name)});
+}
+
+void TraceWriter::append_event_log(const EventLog& log, std::uint32_t pid,
+                                   const std::string& process_name) {
+  set_process_name(pid, process_name);
+  for (unsigned w = 0; w < log.num_workers(); ++w) {
+    set_thread_name(pid, w, "worker " + std::to_string(w));
+  }
+
+  // Per-worker begin/end pairing.  Events within one ring are in append
+  // order (single writer), so a simple last-begin match suffices.
+  struct OpenPhase {
+    bool open = false;
+    std::uint64_t ns = 0;
+    std::uint64_t chunk = 0;
+  };
+  std::vector<OpenPhase> open_helper(log.num_workers());
+  std::vector<OpenPhase> open_exec(log.num_workers());
+
+  const auto close_phase = [&](std::vector<OpenPhase>& open, unsigned w,
+                               const char* name, const char* cat,
+                               std::uint64_t end_ns) {
+    if (!open[w].open) return;
+    TraceSlice s;
+    s.name = std::string(name) + " chunk " + std::to_string(open[w].chunk);
+    s.category = cat;
+    s.pid = pid;
+    s.tid = w;
+    s.ts_us = static_cast<double>(open[w].ns) / 1000.0;
+    s.dur_us = static_cast<double>(end_ns - open[w].ns) / 1000.0;
+    add_slice(std::move(s));
+    open[w].open = false;
+  };
+
+  for (const Event& e : log.snapshot()) {
+    const unsigned w = e.worker < log.num_workers() ? e.worker : log.num_workers() - 1;
+    switch (e.kind) {
+      case EventKind::kHelperBegin:
+        close_phase(open_helper, w, "helper", "helper", e.ns);  // defensive
+        open_helper[w] = {true, e.ns, e.chunk};
+        break;
+      case EventKind::kHelperEnd:
+        close_phase(open_helper, w, "helper", "helper", e.ns);
+        break;
+      case EventKind::kExecBegin:
+        close_phase(open_exec, w, "exec", "exec", e.ns);  // defensive
+        open_exec[w] = {true, e.ns, e.chunk};
+        break;
+      case EventKind::kExecEnd:
+        close_phase(open_exec, w, "exec", "exec", e.ns);
+        break;
+      case EventKind::kAbort:
+      case EventKind::kWatchdog:
+      case EventKind::kRunBegin:
+      case EventKind::kRunEnd: {
+        TraceInstant i;
+        i.name = to_string(e.kind);
+        i.category = "control";
+        i.pid = pid;
+        i.tid = w;
+        i.ts_us = static_cast<double>(e.ns) / 1000.0;
+        add_instant(std::move(i));
+        break;
+      }
+      case EventKind::kTokenAcquire:
+      case EventKind::kTokenPass:
+        // Token motion is visible as the boundary between exec slices; as
+        // dedicated instants they only clutter the track.
+        break;
+    }
+  }
+
+  // Unpaired begins: the phase was cut short (abort/watchdog) before its end
+  // event, or the end was dropped.  Emit zero-length slices as evidence.
+  for (unsigned w = 0; w < log.num_workers(); ++w) {
+    close_phase(open_helper, w, "helper", "helper", open_helper[w].ns);
+    close_phase(open_exec, w, "exec", "exec", open_exec[w].ns);
+  }
+}
+
+void TraceWriter::write(std::ostream& os) const {
+  JsonWriter w(os, 1);
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (const Meta& m : meta_) {
+    w.begin_object();
+    w.key("ph");
+    w.value("M");
+    w.key("name");
+    w.value(m.is_thread ? "thread_name" : "process_name");
+    w.key("pid");
+    w.value(static_cast<std::uint64_t>(m.pid));
+    if (m.is_thread) {
+      w.key("tid");
+      w.value(static_cast<std::uint64_t>(m.tid));
+    }
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value(m.name);
+    w.end_object();
+    w.end_object();
+  }
+  for (const TraceSlice& s : slices_) {
+    w.begin_object();
+    w.key("ph");
+    w.value("X");
+    w.key("name");
+    w.value(s.name);
+    w.key("cat");
+    w.value(s.category.empty() ? "casc" : s.category);
+    w.key("pid");
+    w.value(static_cast<std::uint64_t>(s.pid));
+    w.key("tid");
+    w.value(static_cast<std::uint64_t>(s.tid));
+    w.key("ts");
+    w.value(s.ts_us);
+    w.key("dur");
+    w.value(s.dur_us);
+    w.end_object();
+  }
+  for (const TraceInstant& i : instants_) {
+    w.begin_object();
+    w.key("ph");
+    w.value("i");
+    w.key("s");
+    w.value("t");  // thread-scoped instant
+    w.key("name");
+    w.value(i.name);
+    w.key("cat");
+    w.value(i.category.empty() ? "casc" : i.category);
+    w.key("pid");
+    w.value(static_cast<std::uint64_t>(i.pid));
+    w.key("tid");
+    w.value(static_cast<std::uint64_t>(i.tid));
+    w.key("ts");
+    w.value(i.ts_us);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+void TraceWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  CASC_CHECK(out.good(), "cannot open trace output file '" + path + "'");
+  write(out);
+  CASC_CHECK(out.good(), "failed writing trace output file '" + path + "'");
+}
+
+}  // namespace casc::telemetry

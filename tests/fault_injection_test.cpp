@@ -16,6 +16,7 @@
 #include "casc/rt/helpers.hpp"
 #include "casc/rt/state_dump.hpp"
 #include "casc/rt/token.hpp"
+#include "casc/telemetry/event_log.hpp"
 
 namespace {
 
@@ -312,6 +313,37 @@ TEST(StateDump, RenderMentionsTokenAndWorkers) {
   EXPECT_NE(text.find("token=" + std::to_string(kChunks)), std::string::npos) << text;
   EXPECT_NE(text.find("worker 0"), std::string::npos) << text;
   EXPECT_NE(text.find("worker 1"), std::string::npos) << text;
+}
+
+TEST(StateDump, WatchdogDumpCarriesRecentTelemetryEvents) {
+  // With an EventLog attached, the dump captured at watchdog expiry must
+  // include the trailing phase events — the "what was everyone doing just
+  // before it wedged" evidence — and render() must show them.
+  casc::telemetry::EventLog log(4, 256);
+  ExecutorConfig config{4, false};
+  config.watchdog = std::chrono::milliseconds(100);
+  config.event_log = &log;
+  CascadeExecutor ex(config);
+  const FaultPlan plan =
+      FaultPlan::stall_in_exec(1, kChunkIters, std::chrono::milliseconds(400));
+  try {
+    ex.run(kIters, kChunkIters, plan.arm([](std::uint64_t, std::uint64_t) {}));
+    FAIL() << "run() must throw WatchdogExpired";
+  } catch (const WatchdogExpired& e) {
+    const CascadeStateDump& dump = e.dump();
+    ASSERT_FALSE(dump.recent_events.empty());
+    EXPECT_LE(dump.recent_events.size(), CascadeStateDump::kRecentEvents);
+    // The stalled chunk's exec began; that event must be in the evidence.
+    bool saw_exec_begin = false;
+    for (const auto& ev : dump.recent_events) {
+      if (ev.kind == casc::telemetry::EventKind::kExecBegin) saw_exec_begin = true;
+    }
+    EXPECT_TRUE(saw_exec_begin);
+    const std::string text = casc::rt::render(dump);
+    EXPECT_NE(text.find("recent events"), std::string::npos) << text;
+    EXPECT_NE(text.find("exec_begin"), std::string::npos) << text;
+  }
+  expect_successful_run(ex);
 }
 
 TEST(StateDump, SnapshotDuringRunShowsActiveCascade) {

@@ -1,0 +1,218 @@
+// Minimal recursive-descent JSON parser for tests.
+//
+// Just enough JSON to validate the telemetry exporters' output structurally
+// (golden-schema tests) instead of by substring matching: objects, arrays,
+// strings with escapes, numbers, booleans, null.  Throws std::runtime_error
+// on malformed input — a test that feeds it exporter output fails loudly if
+// the exporter ever emits invalid JSON.
+//
+// Test-only: no performance claims, no streaming, ~everything by value.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace casc::testjson {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<ValuePtr> array;
+  std::map<std::string, ValuePtr> object;
+
+  [[nodiscard]] bool is_null() const { return type == Type::kNull; }
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return is_object() && object.count(key) > 0;
+  }
+
+  /// Object member access; throws when absent or not an object.
+  [[nodiscard]] const Value& at(const std::string& key) const {
+    if (!is_object()) throw std::runtime_error("not an object");
+    auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key: " + key);
+    return *it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  ValuePtr parse() {
+    ValuePtr v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) throw err("trailing characters");
+    return v;
+  }
+
+ private:
+  std::runtime_error err(const std::string& what) const {
+    return std::runtime_error("json_mini: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) throw err("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) throw err(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  ValuePtr parse_value() {
+    const char c = peek();
+    auto v = std::make_shared<Value>();
+    switch (c) {
+      case '{': parse_object(*v); break;
+      case '[': parse_array(*v); break;
+      case '"':
+        v->type = Value::Type::kString;
+        v->string = parse_string();
+        break;
+      case 't':
+        if (!consume_literal("true")) throw err("bad literal");
+        v->type = Value::Type::kBool;
+        v->boolean = true;
+        break;
+      case 'f':
+        if (!consume_literal("false")) throw err("bad literal");
+        v->type = Value::Type::kBool;
+        v->boolean = false;
+        break;
+      case 'n':
+        if (!consume_literal("null")) throw err("bad literal");
+        v->type = Value::Type::kNull;
+        break;
+      default: parse_number(*v); break;
+    }
+    return v;
+  }
+
+  void parse_object(Value& v) {
+    v.type = Value::Type::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      if (peek() != '"') throw err("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      if (v.object.count(key) != 0) throw err("duplicate key: " + key);
+      v.object.emplace(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return;
+      if (c != ',') throw err("expected ',' or '}'");
+    }
+  }
+
+  void parse_array(Value& v) {
+    v.type = Value::Type::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return;
+      if (c != ',') throw err("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) throw err("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) throw err("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) throw err("bad \\u escape");
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          const unsigned long code = std::strtoul(hex.c_str(), nullptr, 16);
+          // Tests only need ASCII round-trips; encode the rest as '?'.
+          out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default: throw err("bad escape");
+      }
+    }
+  }
+
+  void parse_number(Value& v) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw err("expected a value");
+    v.type = Value::Type::kNumber;
+    v.number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+inline ValuePtr parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace casc::testjson

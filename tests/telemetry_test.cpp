@@ -1,0 +1,395 @@
+// Unit tests for casc::telemetry: EventRing (wraparound, drop counting,
+// concurrent writers), EventLog merging, PerfCounters fallback, JsonWriter
+// escaping, TraceWriter output, and the BenchReporter golden schema.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "casc/common/check.hpp"
+#include "casc/telemetry/bench_reporter.hpp"
+#include "casc/telemetry/event_log.hpp"
+#include "casc/telemetry/event_ring.hpp"
+#include "casc/telemetry/json.hpp"
+#include "casc/telemetry/perf_counters.hpp"
+#include "casc/telemetry/trace_json.hpp"
+#include "json_mini.hpp"
+
+namespace casc::telemetry {
+namespace {
+
+// ---------------------------------------------------------------- EventRing
+
+TEST(EventRingTest, AppendAndSnapshotInOrder) {
+  EventRing ring(8);
+  ring.append(10, EventKind::kExecBegin, 1, 100);
+  ring.append(20, EventKind::kExecEnd, 1, 100);
+  ring.append(30, EventKind::kTokenPass, 1, 100);
+
+  const std::vector<Event> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].ns, 10u);
+  EXPECT_EQ(events[0].kind, EventKind::kExecBegin);
+  EXPECT_EQ(events[0].worker, 1u);
+  EXPECT_EQ(events[0].chunk, 100u);
+  EXPECT_EQ(events[2].kind, EventKind::kTokenPass);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.appended(), 3u);
+}
+
+TEST(EventRingTest, WraparoundKeepsNewestAndCountsDrops) {
+  EventRing ring(4);
+  for (std::uint64_t i = 0; i < 11; ++i) {
+    ring.append(i, EventKind::kExecBegin, 0, i);
+  }
+  EXPECT_EQ(ring.appended(), 11u);
+  EXPECT_EQ(ring.dropped(), 7u);  // 11 appended - 4 retained
+
+  const std::vector<Event> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Drop-oldest: the 4 newest events (chunks 7..10), oldest first.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].chunk, 7 + i);
+    EXPECT_EQ(events[i].ns, 7 + i);
+  }
+}
+
+TEST(EventRingTest, RejectsNonPowerOfTwoCapacity) {
+  EXPECT_THROW(EventRing ring(3), common::CheckFailure);
+  EXPECT_THROW(EventRing ring(0), common::CheckFailure);
+  EXPECT_THROW(EventRing ring(1), common::CheckFailure);
+}
+
+TEST(EventRingTest, ChunkTruncatesToFortyBits) {
+  EventRing ring(4);
+  const std::uint64_t big = (std::uint64_t{1} << 40) + 123;
+  ring.append(1, EventKind::kExecBegin, 65535, big);
+  const std::vector<Event> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].chunk, 123u);  // truncated, not corrupted
+  EXPECT_EQ(events[0].worker, 65535u);
+  EXPECT_EQ(events[0].kind, EventKind::kExecBegin);
+}
+
+// Concurrent writers on ONE ring: memory-safe, exact appended/dropped
+// accounting (fetch_add), and every snapshotted event decodes to a payload
+// some thread actually wrote.  Run under TSan in CI (telemetry filter).
+TEST(EventRingTest, ConcurrentWritersAccountExactly) {
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  constexpr std::size_t kCapacity = 1024;
+  EventRing ring(kCapacity);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        ring.append(i, EventKind::kHelperBegin, static_cast<std::uint16_t>(t), i);
+      }
+    });
+  }
+  // A concurrent reader: must never see torn payloads, only valid decodes.
+  std::thread reader([&] {
+    for (int i = 0; i < 50; ++i) {
+      for (const Event& e : ring.snapshot()) {
+        ASSERT_EQ(e.kind, EventKind::kHelperBegin);
+        ASSERT_LT(e.worker, kThreads);
+        ASSERT_LT(e.chunk, kPerThread);
+      }
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  reader.join();
+
+  EXPECT_EQ(ring.appended(), kThreads * kPerThread);
+  EXPECT_EQ(ring.dropped(), kThreads * kPerThread - kCapacity);
+  const std::vector<Event> events = ring.snapshot();
+  EXPECT_LE(events.size(), kCapacity);
+  EXPECT_GT(events.size(), 0u);
+}
+
+// ----------------------------------------------------------------- EventLog
+
+TEST(EventLogTest, MergesWorkersSortedByTimestamp) {
+  EventLog log(3, 16);
+  log.record(2, EventKind::kHelperBegin, 1);
+  log.record(0, EventKind::kRunBegin, 0);
+  log.record(1, EventKind::kExecBegin, 0);
+
+  const std::vector<Event> events = log.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ns, events[i].ns);
+  }
+  EXPECT_EQ(log.recorded(), 3u);
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_EQ(log.num_workers(), 3u);
+}
+
+TEST(EventLogTest, ClampsOutOfRangeWorkerIndex) {
+  EventLog log(2, 16);
+  log.record(99, EventKind::kAbort, 7);  // must not write out of bounds
+  const std::vector<Event> events = log.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].worker, 99u);  // the recorded id is preserved...
+  EXPECT_EQ(log.ring(1).appended(), 1u);  // ...but it landed on the last ring
+}
+
+TEST(EventLogTest, RecentReturnsNewestN) {
+  EventLog log(1, 64);
+  for (std::uint64_t i = 0; i < 10; ++i) log.record(0, EventKind::kExecEnd, i);
+  const std::vector<Event> recent = log.recent(3);
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].chunk, 7u);
+  EXPECT_EQ(recent[2].chunk, 9u);
+}
+
+// ------------------------------------------------------------- PerfCounters
+
+// CASC_NO_PERF forces the fallback regardless of kernel support — this is
+// exactly the degradation a perf_event_open failure (EACCES/ENOSYS) takes,
+// exercised deterministically.
+TEST(PerfCountersTest, DisabledByEnvFallsBackCleanly) {
+  ASSERT_EQ(setenv("CASC_NO_PERF", "1", 1), 0);
+  EXPECT_FALSE(PerfCounters::platform_supported());
+  {
+    PerfCounters counters;
+    EXPECT_FALSE(counters.available());
+    EXPECT_FALSE(counters.unavailable_reason().empty());
+    counters.start();  // all no-ops; must not crash
+    counters.stop();
+    const CounterSample sample = counters.read();
+    for (const CounterValue& v : sample.values) EXPECT_FALSE(v.valid);
+    EXPECT_FALSE(sample.get(Counter::kCycles).valid);
+    EXPECT_FALSE(sample.get(Counter::kTaskClockNs).valid);
+  }
+  unsetenv("CASC_NO_PERF");
+}
+
+TEST(PerfCountersTest, WhenAvailableTaskClockAdvances) {
+  unsetenv("CASC_NO_PERF");
+  PerfCounters counters;
+  if (!counters.available()) {
+    GTEST_SKIP() << "perf_event_open unavailable: " << counters.unavailable_reason();
+  }
+  counters.start();
+  // Burn a little CPU so software counters have something to count.
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 2000000; ++i) sink = sink + i;
+  counters.stop();
+  const CounterValue task_clock = counters.read().get(Counter::kTaskClockNs);
+  if (task_clock.valid) {
+    EXPECT_GT(task_clock.value, 0u);
+    EXPECT_GT(task_clock.scaling, 0.0);
+  }
+}
+
+TEST(PerfCountersTest, CounterNamesAreStable) {
+  EXPECT_STREQ(to_string(Counter::kCycles), "cycles");
+  EXPECT_STREQ(to_string(Counter::kInstructions), "instructions");
+  EXPECT_STREQ(to_string(Counter::kL1DMisses), "l1d_misses");
+  EXPECT_STREQ(to_string(Counter::kLLCMisses), "llc_misses");
+  EXPECT_STREQ(to_string(Counter::kTaskClockNs), "task_clock_ns");
+}
+
+// --------------------------------------------------------------- JsonWriter
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, RoundTripsThroughParser) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("text");
+  w.value("he said \"hi\"\n");
+  w.key("count");
+  w.value(std::uint64_t{42});
+  w.key("neg");
+  w.value(std::int64_t{-7});
+  w.key("pi");
+  w.value(3.25);
+  w.key("flag");
+  w.value(true);
+  w.key("nothing");
+  w.null();
+  w.key("list");
+  w.begin_array();
+  w.value(1);
+  w.value(2);
+  w.end_array();
+  w.end_object();
+
+  const auto doc = testjson::parse(os.str());
+  EXPECT_EQ(doc->at("text").string, "he said \"hi\"\n");
+  EXPECT_EQ(doc->at("count").number, 42);
+  EXPECT_EQ(doc->at("neg").number, -7);
+  EXPECT_EQ(doc->at("pi").number, 3.25);
+  EXPECT_TRUE(doc->at("flag").boolean);
+  EXPECT_TRUE(doc->at("nothing").is_null());
+  ASSERT_EQ(doc->at("list").array.size(), 2u);
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  const auto doc = testjson::parse(os.str());
+  ASSERT_EQ(doc->array.size(), 2u);
+  EXPECT_TRUE(doc->array[0]->is_null());
+  EXPECT_TRUE(doc->array[1]->is_null());
+}
+
+// -------------------------------------------------------------- TraceWriter
+
+TEST(TraceWriterTest, EmitsValidTraceEventJson) {
+  TraceWriter trace;
+  trace.set_process_name(1, "sim");
+  trace.set_thread_name(1, 0, "Processor 0");
+  trace.add_slice({"exec chunk 0", "exec", 1, 0, 10.0, 5.0});
+  trace.add_instant({"abort", "fault", 1, 0, 12.0});
+
+  std::ostringstream os;
+  trace.write(os);
+  const auto doc = testjson::parse(os.str());
+  EXPECT_EQ(doc->at("displayTimeUnit").string, "ms");
+  const auto& events = doc->at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.array.size(), 4u);  // 2 metadata + 1 slice + 1 instant
+
+  std::set<std::string> phases;
+  for (const auto& e : events.array) phases.insert(e->at("ph").string);
+  EXPECT_TRUE(phases.count("M"));
+  EXPECT_TRUE(phases.count("X"));
+  EXPECT_TRUE(phases.count("i"));
+
+  for (const auto& e : events.array) {
+    if (e->at("ph").string != "X") continue;
+    EXPECT_EQ(e->at("name").string, "exec chunk 0");
+    EXPECT_EQ(e->at("ts").number, 10.0);
+    EXPECT_EQ(e->at("dur").number, 5.0);
+    EXPECT_EQ(e->at("pid").number, 1);
+  }
+}
+
+TEST(TraceWriterTest, PairsEventLogPhasesIntoSlices) {
+  EventLog log(2, 64);
+  log.record(0, EventKind::kRunBegin, 2);
+  log.record(0, EventKind::kExecBegin, 0);
+  log.record(0, EventKind::kExecEnd, 0);
+  log.record(1, EventKind::kHelperBegin, 1);
+  log.record(1, EventKind::kHelperEnd, 1);
+  log.record(1, EventKind::kExecBegin, 1);  // unpaired: aborted mid-exec
+  log.record(1, EventKind::kAbort, 1);
+
+  TraceWriter trace;
+  trace.append_event_log(log, 7, "runtime");
+  // exec 0, helper 1, and the unpaired exec-begin as a zero-length slice.
+  EXPECT_EQ(trace.num_slices(), 3u);
+
+  std::ostringstream os;
+  trace.write(os);
+  const auto doc = testjson::parse(os.str());
+  bool saw_abort = false;
+  bool saw_zero_len = false;
+  for (const auto& e : doc->at("traceEvents").array) {
+    if (e->at("ph").string == "i" && e->at("name").string.find("abort") == 0) {
+      saw_abort = true;
+    }
+    if (e->at("ph").string == "X" && e->at("dur").number == 0.0) {
+      saw_zero_len = true;
+    }
+  }
+  EXPECT_TRUE(saw_abort);
+  EXPECT_TRUE(saw_zero_len);
+}
+
+// ------------------------------------------------------------ BenchReporter
+
+TEST(BenchReporterTest, GoldenSchema) {
+  BenchReporter rep("unit_test");
+  rep.set_param("scale", std::uint64_t{16});
+  rep.set_param("machine", "ppro");
+  rep.add_metric("speedup", 1.5);
+  rep.add_metric("seq_cycles", 1000.0);
+  rep.add_wall_ns(300);
+  rep.add_wall_ns(100);
+  rep.add_wall_ns(200);
+  rep.set_counters(CounterSample{}, false, "unit test");
+
+  std::ostringstream os;
+  rep.write(os);
+  const auto doc = testjson::parse(os.str());
+
+  // The casc-bench-v1 contract: every key present, exactly these semantics.
+  EXPECT_EQ(doc->at("schema").string, "casc-bench-v1");
+  EXPECT_EQ(doc->at("name").string, "unit_test");
+  EXPECT_EQ(doc->at("params").at("scale").number, 16);
+  EXPECT_EQ(doc->at("params").at("machine").string, "ppro");
+  EXPECT_EQ(doc->at("repetitions").number, 3);
+  EXPECT_EQ(doc->at("wall_ns").at("median").number, 200);
+  EXPECT_EQ(doc->at("wall_ns").at("min").number, 100);
+  EXPECT_EQ(doc->at("wall_ns").at("max").number, 300);
+  EXPECT_EQ(doc->at("wall_ns").at("mean").number, 200);
+  EXPECT_TRUE(doc->at("wall_ns").has("stddev"));
+  EXPECT_FALSE(doc->at("counters_available").boolean);
+  EXPECT_EQ(doc->at("counters_unavailable_reason").string, "unit test");
+  EXPECT_TRUE(doc->at("counters").is_object());
+  EXPECT_TRUE(doc->at("counters").object.empty());
+  EXPECT_EQ(doc->at("metrics").at("speedup").number, 1.5);
+  EXPECT_EQ(doc->at("metrics").at("seq_cycles").number, 1000.0);
+}
+
+TEST(BenchReporterTest, CountersSerializeWhenAvailable) {
+  CounterSample sample;
+  sample.values.push_back({Counter::kCycles, true, 123456, 0.5});
+  sample.values.push_back({Counter::kL1DMisses, false, 0, 1.0});  // not opened
+
+  BenchReporter rep("counters_test");
+  rep.set_counters(sample, true, "");
+  std::ostringstream os;
+  rep.write(os);
+  const auto doc = testjson::parse(os.str());
+  EXPECT_TRUE(doc->at("counters_available").boolean);
+  const auto& counters = doc->at("counters");
+  ASSERT_TRUE(counters.has("cycles"));
+  EXPECT_EQ(counters.at("cycles").at("value").number, 123456);
+  EXPECT_EQ(counters.at("cycles").at("scaling").number, 0.5);
+  EXPECT_FALSE(counters.has("l1d_misses"));  // invalid counters stay out
+}
+
+TEST(BenchReporterTest, ParamAndMetricUpsertKeepsLastValue) {
+  BenchReporter rep("upsert_test");
+  rep.set_param("scale", std::uint64_t{1});
+  rep.set_param("scale", std::uint64_t{2});
+  rep.add_metric("m", 1.0);
+  rep.add_metric("m", 2.0);
+  std::ostringstream os;
+  rep.write(os);
+  const auto doc = testjson::parse(os.str());  // parse rejects duplicate keys
+  EXPECT_EQ(doc->at("params").at("scale").number, 2);
+  EXPECT_EQ(doc->at("metrics").at("m").number, 2.0);
+}
+
+TEST(BenchReporterTest, OutputPathHonorsBenchDirEnv) {
+  ASSERT_EQ(setenv("CASC_BENCH_DIR", "/tmp/casc-bench-test-dir", 1), 0);
+  BenchReporter rep("pathy");
+  EXPECT_EQ(rep.output_path(), "/tmp/casc-bench-test-dir/BENCH_pathy.json");
+  unsetenv("CASC_BENCH_DIR");
+  EXPECT_EQ(rep.output_path(), "BENCH_pathy.json");
+}
+
+}  // namespace
+}  // namespace casc::telemetry

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Compare two casc-bench-v1 JSON files (or directories of them).
+
+The simulator benches are bit-deterministic, so their "metrics" blocks can be
+diffed across machines and CI runs.  Wall-clock and hardware counters are
+host-dependent and are ignored unless --wall-tol is given.
+
+Usage:
+  bench_diff.py BASELINE CURRENT [--tol PCT] [--wall-tol PCT] [--verbose]
+
+BASELINE and CURRENT are either two BENCH_*.json files or two directories;
+with directories, files are matched by name (baseline files with no
+counterpart in CURRENT are an error, extra CURRENT files are reported but
+allowed — new benches should land with new baselines).
+
+Exit status: 0 = within tolerance, 1 = regression/mismatch/IO error,
+2 = usage error.  "Regression" is any relative change above --tol in either direction:
+an unexplained improvement usually means the workload changed, which is just
+as much a baseline-invalidating event as a slowdown.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+SCHEMA = "casc-bench-v1"
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"error: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"error: {path}: schema {doc.get('schema')!r}, expected {SCHEMA!r}")
+    return doc
+
+
+def rel_delta(base, cur):
+    if base == cur:
+        return 0.0
+    if base == 0:
+        return math.inf
+    return abs(cur - base) / abs(base)
+
+
+def compare_file(base_path, cur_path, tol, wall_tol, verbose):
+    """Returns a list of failure strings (empty = pass)."""
+    base = load(base_path)
+    cur = load(cur_path)
+    failures = []
+    name = base.get("name", os.path.basename(base_path))
+
+    if base.get("name") != cur.get("name"):
+        failures.append(f"{name}: name mismatch "
+                        f"({base.get('name')!r} vs {cur.get('name')!r})")
+
+    base_params = base.get("params", {})
+    cur_params = cur.get("params", {})
+    for key in sorted(set(base_params) | set(cur_params)):
+        if base_params.get(key) != cur_params.get(key):
+            failures.append(
+                f"{name}: param {key!r} differs "
+                f"({base_params.get(key)!r} vs {cur_params.get(key)!r}); "
+                "runs are not comparable")
+
+    base_metrics = base.get("metrics", {})
+    cur_metrics = cur.get("metrics", {})
+    for key in sorted(base_metrics):
+        if key not in cur_metrics:
+            failures.append(f"{name}: metric {key!r} missing from current run")
+            continue
+        b, c = base_metrics[key], cur_metrics[key]
+        delta = rel_delta(b, c)
+        line = f"{name}: {key}: {b:g} -> {c:g} ({delta * 100:+.2f}%)"
+        if delta > tol:
+            failures.append(line + f" exceeds tolerance {tol * 100:g}%")
+        elif verbose:
+            print("  ok " + line)
+    for key in sorted(set(cur_metrics) - set(base_metrics)):
+        if verbose:
+            print(f"  new metric (no baseline): {name}: {key}")
+
+    if wall_tol is not None:
+        b = base.get("wall_ns", {}).get("median", 0)
+        c = cur.get("wall_ns", {}).get("median", 0)
+        delta = rel_delta(b, c)
+        if c > b and delta > wall_tol:
+            failures.append(
+                f"{name}: wall median {b} ns -> {c} ns "
+                f"({delta * 100:+.2f}%) exceeds --wall-tol {wall_tol * 100:g}%")
+    return failures
+
+
+def pair_up(baseline, current):
+    """Yields (base_path, cur_path) pairs; raises SystemExit on mismatch."""
+    if os.path.isfile(baseline):
+        if not os.path.isfile(current):
+            raise SystemExit(f"error: {current} is not a file")
+        yield baseline, current
+        return
+    if not os.path.isdir(baseline) or not os.path.isdir(current):
+        raise SystemExit("error: BASELINE and CURRENT must both be files or "
+                         "both be directories")
+    base_files = {f for f in os.listdir(baseline)
+                  if f.startswith("BENCH_") and f.endswith(".json")}
+    cur_files = {f for f in os.listdir(current)
+                 if f.startswith("BENCH_") and f.endswith(".json")}
+    missing = sorted(base_files - cur_files)
+    if missing:
+        raise SystemExit(f"error: current run is missing {', '.join(missing)}")
+    for extra in sorted(cur_files - base_files):
+        print(f"note: {extra} has no baseline (add one to track it)")
+    for f in sorted(base_files):
+        yield os.path.join(baseline, f), os.path.join(current, f)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline", help="baseline BENCH_*.json file or directory")
+    ap.add_argument("current", help="current BENCH_*.json file or directory")
+    ap.add_argument("--tol", type=float, default=0.1,
+                    help="allowed relative metric change in percent "
+                         "(default 0.1; simulator metrics are deterministic)")
+    ap.add_argument("--wall-tol", type=float, default=None,
+                    help="also gate on wall-clock median regression, in percent "
+                         "(off by default: wall time is host-dependent)")
+    ap.add_argument("--verbose", action="store_true",
+                    help="print passing comparisons too")
+    args = ap.parse_args()
+
+    all_failures = []
+    compared = 0
+    for base_path, cur_path in pair_up(args.baseline, args.current):
+        compared += 1
+        all_failures += compare_file(base_path, cur_path, args.tol / 100.0,
+                                     None if args.wall_tol is None
+                                     else args.wall_tol / 100.0,
+                                     args.verbose)
+    if all_failures:
+        print(f"FAIL: {len(all_failures)} regression(s) across "
+              f"{compared} file(s):")
+        for f in all_failures:
+            print("  " + f)
+        return 1
+    print(f"OK: {compared} file(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,8 @@
 #include "casc/rt/state_dump.hpp"
 #include "casc/sim/three_cs.hpp"
 #include "casc/synth/synthetic_loop.hpp"
+#include "casc/telemetry/perf_counters.hpp"
+#include "casc/telemetry/timeline_export.hpp"
 #include "casc/trace/trace.hpp"
 #include "casc/wave5/parmvr.hpp"
 
@@ -44,6 +46,9 @@ const std::vector<cli::OptionSpec> kSpecs = {
     {"no-jump-out", "", "disable helper jump-out", ""},
     {"plot", "", "render sweeps as an ASCII plot", ""},
     {"threecs", "", "classify L1/L2 misses (compulsory/capacity/conflict)", ""},
+    {"trace-json", "PATH",
+     "write the cascaded run's timeline as a Chrome/Perfetto trace", ""},
+    {"counters", "", "measure hardware counters around the run (perf_event)", ""},
     {"help", "", "show this help", ""},
 };
 
@@ -141,9 +146,10 @@ void run_threecs(const std::vector<loopir::LoopNest>& loops,
   table.print(std::cout);
 }
 
-int run(const cli::Args& args) {
+int run_modes(const cli::Args& args, telemetry::TraceWriter* trace) {
   const sim::MachineConfig cfg = make_machine(args);
   cascade::CascadeOptions opt = make_options(args);
+  opt.record_timeline = trace != nullptr;
 
   // Trace replay is a dedicated path: traces are Workloads, not LoopNests.
   if (args.get("loop").rfind("trace:", 0) == 0) {
@@ -152,6 +158,11 @@ int run(const cli::Args& args) {
     cascade::CascadeSimulator sim(cfg);
     const auto seq = sim.run_sequential(workload, opt.start_state);
     const auto casc_result = sim.run_cascaded(workload, opt);
+    if (trace != nullptr) {
+      telemetry::append_sim_timeline(*trace, casc_result.timeline,
+                                     cfg.num_processors, 0,
+                                     cfg.name + ": " + t.meta().name);
+    }
     report::Table table({"Trace", "Iterations", "Refs", "Seq cycles",
                          "Cascaded cycles", "Speedup"});
     table.set_title(cfg.name + ": trace replay (" + cascade::to_string(opt.helper) +
@@ -260,9 +271,15 @@ int run(const cli::Args& args) {
                   report::fmt_bytes(opt.chunk_bytes) + " chunks, " +
                   cascade::to_string(opt.helper) + ")");
   std::uint64_t seq_total = 0, casc_total = 0;
+  int pid = 0;
   for (const auto& nest : loops) {
     const auto seq = sim.run_sequential(nest, opt.start_state);
     const auto casc_result = sim.run_cascaded(nest, opt);
+    if (trace != nullptr) {
+      telemetry::append_sim_timeline(*trace, casc_result.timeline,
+                                     cfg.num_processors, pid++,
+                                     cfg.name + ": " + nest.name());
+    }
     seq_total += seq.total_cycles;
     casc_total += casc_result.total_cycles;
     table.add_row({nest.name(), report::fmt_bytes(nest.footprint_bytes()),
@@ -282,6 +299,48 @@ int run(const cli::Args& args) {
               << "\n";
   }
   return 0;
+}
+
+void print_counters(const telemetry::PerfCounters& counters) {
+  if (!counters.available()) {
+    std::cout << "\nhardware counters unavailable: "
+              << counters.unavailable_reason() << "\n";
+    return;
+  }
+  const telemetry::CounterSample sample = counters.read();
+  report::Table table({"Counter", "Value", "Scaling"});
+  table.set_title("Hardware counters (this process, whole run)");
+  for (const telemetry::CounterValue& v : sample.values) {
+    if (!v.valid) continue;
+    table.add_row({telemetry::to_string(v.counter), report::fmt_count(v.value),
+                   report::fmt_double(v.scaling)});
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+}
+
+int run(const cli::Args& args) {
+  const bool want_counters = args.has("counters");
+  const std::string trace_path = args.get("trace-json");
+  telemetry::TraceWriter trace;
+  telemetry::PerfCounters counters;
+  if (want_counters) counters.start();
+  const int rc = run_modes(args, trace_path.empty() ? nullptr : &trace);
+  if (want_counters) {
+    counters.stop();
+    print_counters(counters);
+  }
+  if (!trace_path.empty() && rc == 0) {
+    if (trace.num_slices() == 0) {
+      std::cerr << "warning: this mode records no cascade timeline; " << trace_path
+                << " not written (use a plain run or trace replay)\n";
+    } else {
+      trace.save(trace_path);
+      std::cout << "trace json: " << trace_path
+                << " (open in chrome://tracing or ui.perfetto.dev)\n";
+    }
+  }
+  return rc;
 }
 
 /// On failure, any in-flight cascade runtime state is part of the story:
