@@ -1,0 +1,28 @@
+# Runs casclint over SPEC in JSON mode, writes the report to OUT, checks the
+# exit code against EXPECT_EXIT (0 = clean, 1 = findings), and byte-compares
+# the report to the committed GOLDEN.  Invoked by ctest via
+#   cmake -DCASCLINT=... -DSPEC=... -DOUT=... -DGOLDEN=... -DEXPECT_EXIT=N \
+#         -P run_casclint_golden.cmake
+foreach(var CASCLINT SPEC OUT GOLDEN EXPECT_EXIT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_casclint_golden.cmake: ${var} not set")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CASCLINT} --format=json --spec=${SPEC} --out=${OUT}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL ${EXPECT_EXIT})
+  message(FATAL_ERROR
+          "casclint --spec=${SPEC} exited ${rc}, expected ${EXPECT_EXIT}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "casclint report ${OUT} differs from golden ${GOLDEN}; if the "
+          "change is intended, regenerate the golden with "
+          "casclint --format=json --spec=${SPEC} --out=${GOLDEN}")
+endif()

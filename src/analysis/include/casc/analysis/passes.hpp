@@ -1,0 +1,120 @@
+// Static cascade-safety passes over a LoopSpec.
+//
+// The cascade's correctness argument (paper §2) splits cleanly in two:
+//
+//   * Execution phases run in token order, one at a time, so EVERY
+//     dependence between execution phases — flow, anti, or output, any
+//     distance — is automatically preserved.  Cross-chunk dependences among
+//     writes are therefore safe by construction and only worth a note.
+//   * Helper phases run EARLY: the restructuring helper for chunk c stages
+//     operand values while chunks < c are still executing.  That is only
+//     sequential-equivalent if no staged byte is ever written by the loop.
+//     A flow dependence (write at iteration i, staged read at iteration
+//     j > i) whose endpoints land in different chunks makes the staged copy
+//     stale — the hazard casclint exists to catch.
+//
+// These passes run on the declarative LoopSpec (before instantiation) so
+// they can analyze specs that LoopNest itself would reject, classify every
+// operand claim, bound per-chunk footprints, and prove (or refute)
+// restructure eligibility.  All findings are Diagnostics; rule ids are
+// documented in docs/ANALYSIS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "casc/common/diagnostic.hpp"
+#include "casc/loopir/loop_spec.hpp"
+
+namespace casc::analysis {
+
+/// How the loop treats one declared array, reconciled against its claim.
+struct OperandClass {
+  std::string name;
+  bool is_index = false;    ///< declared as an index array (always read-only)
+  bool claimed_ro = false;  ///< declared ro (or index)
+  bool read = false;        ///< named by at least one read access
+  bool written = false;     ///< named by at least one write access
+  bool used_as_via = false; ///< drives an indirect access
+  /// The restructuring helper would stage this operand's values: it is
+  /// claimed read-only and read by the loop body (directly or indirectly).
+  [[nodiscard]] bool staged() const noexcept { return claimed_ro && read; }
+};
+
+/// Distinct-bytes bound for one static access site over one chunk.
+struct AccessFootprint {
+  std::size_t access_index = 0;  ///< position in LoopSpec::accesses
+  std::string array;
+  bool is_write = false;
+  bool indirect = false;
+  /// Affine element-index range [min_elem, max_elem] over the whole trip
+  /// (before modulo wrap); for indirect accesses the target range is
+  /// value-dependent and conservatively the whole array.
+  std::int64_t min_elem = 0;
+  std::int64_t max_elem = 0;
+  bool wraps = false;  ///< the affine range escapes [0, num_elems)
+  /// Upper bound on distinct bytes this site touches in one chunk.
+  std::uint64_t chunk_bytes_bound = 0;
+};
+
+/// Per-chunk and whole-loop footprint bounds at a given chunk geometry.
+struct StaticFootprint {
+  std::uint64_t bytes_per_iteration = 0;
+  std::uint64_t chunk_iters = 0;      ///< iterations per chunk
+  std::uint64_t num_chunks = 0;
+  std::uint64_t per_chunk_bound = 0;  ///< distinct bytes one chunk can touch
+  std::uint64_t staged_chunk_bound = 0;  ///< of those, bytes the helper stages
+  std::vector<AccessFootprint> accesses;
+};
+
+/// One affine dependence between two access sites on the same array.
+/// The element written at iteration i is read (or re-written) at iteration
+/// i + distance; positive distance = flow, negative = anti, zero =
+/// intra-iteration.
+struct AffineDependence {
+  std::string array;
+  std::size_t src_access = 0;  ///< the write
+  std::size_t dst_access = 0;  ///< the read (flow/anti) or write (output)
+  bool dst_is_write = false;   ///< output dependence
+  std::int64_t distance = 0;   ///< iterations, in executed-iteration units
+};
+
+/// Classifies every declared array against its accesses.  Emits
+/// "classify-write-ro" errors for written claimed-read-only arrays,
+/// "unused-array" warnings, and "rw-never-written" notes.
+[[nodiscard]] std::vector<OperandClass> classify_operands(
+    const loopir::LoopSpec& spec, common::DiagnosticList& diags);
+
+/// Affine index-range audit: flags accesses whose element range escapes the
+/// declared extent ("index-wrap" warning — the reference generator wraps
+/// modulo the extent, which is usually deliberate scaling but changes the
+/// dependence structure), and "via-not-index" errors for indirect accesses
+/// driven by a non-index array.
+void check_index_ranges(const loopir::LoopSpec& spec,
+                        common::DiagnosticList& diags);
+
+/// Bounds the distinct bytes each access site (and each chunk) touches for
+/// chunks of `chunk_bytes`.
+[[nodiscard]] StaticFootprint compute_footprints(const loopir::LoopSpec& spec,
+                                                 std::uint64_t chunk_bytes);
+
+/// Cross-chunk dependence analysis.  Computes affine dependences between
+/// same-array access pairs, emits "dep-loop-carried" notes for dependences
+/// that token order preserves, and — the point of the tool —
+/// "hazard-cross-chunk" errors for flow dependences into STAGED operands
+/// (claimed read-only, read by the body, but also written): once writer and
+/// reader land in different chunks the staged copy is stale.  Indirect
+/// writes into a staged operand (or staged indirect reads of a written one)
+/// are value-dependent and reported conservatively.
+[[nodiscard]] std::vector<AffineDependence> check_dependences(
+    const loopir::LoopSpec& spec, const std::vector<OperandClass>& classes,
+    std::uint64_t chunk_iters, common::DiagnosticList& diags);
+
+/// Address-layout audit on the instantiated nest's bases: arrays must be
+/// pairwise disjoint and must not reach the sequential-buffer region the
+/// engine carves out at 1<<44 ("footprint-overlap" errors).  `spec` must be
+/// instantiable (use sanitized_instantiate for specs with claim errors).
+void check_layout(const loopir::LoopNest& nest, common::DiagnosticList& diags);
+
+}  // namespace casc::analysis

@@ -1,0 +1,90 @@
+// Trace-backed shadow checker: replays a recorded reference stream against
+// the static verifier's claims.
+//
+// The static passes (passes.hpp) reason about the DECLARED loop; the shadow
+// checker validates the same properties against the dynamic ground truth —
+// the classified references a casc::trace::Trace actually recorded:
+//
+//   * footprint containment: no reference lands outside the claimed array
+//     extents, and no chunk touches more distinct bytes than the static
+//     per-chunk bound promised ("shadow-footprint");
+//   * claim fidelity: no write lands in an operand claimed read-only
+//     ("shadow-write-ro"), and when one does with writer and staged reader
+//     in different chunks, the flow hazard the static pass predicted is
+//     confirmed from the trace ("shadow-hazard-cross-chunk").
+//
+// Specs whose claims are false cannot instantiate (LoopNest rejects writes
+// to read-only arrays), so sanitized_instantiate() builds the nest with the
+// offending claims demoted to rw while claims_for() preserves the ORIGINAL
+// claims for the checker to test against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "casc/common/diagnostic.hpp"
+#include "casc/loopir/loop_spec.hpp"
+#include "casc/trace/trace.hpp"
+
+namespace casc::analysis {
+
+/// One array's declared address extent and read-only claim, as the spec
+/// stated it (not as the sanitized nest was built).
+struct ArrayClaim {
+  std::string name;
+  std::uint64_t base = 0;
+  std::uint64_t bytes = 0;
+  bool claimed_ro = false;
+};
+
+/// Instantiates `spec` with every written claimed-read-only array demoted to
+/// rw, so that specs with false claims (which LoopNest itself rejects) can
+/// still be materialized, traced, and shadow-checked.  Demoted array names
+/// are appended to `demoted` when non-null.  Throws CheckFailure on errors
+/// that demotion cannot repair (undeclared arrays, missing trip, ...).
+[[nodiscard]] loopir::LoopNest sanitized_instantiate(
+    const loopir::LoopSpec& spec, std::vector<std::string>* demoted = nullptr);
+
+/// The spec's original claims bound to the instantiated nest's addresses.
+[[nodiscard]] std::vector<ArrayClaim> claims_for(const loopir::LoopSpec& spec,
+                                                 const loopir::LoopNest& nest);
+
+struct ShadowOptions {
+  /// Chunk geometry, matching the cascaded run under scrutiny.
+  std::uint64_t chunk_bytes = 64 * 1024;
+  /// Replay cap; traces longer than this are checked over a prefix.
+  std::uint64_t max_iterations = 1ull << 20;
+  /// Cap on concrete violation instances reported as diagnostics.
+  std::uint64_t max_reported = 4;
+  /// Static per-chunk distinct-bytes bound to validate against
+  /// (StaticFootprint::per_chunk_bound); 0 skips the containment check.
+  std::uint64_t static_chunk_bound = 0;
+};
+
+struct ShadowReport {
+  /// No write was observed inside any claimed-read-only extent.
+  bool restructure_safe = true;
+  bool truncated = false;  ///< hit ShadowOptions::max_iterations
+  std::uint64_t iterations_checked = 0;
+  std::uint64_t refs_checked = 0;
+  std::uint64_t chunk_iters = 0;
+  std::uint64_t staged_bytes = 0;         ///< distinct claimed-ro bytes read
+  std::uint64_t violating_writes = 0;     ///< writes into claimed-ro extents
+  std::uint64_t cross_chunk_hazards = 0;  ///< those crossing a chunk boundary
+  std::uint64_t peak_chunk_bytes = 0;     ///< max distinct bytes in one chunk
+  bool footprint_exceeded = false;        ///< peak exceeded the static bound
+  std::uint64_t out_of_extent_refs = 0;   ///< refs outside every claim
+  common::DiagnosticList diags;
+};
+
+/// Replays `trace` against `claims`.  Two passes over the reference stream:
+/// pass 1 collects the staged (claimed-read-only read) footprint and
+/// per-chunk distinct-bytes peaks; pass 2 tests every write against that
+/// footprint and classifies confirmed violations by whether writer and
+/// staged reader land in different chunks.
+[[nodiscard]] ShadowReport shadow_check(const trace::Trace& trace,
+                                        const std::vector<ArrayClaim>& claims,
+                                        const ShadowOptions& opt = {});
+
+}  // namespace casc::analysis

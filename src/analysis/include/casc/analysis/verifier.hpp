@@ -1,0 +1,79 @@
+// casc::analysis — the cascade-safety verifier driving casclint.
+//
+// analyze() runs the full pipeline over one LoopSpec:
+//
+//   1. static passes (passes.hpp): operand classification, index-range
+//      audit, per-chunk footprint bounds, cross-chunk dependence analysis,
+//      address-layout audit;
+//   2. restructure-eligibility verdict: the loop is eligible iff no error
+//      was found and every staged operand is proven write-free
+//      ("restructure-eligible" note carries the proof summary);
+//   3. optionally (AnalyzeOptions::run_shadow) the trace-backed shadow
+//      checker (shadow.hpp): the spec is instantiated with false claims
+//      demoted, its reference stream captured, and the static claims
+//      replayed against the dynamic ground truth.
+//
+// The result is an AnalysisReport: every finding as a Diagnostic plus the
+// machine-readable facts (footprints, dependences, shadow counters), with
+// text and deterministic JSON renderers for the CLI and CI goldens.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "casc/analysis/passes.hpp"
+#include "casc/analysis/shadow.hpp"
+#include "casc/common/diagnostic.hpp"
+#include "casc/loopir/loop_spec.hpp"
+
+namespace casc::analysis {
+
+struct AnalyzeOptions {
+  /// Chunk geometry the analysis reasons about (the paper's 64 KB default).
+  std::uint64_t chunk_bytes = 64 * 1024;
+  /// Run the trace-backed shadow checker after the static passes.  Skipped
+  /// automatically when the spec cannot be instantiated even after claim
+  /// demotion.
+  bool run_shadow = true;
+  /// Iteration cap for the shadow replay.
+  std::uint64_t max_shadow_iterations = 1ull << 20;
+};
+
+struct AnalysisReport {
+  std::string loop;
+  /// Every finding from every pass (parser, static, shadow), in pass order.
+  common::DiagnosticList diags;
+  std::vector<OperandClass> operands;
+  StaticFootprint footprint;
+  std::vector<AffineDependence> dependences;
+  /// Proven: no error anywhere and every staged operand is write-free.
+  bool restructure_eligible = false;
+  bool shadow_ran = false;
+  ShadowReport shadow;
+
+  /// Lint verdict: no errors (warnings and notes are advisory).
+  [[nodiscard]] bool ok() const noexcept { return diags.ok(); }
+};
+
+/// Runs the full pipeline over a parsed spec.
+[[nodiscard]] AnalysisReport analyze(const loopir::LoopSpec& spec,
+                                     const AnalyzeOptions& opt = {});
+
+/// Parses (collecting diagnostics, not throwing) and analyzes.  Parse errors
+/// land in the report; the static passes still run over the best-effort spec
+/// so one lint invocation reports everything it can.
+[[nodiscard]] AnalysisReport analyze_text(std::string_view text,
+                                          const AnalyzeOptions& opt = {});
+
+/// Human-readable report: verdict line, per-pass summaries, diagnostics.
+[[nodiscard]] std::string render_text(const AnalysisReport& report);
+
+/// Deterministic JSON document (stable key order, no timestamps) for CI
+/// goldens; `source` labels the document (usually the spec's basename).
+void render_json(const AnalysisReport& report, std::ostream& os,
+                 std::string_view source = "", int indent = 2);
+
+}  // namespace casc::analysis

@@ -1,0 +1,260 @@
+#include "casc/analysis/verifier.hpp"
+
+#include <exception>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "casc/common/check.hpp"
+#include "casc/telemetry/json.hpp"
+#include "casc/trace/trace.hpp"
+
+namespace casc::analysis {
+
+namespace {
+
+const char* dep_kind(const AffineDependence& dep) {
+  if (dep.dst_is_write) return "output";
+  if (dep.distance == 0) return "intra";
+  return dep.distance > 0 ? "flow" : "anti";
+}
+
+AnalysisReport analyze_with(const loopir::LoopSpec& spec,
+                            const AnalyzeOptions& opt,
+                            common::DiagnosticList initial) {
+  AnalysisReport report;
+  report.loop = spec.name;
+  report.diags = std::move(initial);
+
+  report.operands = classify_operands(spec, report.diags);
+  check_index_ranges(spec, report.diags);
+  report.footprint = compute_footprints(spec, opt.chunk_bytes);
+  report.dependences = check_dependences(spec, report.operands,
+                                         report.footprint.chunk_iters,
+                                         report.diags);
+
+  // Layout audit and shadow replay both need a materialized nest; demote
+  // false claims so even a failing spec can be traced against its claims.
+  std::optional<loopir::LoopNest> nest;
+  std::vector<std::string> demoted;
+  try {
+    nest.emplace(sanitized_instantiate(spec, &demoted));
+  } catch (const std::exception& e) {
+    report.diags.note("shadow-skipped",
+                      std::string("spec cannot be instantiated even after "
+                                  "claim demotion (") +
+                          e.what() + "); layout audit and shadow check skipped");
+  }
+  if (nest) check_layout(*nest, report.diags);
+
+  report.restructure_eligible = report.diags.ok();
+  if (report.restructure_eligible) {
+    std::string staged_names;
+    for (const OperandClass& c : report.operands) {
+      if (!c.staged()) continue;
+      if (!staged_names.empty()) staged_names += ", ";
+      staged_names += "'" + c.name + "'";
+    }
+    if (!staged_names.empty()) {
+      report.diags.note(
+          "restructure-eligible",
+          "every staged operand (" + staged_names +
+              ") is proven write-free; the restructuring helper may stage "
+              "up to " + std::to_string(report.footprint.staged_chunk_bound) +
+              " bytes per chunk into the sequential buffer");
+    }
+  }
+
+  if (opt.run_shadow && nest) {
+    trace::Trace trace = trace::Trace::capture(*nest);
+    ShadowOptions sopt;
+    sopt.chunk_bytes = opt.chunk_bytes;
+    sopt.max_iterations = opt.max_shadow_iterations;
+    sopt.static_chunk_bound = report.footprint.per_chunk_bound;
+    report.shadow = shadow_check(trace, claims_for(spec, *nest), sopt);
+    report.shadow_ran = true;
+    report.diags.merge(report.shadow.diags);
+    if (!report.shadow.restructure_safe) report.restructure_eligible = false;
+  }
+
+  report.diags.set_loop(spec.name);
+  return report;
+}
+
+}  // namespace
+
+AnalysisReport analyze(const loopir::LoopSpec& spec, const AnalyzeOptions& opt) {
+  return analyze_with(spec, opt, {});
+}
+
+AnalysisReport analyze_text(std::string_view text, const AnalyzeOptions& opt) {
+  common::DiagnosticList parse_diags;
+  const loopir::LoopSpec spec = loopir::LoopSpec::parse(text, parse_diags);
+  return analyze_with(spec, opt, std::move(parse_diags));
+}
+
+std::string render_text(const AnalysisReport& report) {
+  std::ostringstream os;
+  os << "casclint: loop '" << report.loop << "': "
+     << (report.ok() ? "PASS" : "FAIL") << " (" << report.diags.errors()
+     << " errors, " << report.diags.warnings() << " warnings, "
+     << report.diags.notes() << " notes)\n";
+  os << "  operands:";
+  for (const OperandClass& c : report.operands) {
+    os << ' ' << c.name << '['
+       << (c.is_index ? "index" : (c.claimed_ro ? "ro" : "rw"));
+    if (c.written) os << ",written";
+    if (c.staged()) os << ",staged";
+    os << ']';
+  }
+  os << '\n';
+  os << "  footprint: " << report.footprint.bytes_per_iteration
+     << " bytes/iter, " << report.footprint.chunk_iters << " iters/chunk, "
+     << report.footprint.num_chunks << " chunks, <= "
+     << report.footprint.per_chunk_bound << " bytes/chunk ("
+     << report.footprint.staged_chunk_bound << " staged)\n";
+  os << "  dependences: " << report.dependences.size() << " affine";
+  for (const AffineDependence& dep : report.dependences) {
+    os << ' ' << dep.array << ':' << dep_kind(dep) << '('
+       << dep.distance << ')';
+  }
+  os << '\n';
+  os << "  restructure: "
+     << (report.restructure_eligible ? "eligible" : "refused") << '\n';
+  if (report.shadow_ran) {
+    os << "  shadow: " << report.shadow.iterations_checked << " iterations, "
+       << report.shadow.refs_checked << " refs, " << report.shadow.staged_bytes
+       << " staged bytes, " << report.shadow.violating_writes
+       << " violating writes (" << report.shadow.cross_chunk_hazards
+       << " cross-chunk), peak chunk " << report.shadow.peak_chunk_bytes
+       << " bytes\n";
+  }
+  if (!report.diags.empty()) os << report.diags.render_text();
+  return os.str();
+}
+
+void render_json(const AnalysisReport& report, std::ostream& os,
+                 std::string_view source, int indent) {
+  telemetry::JsonWriter w(os, indent);
+  w.begin_object();
+  w.key("tool");
+  w.value("casclint");
+  w.key("version");
+  w.value(std::uint64_t{1});
+  if (!source.empty()) {
+    w.key("source");
+    w.value(source);
+  }
+  w.key("loop");
+  w.value(report.loop);
+  w.key("verdict");
+  w.value(report.ok() ? "pass" : "fail");
+  w.key("errors");
+  w.value(static_cast<std::uint64_t>(report.diags.errors()));
+  w.key("warnings");
+  w.value(static_cast<std::uint64_t>(report.diags.warnings()));
+  w.key("notes");
+  w.value(static_cast<std::uint64_t>(report.diags.notes()));
+  w.key("restructure_eligible");
+  w.value(report.restructure_eligible);
+
+  w.key("operands");
+  w.begin_array();
+  for (const OperandClass& c : report.operands) {
+    w.begin_object();
+    w.key("name");
+    w.value(c.name);
+    w.key("kind");
+    w.value(c.is_index ? "index" : (c.claimed_ro ? "ro" : "rw"));
+    w.key("read");
+    w.value(c.read);
+    w.key("written");
+    w.value(c.written);
+    w.key("via");
+    w.value(c.used_as_via);
+    w.key("staged");
+    w.value(c.staged());
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("footprint");
+  w.begin_object();
+  w.key("bytes_per_iteration");
+  w.value(report.footprint.bytes_per_iteration);
+  w.key("chunk_iters");
+  w.value(report.footprint.chunk_iters);
+  w.key("num_chunks");
+  w.value(report.footprint.num_chunks);
+  w.key("per_chunk_bound");
+  w.value(report.footprint.per_chunk_bound);
+  w.key("staged_chunk_bound");
+  w.value(report.footprint.staged_chunk_bound);
+  w.end_object();
+
+  w.key("dependences");
+  w.begin_array();
+  for (const AffineDependence& dep : report.dependences) {
+    w.begin_object();
+    w.key("array");
+    w.value(dep.array);
+    w.key("kind");
+    w.value(dep_kind(dep));
+    w.key("distance");
+    w.value(static_cast<std::int64_t>(dep.distance));
+    w.key("src_access");
+    w.value(static_cast<std::uint64_t>(dep.src_access));
+    w.key("dst_access");
+    w.value(static_cast<std::uint64_t>(dep.dst_access));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("shadow");
+  w.begin_object();
+  w.key("ran");
+  w.value(report.shadow_ran);
+  if (report.shadow_ran) {
+    w.key("iterations_checked");
+    w.value(report.shadow.iterations_checked);
+    w.key("refs_checked");
+    w.value(report.shadow.refs_checked);
+    w.key("chunk_iters");
+    w.value(report.shadow.chunk_iters);
+    w.key("staged_bytes");
+    w.value(report.shadow.staged_bytes);
+    w.key("violating_writes");
+    w.value(report.shadow.violating_writes);
+    w.key("cross_chunk_hazards");
+    w.value(report.shadow.cross_chunk_hazards);
+    w.key("peak_chunk_bytes");
+    w.value(report.shadow.peak_chunk_bytes);
+    w.key("restructure_safe");
+    w.value(report.shadow.restructure_safe);
+    w.key("truncated");
+    w.value(report.shadow.truncated);
+  }
+  w.end_object();
+
+  w.key("diagnostics");
+  w.begin_array();
+  for (const common::Diagnostic& d : report.diags.items()) {
+    w.begin_object();
+    w.key("severity");
+    w.value(common::to_string(d.severity));
+    w.key("rule");
+    w.value(d.rule);
+    w.key("message");
+    w.value(d.message);
+    w.key("object");
+    w.value(d.object);
+    w.key("line");
+    w.value(d.line);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace casc::analysis

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "casc/cascade/preflight.hpp"
 #include "casc/common/align.hpp"
 #include "casc/common/check.hpp"
 
@@ -198,8 +199,25 @@ CascadeResult CascadeSimulator::continue_cascaded(const Workload& workload,
   return cascaded_impl(workload, opt);
 }
 
+bool CascadeSimulator::verify_enabled() const {
+  return verify_override_.value_or(common::verification_enabled());
+}
+
 CascadeResult CascadeSimulator::cascaded_impl(const Workload& workload,
-                                              const CascadeOptions& opt) {
+                                              const CascadeOptions& requested) {
+  CascadeOptions opt = requested;
+  CascadeResult preflight_outcome;
+  if (opt.helper == HelperKind::kRestructure && verify_enabled()) {
+    // Refuse to stage operands whose read-only claim the reference stream
+    // contradicts: fall back to prefetch (always semantics-preserving) and
+    // carry the evidence in the result.
+    PreflightReport preflight = preflight_verify(workload, {opt.chunk_bytes});
+    if (!preflight.restructure_safe) {
+      opt.helper = HelperKind::kPrefetch;
+      preflight_outcome.preflight_demoted = true;
+      preflight_outcome.preflight_diags = preflight.diags.items();
+    }
+  }
   CASC_CHECK(opt.helper_lookahead >= 1, "lookahead must be at least 1");
   const unsigned P = machine_->num_processors();
   const unsigned L = opt.helper_lookahead;
@@ -226,7 +244,7 @@ CascadeResult CascadeSimulator::cascaded_impl(const Workload& workload,
     return &buffers[p][(c / P) % L];
   };
 
-  CascadeResult result;
+  CascadeResult result = std::move(preflight_outcome);
   result.num_chunks = plan.num_chunks();
 
   const bool unbounded = opt.time_model == HelperTimeModel::kUnbounded;

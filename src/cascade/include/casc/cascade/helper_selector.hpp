@@ -26,14 +26,26 @@ struct HelperChoice {
   /// True when even the best cascaded configuration loses to sequential
   /// execution — the caller should run the loop plainly.
   [[nodiscard]] bool prefer_sequential() const noexcept { return speedup < 1.0; }
+  /// True when the preflight verifier refused the restructure trial (a
+  /// staged operand is written); its slot in speedup_by_kind then reports the
+  /// prefetch fallback the engine actually ran, and restructure is never the
+  /// selected helper.
+  bool restructure_refused = false;
 };
 
 /// Tries every helper strategy at `opt.chunk_bytes` and returns the best.
+/// With preflight verification on (the default), an unproven restructure
+/// helper is demoted by the engine and never selected.
+HelperChoice select_helper(CascadeSimulator& sim, const Workload& workload,
+                           CascadeOptions opt);
 HelperChoice select_helper(CascadeSimulator& sim, const loopir::LoopNest& nest,
                            CascadeOptions opt);
 
 /// Tries every helper strategy across a geometric chunk sweep
 /// [min_bytes, max_bytes] and returns the best (strategy, chunk) pair.
+HelperChoice select_helper_and_chunk(CascadeSimulator& sim, const Workload& workload,
+                                     CascadeOptions opt, std::uint64_t min_bytes,
+                                     std::uint64_t max_bytes);
 HelperChoice select_helper_and_chunk(CascadeSimulator& sim,
                                      const loopir::LoopNest& nest, CascadeOptions opt,
                                      std::uint64_t min_bytes, std::uint64_t max_bytes);

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "casc/common/diagnostic.hpp"
 #include "casc/sim/cache.hpp"
 #include "casc/sim/machine.hpp"
 
@@ -98,6 +99,12 @@ struct CascadeResult {
   sim::BusStats bus;
   /// Populated when CascadeOptions::record_timeline is set.
   std::vector<TimelineSpan> timeline;
+  /// True when the preflight verifier refused the requested restructure
+  /// helper (a staged operand is written by the loop) and the run fell back
+  /// to prefetch; `preflight_diags` carries the evidence.  Disable with
+  /// CASC_NO_VERIFY=1 or CascadeSimulator::set_verify(false).
+  bool preflight_demoted = false;
+  std::vector<common::Diagnostic> preflight_diags;
 
   /// Fraction of desired helper iterations that fit in the available windows.
   [[nodiscard]] double helper_coverage() const noexcept {

@@ -1,0 +1,155 @@
+#include "casc/cascade/preflight.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "casc/cascade/chunking.hpp"
+
+namespace casc::cascade {
+
+namespace {
+
+std::string hex(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// A coalesced claimed-read-only region with the iteration range over which
+/// it is read (staged); used to classify violating writes by chunk distance.
+struct ClaimInterval {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;  // exclusive
+  std::uint64_t min_iter = 0;
+  std::uint64_t max_iter = 0;
+};
+
+}  // namespace
+
+PreflightReport preflight_verify(const Workload& workload,
+                                 const PreflightOptions& opt) {
+  PreflightReport report;
+  const std::uint64_t total = workload.num_iterations();
+  const std::uint64_t iters = std::min(total, opt.max_iterations);
+  report.truncated = iters < total;
+  report.iterations_checked = iters;
+
+  const ChunkPlan plan = ChunkPlan::for_iters_per_bytes(
+      std::max<std::uint64_t>(1, total), workload.bytes_per_iteration(),
+      opt.chunk_bytes);
+  const std::uint64_t iters_per_chunk = plan.iters_per_chunk();
+
+  // Pass 1: the claimed read-only footprint — every byte the restructure
+  // helper would stage — keyed by start address with the read-iteration range.
+  struct Claim {
+    std::uint64_t size = 0;
+    std::uint64_t min_iter = 0;
+    std::uint64_t max_iter = 0;
+  };
+  std::unordered_map<std::uint64_t, Claim> claimed;
+  std::vector<loopir::Ref> refs;
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    refs.clear();
+    workload.refs_for_iteration(it, refs);
+    report.refs_checked += refs.size();
+    for (const loopir::Ref& ref : refs) {
+      if (ref.mem.type == sim::AccessType::kWrite) continue;
+      if (!ref.read_only_operand && !ref.is_index_load) continue;
+      auto [slot, inserted] = claimed.try_emplace(ref.mem.addr,
+                                                  Claim{ref.mem.size, it, it});
+      if (inserted) {
+        report.claimed_ro_bytes += ref.mem.size;
+      } else {
+        slot->second.size = std::max<std::uint64_t>(slot->second.size, ref.mem.size);
+        slot->second.min_iter = std::min(slot->second.min_iter, it);
+        slot->second.max_iter = std::max(slot->second.max_iter, it);
+      }
+    }
+  }
+
+  // Coalesce into disjoint sorted intervals for byte-accurate overlap tests.
+  std::vector<ClaimInterval> intervals;
+  intervals.reserve(claimed.size());
+  for (const auto& [addr, claim] : claimed) {
+    intervals.push_back({addr, addr + claim.size, claim.min_iter, claim.max_iter});
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const ClaimInterval& a, const ClaimInterval& b) {
+              return a.begin < b.begin;
+            });
+  std::size_t merged = 0;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    if (merged > 0 && intervals[i].begin <= intervals[merged - 1].end) {
+      ClaimInterval& prev = intervals[merged - 1];
+      prev.end = std::max(prev.end, intervals[i].end);
+      prev.min_iter = std::min(prev.min_iter, intervals[i].min_iter);
+      prev.max_iter = std::max(prev.max_iter, intervals[i].max_iter);
+    } else {
+      intervals[merged++] = intervals[i];
+    }
+  }
+  intervals.resize(merged);
+
+  auto find_overlap = [&](std::uint64_t begin, std::uint64_t end) -> const ClaimInterval* {
+    auto it = std::upper_bound(intervals.begin(), intervals.end(), begin,
+                               [](std::uint64_t b, const ClaimInterval& iv) {
+                                 return b < iv.begin;
+                               });
+    if (it != intervals.begin()) {
+      const ClaimInterval& prev = *(it - 1);
+      if (prev.end > begin) return &prev;
+    }
+    if (it != intervals.end() && it->begin < end) return &*it;
+    return nullptr;
+  };
+
+  // Pass 2: every write must miss that footprint.
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    refs.clear();
+    workload.refs_for_iteration(it, refs);
+    for (const loopir::Ref& ref : refs) {
+      if (ref.mem.type != sim::AccessType::kWrite) continue;
+      const ClaimInterval* hit = find_overlap(ref.mem.addr, ref.mem.addr + ref.mem.size);
+      if (hit == nullptr) continue;
+      ++report.violating_writes;
+      const std::uint64_t write_chunk = it / iters_per_chunk;
+      const bool crosses = hit->min_iter / iters_per_chunk != write_chunk ||
+                           hit->max_iter / iters_per_chunk != write_chunk;
+      if (crosses) ++report.cross_chunk_hazards;
+      if (report.violating_writes <= opt.max_reported) {
+        const std::string where =
+            "iteration " + std::to_string(it) + " writes " + hex(ref.mem.addr);
+        if (crosses) {
+          report.diags.error(
+              "hazard-cross-chunk",
+              where + " inside the claimed read-only footprint staged in another "
+                      "chunk (iterations " + std::to_string(hit->min_iter) + ".." +
+                  std::to_string(hit->max_iter) +
+                  "); the restructure helper would stage a stale value across the "
+                  "chunk boundary");
+        } else {
+          report.diags.error(
+              "classify-write-ro",
+              where + " inside the claimed read-only footprint; the operand is not "
+                      "read-only and must not be staged");
+        }
+      }
+    }
+  }
+  if (report.violating_writes > opt.max_reported) {
+    report.diags.note("preflight-elided",
+                      std::to_string(report.violating_writes - opt.max_reported) +
+                          " further violating writes elided");
+  }
+  if (report.truncated) {
+    report.diags.warning(
+        "preflight-truncated",
+        "verified the first " + std::to_string(iters) + " of " +
+            std::to_string(total) + " iterations only; verdict covers that prefix");
+  }
+  report.restructure_safe = report.violating_writes == 0;
+  return report;
+}
+
+}  // namespace casc::cascade

@@ -21,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "casc/common/diagnostic.hpp"
 #include "casc/loopir/loop_nest.hpp"
 
 namespace casc::loopir {
@@ -36,6 +37,8 @@ struct LoopSpec {
     std::optional<IndexPattern> pattern;
     std::uint64_t seed = 1;
     std::uint64_t param = 1;
+    /// 1-based source line of the declaration (0 for specs built in code).
+    int line = 0;
   };
 
   struct AccessDecl {
@@ -44,6 +47,8 @@ struct LoopSpec {
     std::int64_t stride = 1;
     std::int64_t offset = 0;
     std::optional<std::string> index_via;
+    /// 1-based source line of the declaration (0 for specs built in code).
+    int line = 0;
   };
 
   std::string name = "loop";
@@ -64,9 +69,16 @@ struct LoopSpec {
   /// formatting).
   [[nodiscard]] std::string to_text() const;
 
-  /// Parses the text format.  Throws CheckFailure with a line number on
-  /// syntax errors.
+  /// Parses the text format.  Throws CheckFailure with a line number on the
+  /// first syntax or semantic error (duplicate array declarations and
+  /// accesses naming undeclared arrays are rejected too).
   static LoopSpec parse(std::string_view text);
+
+  /// Diagnostic-collecting parse: recovers line-by-line, appending one
+  /// Diagnostic per problem (rules "parse-syntax", "duplicate-array",
+  /// "undeclared-array", "parse-incomplete") instead of throwing.  Returns
+  /// the best-effort spec; it is only instantiable when `diags.ok()`.
+  static LoopSpec parse(std::string_view text, common::DiagnosticList& diags);
 };
 
 [[nodiscard]] std::string to_string(IndexPattern pattern);

@@ -10,6 +10,12 @@ namespace casc::loopir {
 
 namespace {
 
+/// Internal parse failure for one directive; the line handler converts it
+/// into a Diagnostic (and recovery continues with the next line).
+struct ParseError {
+  std::string message;
+};
+
 /// Splits a line into whitespace-separated tokens, dropping '#' comments.
 std::vector<std::string> tokenize(std::string_view line) {
   std::vector<std::string> tokens;
@@ -30,25 +36,23 @@ std::vector<std::string> tokenize(std::string_view line) {
 }
 
 template <typename T>
-T parse_number(const std::string& token, int line_no) {
+T parse_number(const std::string& token) {
   T value{};
   const auto [ptr, ec] =
       std::from_chars(token.data(), token.data() + token.size(), value);
-  CASC_CHECK(ec == std::errc{} && ptr == token.data() + token.size(),
-             "line " + std::to_string(line_no) + ": expected a number, got '" +
-                 token + "'");
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    throw ParseError{"expected a number, got '" + token + "'"};
+  }
   return value;
 }
 
-IndexPattern parse_pattern(const std::string& token, int line_no) {
+IndexPattern parse_pattern(const std::string& token) {
   if (token == "identity") return IndexPattern::kIdentity;
   if (token == "strided") return IndexPattern::kStrided;
   if (token == "perm") return IndexPattern::kRandomPerm;
   if (token == "random") return IndexPattern::kRandom;
   if (token == "blocks") return IndexPattern::kBlockShuffle;
-  CASC_CHECK(false, "line " + std::to_string(line_no) + ": unknown index pattern '" +
-                        token + "'");
-  return IndexPattern::kIdentity;  // unreachable
+  throw ParseError{"unknown index pattern '" + token + "'"};
 }
 
 }  // namespace
@@ -130,6 +134,18 @@ std::string LoopSpec::to_text() const {
 }
 
 LoopSpec LoopSpec::parse(std::string_view text) {
+  common::DiagnosticList diags;
+  LoopSpec spec = parse(text, diags);
+  if (const common::Diagnostic* first = diags.first_error()) {
+    std::string what = "loop spec: ";
+    if (first->line > 0) what += "line " + std::to_string(first->line) + ": ";
+    what += first->message + " [" + first->rule + "]";
+    throw common::CheckFailure(what);
+  }
+  return spec;
+}
+
+LoopSpec LoopSpec::parse(std::string_view text, common::DiagnosticList& diags) {
   LoopSpec spec;
   bool saw_trip = false;
   int line_no = 0;
@@ -144,88 +160,130 @@ LoopSpec LoopSpec::parse(std::string_view text) {
     if (tok.empty()) continue;
     const std::string& head = tok[0];
     auto require = [&](std::size_t min_args, std::size_t max_args) {
-      CASC_CHECK(tok.size() - 1 >= min_args && tok.size() - 1 <= max_args,
-                 "line " + std::to_string(line_no) + ": '" + head +
-                     "' takes between " + std::to_string(min_args) + " and " +
-                     std::to_string(max_args) + " arguments");
+      if (tok.size() - 1 < min_args || tok.size() - 1 > max_args) {
+        throw ParseError{"'" + head + "' takes between " + std::to_string(min_args) +
+                         " and " + std::to_string(max_args) + " arguments"};
+      }
     };
-
-    if (head == "loop") {
-      require(1, 1);
-      spec.name = tok[1];
-    } else if (head == "trip") {
-      require(1, 2);
-      spec.trip = parse_number<std::uint64_t>(tok[1], line_no);
-      spec.step = tok.size() > 2 ? parse_number<std::uint64_t>(tok[2], line_no) : 1;
-      saw_trip = true;
-    } else if (head == "compute") {
-      require(1, 2);
-      spec.compute_cycles = parse_number<std::uint32_t>(tok[1], line_no);
-      if (tok.size() > 2) {
-        spec.restructured_compute = parse_number<std::uint32_t>(tok[2], line_no);
-      }
-    } else if (head == "layout") {
-      require(1, 1);
-      if (tok[1] == "conflicting") {
-        spec.layout = LayoutPolicy::kConflicting;
-      } else if (tok[1] == "staggered") {
-        spec.layout = LayoutPolicy::kStaggered;
-      } else {
-        CASC_CHECK(false, "line " + std::to_string(line_no) + ": unknown layout '" +
-                              tok[1] + "'");
-      }
-    } else if (head == "array") {
-      require(4, 4);
-      ArrayDecl decl;
-      decl.name = tok[1];
-      decl.elem_size = parse_number<std::uint32_t>(tok[2], line_no);
-      decl.num_elems = parse_number<std::uint64_t>(tok[3], line_no);
-      CASC_CHECK(tok[4] == "ro" || tok[4] == "rw",
-                 "line " + std::to_string(line_no) + ": expected ro|rw");
-      decl.read_only = tok[4] == "ro";
-      spec.arrays.push_back(std::move(decl));
-    } else if (head == "index") {
-      require(3, 5);
-      ArrayDecl decl;
-      decl.name = tok[1];
-      decl.elem_size = 4;
-      decl.num_elems = parse_number<std::uint64_t>(tok[2], line_no);
-      decl.read_only = true;
-      decl.pattern = parse_pattern(tok[3], line_no);
-      if (tok.size() > 4) decl.seed = parse_number<std::uint64_t>(tok[4], line_no);
-      if (tok.size() > 5) decl.param = parse_number<std::uint64_t>(tok[5], line_no);
-      spec.arrays.push_back(std::move(decl));
-    } else if (head == "access") {
-      require(2, 8);
-      AccessDecl acc;
-      acc.array = tok[1];
-      CASC_CHECK(tok[2] == "read" || tok[2] == "write",
-                 "line " + std::to_string(line_no) + ": expected read|write");
-      acc.is_write = tok[2] == "write";
-      std::size_t i = 3;
-      while (i < tok.size()) {
-        if (tok[i] == "stride" && i + 1 < tok.size()) {
-          acc.stride = parse_number<std::int64_t>(tok[i + 1], line_no);
-          i += 2;
-        } else if (tok[i] == "offset" && i + 1 < tok.size()) {
-          acc.offset = parse_number<std::int64_t>(tok[i + 1], line_no);
-          i += 2;
-        } else if (tok[i] == "via" && i + 1 < tok.size()) {
-          acc.index_via = tok[i + 1];
-          i += 2;
-        } else {
-          CASC_CHECK(false, "line " + std::to_string(line_no) +
-                                ": unexpected token '" + tok[i] + "'");
+    auto declare_array = [&](ArrayDecl decl) {
+      for (const ArrayDecl& existing : spec.arrays) {
+        if (existing.name == decl.name) {
+          diags.add({common::Severity::kError, "duplicate-array",
+                     "array '" + decl.name + "' already declared on line " +
+                         std::to_string(existing.line),
+                     "", decl.name, line_no});
+          return;
         }
       }
-      spec.accesses.push_back(std::move(acc));
-    } else {
-      CASC_CHECK(false,
-                 "line " + std::to_string(line_no) + ": unknown directive '" + head + "'");
+      spec.arrays.push_back(std::move(decl));
+    };
+
+    try {
+      if (head == "loop") {
+        require(1, 1);
+        spec.name = tok[1];
+      } else if (head == "trip") {
+        require(1, 2);
+        spec.trip = parse_number<std::uint64_t>(tok[1]);
+        spec.step = tok.size() > 2 ? parse_number<std::uint64_t>(tok[2]) : 1;
+        saw_trip = true;
+      } else if (head == "compute") {
+        require(1, 2);
+        spec.compute_cycles = parse_number<std::uint32_t>(tok[1]);
+        if (tok.size() > 2) {
+          spec.restructured_compute = parse_number<std::uint32_t>(tok[2]);
+        }
+      } else if (head == "layout") {
+        require(1, 1);
+        if (tok[1] == "conflicting") {
+          spec.layout = LayoutPolicy::kConflicting;
+        } else if (tok[1] == "staggered") {
+          spec.layout = LayoutPolicy::kStaggered;
+        } else {
+          throw ParseError{"unknown layout '" + tok[1] + "'"};
+        }
+      } else if (head == "array") {
+        require(4, 4);
+        ArrayDecl decl;
+        decl.name = tok[1];
+        decl.elem_size = parse_number<std::uint32_t>(tok[2]);
+        decl.num_elems = parse_number<std::uint64_t>(tok[3]);
+        if (tok[4] != "ro" && tok[4] != "rw") throw ParseError{"expected ro|rw"};
+        decl.read_only = tok[4] == "ro";
+        decl.line = line_no;
+        declare_array(std::move(decl));
+      } else if (head == "index") {
+        require(3, 5);
+        ArrayDecl decl;
+        decl.name = tok[1];
+        decl.elem_size = 4;
+        decl.num_elems = parse_number<std::uint64_t>(tok[2]);
+        decl.read_only = true;
+        decl.pattern = parse_pattern(tok[3]);
+        if (tok.size() > 4) decl.seed = parse_number<std::uint64_t>(tok[4]);
+        if (tok.size() > 5) decl.param = parse_number<std::uint64_t>(tok[5]);
+        decl.line = line_no;
+        declare_array(std::move(decl));
+      } else if (head == "access") {
+        require(2, 8);
+        AccessDecl acc;
+        acc.array = tok[1];
+        if (tok[2] != "read" && tok[2] != "write") throw ParseError{"expected read|write"};
+        acc.is_write = tok[2] == "write";
+        acc.line = line_no;
+        std::size_t i = 3;
+        while (i < tok.size()) {
+          if (tok[i] == "stride" && i + 1 < tok.size()) {
+            acc.stride = parse_number<std::int64_t>(tok[i + 1]);
+            i += 2;
+          } else if (tok[i] == "offset" && i + 1 < tok.size()) {
+            acc.offset = parse_number<std::int64_t>(tok[i + 1]);
+            i += 2;
+          } else if (tok[i] == "via" && i + 1 < tok.size()) {
+            acc.index_via = tok[i + 1];
+            i += 2;
+          } else {
+            throw ParseError{"unexpected token '" + tok[i] + "'"};
+          }
+        }
+        spec.accesses.push_back(std::move(acc));
+      } else {
+        throw ParseError{"unknown directive '" + head + "'"};
+      }
+    } catch (const ParseError& e) {
+      diags.add({common::Severity::kError, "parse-syntax", e.message, "", "", line_no});
     }
   }
-  CASC_CHECK(saw_trip, "loop spec is missing a 'trip' directive");
-  CASC_CHECK(!spec.accesses.empty(), "loop spec has no accesses");
+
+  // Accesses may legally precede declarations in the text, so name resolution
+  // happens once the whole spec has been read.
+  auto declared = [&](const std::string& name) {
+    for (const ArrayDecl& decl : spec.arrays) {
+      if (decl.name == name) return true;
+    }
+    return false;
+  };
+  for (const AccessDecl& acc : spec.accesses) {
+    if (!declared(acc.array)) {
+      diags.add({common::Severity::kError, "undeclared-array",
+                 "access names undeclared array '" + acc.array + "'", "", acc.array,
+                 acc.line});
+    }
+    if (acc.index_via && !declared(*acc.index_via)) {
+      diags.add({common::Severity::kError, "undeclared-array",
+                 "access via undeclared index array '" + *acc.index_via + "'", "",
+                 *acc.index_via, acc.line});
+    }
+  }
+  if (!saw_trip) {
+    diags.add({common::Severity::kError, "parse-incomplete",
+               "loop spec is missing a 'trip' directive", "", "", 0});
+  }
+  if (spec.accesses.empty()) {
+    diags.add({common::Severity::kError, "parse-incomplete",
+               "loop spec has no accesses", "", "", 0});
+  }
+  diags.set_loop(spec.name);
   return spec;
 }
 

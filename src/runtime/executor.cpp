@@ -308,4 +308,20 @@ void CascadeExecutor::run(std::uint64_t total_iters, std::uint64_t iters_per_chu
              "cascade finished with an unexecuted chunk");
 }
 
+void CascadeExecutor::run(std::uint64_t total_iters, std::uint64_t iters_per_chunk,
+                          ExecFn exec, HelperFn helper, const PreflightGate& gate) {
+  // A refused gate means the helper would stage operand values that some
+  // chunk writes: running it could feed execution stale data.  Drop it — the
+  // cascade degenerates to token hand-offs over the plain loop body, which is
+  // always correct — and record the refusal so callers can see why their
+  // helper never ran.
+  const bool refused = helper != nullptr && !gate.allow_restructure();
+  run(total_iters, iters_per_chunk, std::move(exec),
+      refused ? HelperFn{} : std::move(helper));
+  if (refused) {
+    stats_.preflight_refused = true;
+    stats_.preflight_diag = common::render_text(gate.reason());
+  }
+}
+
 }  // namespace casc::rt

@@ -30,11 +30,13 @@
 #include <functional>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "casc/common/align.hpp"
 #include "casc/common/first_error.hpp"
+#include "casc/rt/preflight.hpp"
 #include "casc/rt/state_dump.hpp"
 #include "casc/rt/token.hpp"
 #include "casc/telemetry/event_log.hpp"
@@ -86,6 +88,11 @@ struct RunStats {
   std::uint64_t chunks_executed = 0;     ///< execution phases that completed
   bool aborted = false;                  ///< the run was cut short
   std::uint64_t first_failed_chunk = kNoFailedChunk;  ///< chunk whose phase threw
+  /// True when a gated run() dropped its restructuring helper because the
+  /// PreflightGate was a refusal; preflight_diag carries the rendered
+  /// diagnostic explaining why.
+  bool preflight_refused = false;
+  std::string preflight_diag;
 };
 
 /// Thrown by run() when the watchdog deadline expires; carries the cascade
@@ -122,6 +129,17 @@ class CascadeExecutor {
   /// iterations than one chunk degenerates to a plain sequential loop).
   void run(std::uint64_t total_iters, std::uint64_t iters_per_chunk, ExecFn exec,
            HelperFn helper = nullptr);
+
+  /// Gated variant for restructuring helpers: `helper` stages operand values
+  /// early, which is only sequentially correct when every staged operand is
+  /// read-only over the whole loop.  The gate carries that proof (or a
+  /// refusal) from casc::analysis / casc::cascade::preflight_verify.  On a
+  /// refusal the helper is dropped — the cascade still runs, execution-phase
+  /// results are identical, and the refusal is recorded in last_run_stats()
+  /// (preflight_refused / preflight_diag).  CASC_NO_VERIFY=1 overrides a
+  /// refusal at the caller's risk.
+  void run(std::uint64_t total_iters, std::uint64_t iters_per_chunk, ExecFn exec,
+           HelperFn helper, const PreflightGate& gate);
 
   /// Number of workers (including the calling thread).
   [[nodiscard]] unsigned num_threads() const noexcept { return num_threads_; }

@@ -14,12 +14,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <type_traits>
 #include <vector>
 
 #include "casc/common/check.hpp"
 #include "casc/rt/executor.hpp"
 #include "casc/rt/helpers.hpp"
+#include "casc/rt/preflight.hpp"
 #include "casc/rt/seq_buffer.hpp"
 
 namespace casc::rt {
@@ -29,6 +31,11 @@ struct RestructuredStats {
   std::uint64_t chunks = 0;
   std::uint64_t chunks_staged = 0;    ///< execution consumed the buffer
   std::uint64_t chunks_fallback = 0;  ///< helper jumped out; original path used
+  /// True when the run was gated and the PreflightGate refused: no chunk
+  /// staged, the helper degraded to gather-and-discard (pure prefetch), and
+  /// preflight_diag carries the rendered refusal.
+  bool preflight_refused = false;
+  std::string preflight_diag;
 
   [[nodiscard]] double staged_fraction() const noexcept {
     return chunks ? static_cast<double>(chunks_staged) / static_cast<double>(chunks)
@@ -57,6 +64,35 @@ class RestructuredLoop {
   /// across the executor's workers with a restructuring helper.
   template <typename Gather, typename Consume>
   void run(std::uint64_t n, Gather&& gather, Consume&& consume) {
+    run_impl(n, gather, consume, /*allow_stage=*/true);
+  }
+
+  /// Gated variant: staging operand values early is only sequentially
+  /// correct when the gathered operands are read-only over the whole loop.
+  /// A refused gate degrades the helper to gather-and-discard — it still
+  /// warms the worker's cache (the prefetch effect) but never publishes a
+  /// staged buffer, so every execution phase re-resolves via gather() and
+  /// results are exactly the plain loop's.  The refusal is recorded in
+  /// last_run_stats().  CASC_NO_VERIFY=1 overrides a refusal.
+  template <typename Gather, typename Consume>
+  void run(std::uint64_t n, Gather&& gather, Consume&& consume,
+           const PreflightGate& gate) {
+    const bool allow = gate.allow_restructure();
+    run_impl(n, gather, consume, allow);
+    if (!allow) {
+      stats_.preflight_refused = true;
+      stats_.preflight_diag = common::render_text(gate.reason());
+    }
+  }
+
+  [[nodiscard]] const RestructuredStats& last_run_stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  template <typename Gather, typename Consume>
+  void run_impl(std::uint64_t n, Gather& gather, Consume& consume,
+                bool allow_stage) {
     const std::uint64_t num_chunks =
         n == 0 ? 0 : (n + iters_per_chunk_ - 1) / iters_per_chunk_;
     staged_.assign(num_chunks, 0);
@@ -90,7 +126,10 @@ class RestructuredLoop {
             if ((i & 0x3f) == 0 && watch.signalled()) return false;  // jump out
             buf.push(gather(i));
           }
-          staged_[chunk] = 1;  // set only after the whole chunk is staged
+          // An ungated (or refused-but-overridden) helper publishes the
+          // buffer here; a refused one keeps the gather's cache-warming
+          // effect but leaves the chunk unstaged.
+          if (allow_stage) staged_[chunk] = 1;
           return true;
         });
 
@@ -100,11 +139,6 @@ class RestructuredLoop {
     stats_.chunks_fallback = stats_.chunks - stats_.chunks_staged;
   }
 
-  [[nodiscard]] const RestructuredStats& last_run_stats() const noexcept {
-    return stats_;
-  }
-
- private:
   CascadeExecutor& executor_;
   std::uint64_t iters_per_chunk_;
   PerWorkerBuffers buffers_;

@@ -1,0 +1,276 @@
+// Tests for casc::analysis — the static cascade-safety passes, the
+// trace-backed shadow checker, the analyze() pipeline, and the JSON report.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "casc/analysis/passes.hpp"
+#include "casc/analysis/shadow.hpp"
+#include "casc/analysis/verifier.hpp"
+#include "casc/common/check.hpp"
+#include "casc/common/diagnostic.hpp"
+#include "casc/trace/trace.hpp"
+#include "json_mini.hpp"
+
+namespace {
+
+using casc::analysis::AnalysisReport;
+using casc::analysis::AnalyzeOptions;
+using casc::analysis::analyze_text;
+using casc::common::DiagnosticList;
+using casc::common::Severity;
+using casc::loopir::LoopSpec;
+
+// The seeded-unsafe recurrence (tests/specs/unsafe_seeded.casc inlined so
+// the test has no working-directory dependence): 'y' is claimed read-only
+// but the loop reads y(i-1) and writes y(i).
+constexpr const char* kUnsafeSpec = R"(
+loop unsafe_recurrence
+trip 8192
+compute 12 8
+layout conflicting
+array y 8 8192 ro
+array coef 8 8192 ro
+access coef read
+access y read offset -1
+access y write
+)";
+
+constexpr const char* kSafeGather = R"(
+loop safe_gather
+trip 4096
+compute 10 6
+array x 8 4096 rw
+array a 8 4096 ro
+index ij 4096 perm 7
+access a read via ij
+access x write
+)";
+
+bool has_rule(const DiagnosticList& diags, const std::string& rule,
+              Severity severity) {
+  return std::any_of(diags.items().begin(), diags.items().end(),
+                     [&](const casc::common::Diagnostic& d) {
+                       return d.rule == rule && d.severity == severity;
+                     });
+}
+
+TEST(AnalysisPasses, ClassifiesOperandsAndFlagsFalseClaims) {
+  DiagnosticList parse_diags;
+  const LoopSpec spec = LoopSpec::parse(kUnsafeSpec, parse_diags);
+  ASSERT_TRUE(parse_diags.ok());
+  DiagnosticList diags;
+  const auto classes = casc::analysis::classify_operands(spec, diags);
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].name, "y");
+  EXPECT_TRUE(classes[0].claimed_ro);
+  EXPECT_TRUE(classes[0].written);
+  EXPECT_TRUE(classes[0].staged());
+  EXPECT_FALSE(classes[1].written);
+  EXPECT_TRUE(has_rule(diags, "classify-write-ro", Severity::kError));
+}
+
+TEST(AnalysisPasses, UnusedAndNeverWrittenAdvisories) {
+  DiagnosticList parse_diags;
+  const LoopSpec spec = LoopSpec::parse(
+      "loop adv\ntrip 64\narray used 4 64 rw\narray dead 4 64 ro\n"
+      "access used read\n",
+      parse_diags);
+  ASSERT_TRUE(parse_diags.ok());
+  DiagnosticList diags;
+  casc::analysis::classify_operands(spec, diags);
+  EXPECT_TRUE(diags.ok());  // advisories only
+  EXPECT_TRUE(has_rule(diags, "unused-array", Severity::kWarning));
+  EXPECT_TRUE(has_rule(diags, "rw-never-written", Severity::kNote));
+}
+
+TEST(AnalysisPasses, IndexRangeAuditFlagsWrap) {
+  DiagnosticList parse_diags;
+  const LoopSpec spec = LoopSpec::parse(kUnsafeSpec, parse_diags);
+  ASSERT_TRUE(parse_diags.ok());
+  DiagnosticList diags;
+  casc::analysis::check_index_ranges(spec, diags);
+  // 'access y read offset -1' starts at element -1: wraps.
+  EXPECT_TRUE(has_rule(diags, "index-wrap", Severity::kWarning));
+}
+
+TEST(AnalysisPasses, FootprintBoundsArePlausible) {
+  DiagnosticList parse_diags;
+  const LoopSpec spec = LoopSpec::parse(kSafeGather, parse_diags);
+  ASSERT_TRUE(parse_diags.ok());
+  const auto fp = casc::analysis::compute_footprints(spec, 16 * 1024);
+  // a (8) + ij (4) + x (8) bytes per iteration.
+  EXPECT_EQ(fp.bytes_per_iteration, 20u);
+  EXPECT_GT(fp.chunk_iters, 0u);
+  EXPECT_GT(fp.num_chunks, 1u);
+  EXPECT_LE(fp.per_chunk_bound,
+            fp.chunk_iters * fp.bytes_per_iteration + 64);
+  EXPECT_GT(fp.staged_chunk_bound, 0u);
+  EXPECT_LT(fp.staged_chunk_bound, fp.per_chunk_bound);
+}
+
+TEST(AnalysisPasses, DependenceAnalysisFindsTheCrossChunkHazard) {
+  DiagnosticList parse_diags;
+  const LoopSpec spec = LoopSpec::parse(kUnsafeSpec, parse_diags);
+  ASSERT_TRUE(parse_diags.ok());
+  DiagnosticList diags;
+  const auto classes = casc::analysis::classify_operands(spec, diags);
+  DiagnosticList dep_diags;
+  const auto deps =
+      casc::analysis::check_dependences(spec, classes, 512, dep_diags);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0].array, "y");
+  EXPECT_EQ(deps[0].distance, 1);  // flow: write(i) reaches read(i+1)
+  EXPECT_TRUE(has_rule(dep_diags, "hazard-cross-chunk", Severity::kError));
+}
+
+TEST(AnalysisPasses, IntraIterationDependenceIsClean) {
+  // y read + y write at the same offset (the spmv reduction shape): distance
+  // zero, preserved trivially, no diagnostic.
+  DiagnosticList parse_diags;
+  const LoopSpec spec = LoopSpec::parse(
+      "loop red\ntrip 1024\narray y 8 1024 rw\naccess y read\naccess y write\n",
+      parse_diags);
+  ASSERT_TRUE(parse_diags.ok());
+  DiagnosticList diags;
+  const auto classes = casc::analysis::classify_operands(spec, diags);
+  DiagnosticList dep_diags;
+  const auto deps =
+      casc::analysis::check_dependences(spec, classes, 128, dep_diags);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0].distance, 0);
+  EXPECT_TRUE(dep_diags.empty());
+}
+
+TEST(AnalysisPasses, LoopCarriedRwDependenceIsANote) {
+  DiagnosticList parse_diags;
+  const LoopSpec spec = LoopSpec::parse(
+      "loop carry\ntrip 1024\narray y 8 1024 rw\n"
+      "access y read offset -1\naccess y write\n",
+      parse_diags);
+  ASSERT_TRUE(parse_diags.ok());
+  DiagnosticList diags;
+  const auto classes = casc::analysis::classify_operands(spec, diags);
+  DiagnosticList dep_diags;
+  casc::analysis::check_dependences(spec, classes, 128, dep_diags);
+  EXPECT_TRUE(dep_diags.ok());  // token order preserves it: note, not error
+  EXPECT_TRUE(has_rule(dep_diags, "dep-loop-carried", Severity::kNote));
+}
+
+TEST(Shadow, SanitizedInstantiateDemotesFalseClaims) {
+  DiagnosticList parse_diags;
+  const LoopSpec spec = LoopSpec::parse(kUnsafeSpec, parse_diags);
+  ASSERT_TRUE(parse_diags.ok());
+  EXPECT_THROW(spec.instantiate(), casc::common::CheckFailure);
+  std::vector<std::string> demoted;
+  const auto nest = casc::analysis::sanitized_instantiate(spec, &demoted);
+  ASSERT_EQ(demoted.size(), 1u);
+  EXPECT_EQ(demoted[0], "y");
+  EXPECT_EQ(nest.num_iterations(), 8192u);
+  // The claims still carry the ORIGINAL (false) read-only declaration.
+  const auto claims = casc::analysis::claims_for(spec, nest);
+  ASSERT_EQ(claims.size(), 2u);
+  EXPECT_TRUE(claims[0].claimed_ro);
+  EXPECT_GT(claims[0].bytes, 0u);
+}
+
+TEST(Shadow, ConfirmsTheHazardFromTheTrace) {
+  DiagnosticList parse_diags;
+  const LoopSpec spec = LoopSpec::parse(kUnsafeSpec, parse_diags);
+  ASSERT_TRUE(parse_diags.ok());
+  const auto nest = casc::analysis::sanitized_instantiate(spec);
+  const auto trace = casc::trace::Trace::capture(nest);
+  casc::analysis::ShadowOptions opt;
+  opt.chunk_bytes = 8 * 1024;
+  const auto report =
+      casc::analysis::shadow_check(trace, casc::analysis::claims_for(spec, nest), opt);
+  EXPECT_FALSE(report.restructure_safe);
+  EXPECT_GT(report.violating_writes, 0u);
+  EXPECT_GT(report.cross_chunk_hazards, 0u);
+  EXPECT_TRUE(
+      has_rule(report.diags, "shadow-hazard-cross-chunk", Severity::kError));
+}
+
+TEST(Shadow, CleanLoopPassesWithFootprintContainment) {
+  DiagnosticList parse_diags;
+  const LoopSpec spec = LoopSpec::parse(kSafeGather, parse_diags);
+  ASSERT_TRUE(parse_diags.ok());
+  const auto nest = casc::analysis::sanitized_instantiate(spec);
+  const auto trace = casc::trace::Trace::capture(nest);
+  const auto fp = casc::analysis::compute_footprints(spec, 16 * 1024);
+  casc::analysis::ShadowOptions opt;
+  opt.chunk_bytes = 16 * 1024;
+  opt.static_chunk_bound = fp.per_chunk_bound;
+  const auto report =
+      casc::analysis::shadow_check(trace, casc::analysis::claims_for(spec, nest), opt);
+  EXPECT_TRUE(report.restructure_safe);
+  EXPECT_TRUE(report.diags.ok());
+  EXPECT_FALSE(report.footprint_exceeded);
+  EXPECT_EQ(report.out_of_extent_refs, 0u);
+  EXPECT_GT(report.staged_bytes, 0u);
+  EXPECT_LE(report.peak_chunk_bytes, fp.per_chunk_bound);
+}
+
+TEST(Analyze, UnsafeSpecFailsWithStaticAndShadowEvidence) {
+  const AnalysisReport report = analyze_text(kUnsafeSpec);
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.restructure_eligible);
+  ASSERT_TRUE(report.shadow_ran);
+  EXPECT_FALSE(report.shadow.restructure_safe);
+  EXPECT_TRUE(has_rule(report.diags, "classify-write-ro", Severity::kError));
+  EXPECT_TRUE(has_rule(report.diags, "hazard-cross-chunk", Severity::kError));
+  EXPECT_TRUE(
+      has_rule(report.diags, "shadow-hazard-cross-chunk", Severity::kError));
+}
+
+TEST(Analyze, SafeSpecIsEligibleAndProven) {
+  const AnalysisReport report = analyze_text(kSafeGather);
+  EXPECT_TRUE(report.ok()) << report.diags.render_text();
+  EXPECT_TRUE(report.restructure_eligible);
+  ASSERT_TRUE(report.shadow_ran);
+  EXPECT_TRUE(report.shadow.restructure_safe);
+  EXPECT_TRUE(
+      has_rule(report.diags, "restructure-eligible", Severity::kNote));
+}
+
+TEST(Analyze, ParseErrorsLandInTheReport) {
+  const AnalysisReport report = analyze_text("loop broken\ntrip what\n");
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_rule(report.diags, "parse-syntax", Severity::kError));
+  EXPECT_FALSE(report.shadow_ran);  // nothing instantiable to replay
+}
+
+TEST(Analyze, JsonReportIsValidAndCarriesTheVerdict) {
+  std::ostringstream os;
+  const AnalysisReport report = analyze_text(kUnsafeSpec);
+  casc::analysis::render_json(report, os, "unsafe_seeded.casc");
+  const auto doc = casc::testjson::Parser(os.str()).parse();
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->at("tool").string, "casclint");
+  EXPECT_EQ(doc->at("source").string, "unsafe_seeded.casc");
+  EXPECT_EQ(doc->at("verdict").string, "fail");
+  EXPECT_FALSE(doc->at("restructure_eligible").boolean);
+  EXPECT_GT(doc->at("errors").number, 0);
+  ASSERT_TRUE(doc->at("diagnostics").is_array());
+  bool saw_hazard = false;
+  for (const auto& d : doc->at("diagnostics").array) {
+    if (d->at("rule").string == "hazard-cross-chunk") saw_hazard = true;
+  }
+  EXPECT_TRUE(saw_hazard);
+  EXPECT_TRUE(doc->at("shadow").at("ran").boolean);
+  EXPECT_GT(doc->at("shadow").at("cross_chunk_hazards").number, 0);
+}
+
+TEST(Analyze, JsonReportIsDeterministic) {
+  std::ostringstream a;
+  std::ostringstream b;
+  casc::analysis::render_json(analyze_text(kSafeGather), a, "s.casc");
+  casc::analysis::render_json(analyze_text(kSafeGather), b, "s.casc");
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_FALSE(a.str().empty());
+}
+
+}  // namespace

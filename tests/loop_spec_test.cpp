@@ -2,7 +2,12 @@
 // round trips, instantiation equivalence, and error reporting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "casc/common/check.hpp"
+#include "casc/common/diagnostic.hpp"
 #include "casc/loopir/loop_spec.hpp"
 
 namespace {
@@ -150,9 +155,66 @@ TEST(LoopSpec, InstantiateValidatesSemantics) {
 }
 
 TEST(LoopSpec, DuplicateArrayNamesRejected) {
+  try {
+    LoopSpec::parse(
+        "loop x\ntrip 4\narray A 4 10 ro\narray A 4 10 ro\naccess A read\n");
+    FAIL() << "duplicate array declaration must be rejected at parse time";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate-array"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(LoopSpec, UndeclaredArrayAccessRejected) {
+  try {
+    LoopSpec::parse("loop x\ntrip 4\narray A 4 10 ro\naccess B read\n");
+    FAIL() << "access to an undeclared array must be rejected at parse time";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("undeclared-array"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(LoopSpec, CollectingParseRecoversAndReportsEveryProblem) {
+  casc::common::DiagnosticList diags;
   const LoopSpec spec = LoopSpec::parse(
-      "loop x\ntrip 4\narray A 4 10 ro\narray A 4 10 ro\naccess A read\n");
-  EXPECT_THROW(spec.instantiate(), CheckFailure);
+      "loop x\n"
+      "trip nonsense\n"          // parse-syntax
+      "array A 4 10 ro\n"
+      "array A 4 10 ro\n"        // duplicate-array
+      "access B read\n"          // undeclared-array
+      "access A read\n",
+      diags);
+  EXPECT_FALSE(diags.ok());
+  EXPECT_EQ(spec.name, "x");
+  EXPECT_EQ(spec.accesses.size(), 2u);  // best-effort spec keeps parsed lines
+  std::vector<std::string> rules;
+  rules.reserve(diags.items().size());
+  for (const auto& d : diags.items()) rules.push_back(d.rule);
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "parse-syntax"), rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "duplicate-array"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "undeclared-array"),
+            rules.end());
+  // No trip survived parsing, so the spec is also incomplete.
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "parse-incomplete"),
+            rules.end());
+  // Diagnostics carry the source line of the offending directive.
+  for (const auto& d : diags.items()) {
+    if (d.rule == "duplicate-array") EXPECT_EQ(d.line, 4);
+    if (d.rule == "undeclared-array") EXPECT_EQ(d.line, 5);
+  }
+}
+
+TEST(LoopSpec, CollectingParseIsCleanOnValidInput) {
+  casc::common::DiagnosticList diags;
+  const LoopSpec spec = LoopSpec::parse(
+      "loop ok\ntrip 8\narray A 4 10 ro\naccess A read\n", diags);
+  EXPECT_TRUE(diags.ok());
+  EXPECT_TRUE(diags.empty());
+  EXPECT_EQ(spec.trip, 8u);
 }
 
 }  // namespace

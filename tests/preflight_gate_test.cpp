@@ -1,0 +1,206 @@
+// Tests for the runtime preflight gate: gated CascadeExecutor::run and
+// RestructuredLoop::run must refuse to let an unproven helper stage values,
+// degrade to the always-correct path, and log the refusal diagnostic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "casc/common/diagnostic.hpp"
+#include "casc/rt/executor.hpp"
+#include "casc/rt/preflight.hpp"
+#include "casc/rt/restructured.hpp"
+
+namespace {
+
+using casc::common::Diagnostic;
+using casc::common::Severity;
+using casc::rt::CascadeExecutor;
+using casc::rt::ExecutorConfig;
+using casc::rt::PreflightGate;
+using casc::rt::RestructuredLoop;
+using casc::rt::TokenWatch;
+
+Diagnostic hazard_diag() {
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.rule = "hazard-cross-chunk";
+  d.message = "staged operand 'y' is written by the loop";
+  d.loop = "unsafe_recurrence";
+  d.object = "y";
+  return d;
+}
+
+class ScopedNoVerify {
+ public:
+  explicit ScopedNoVerify(const char* value) {
+    const char* old = std::getenv("CASC_NO_VERIFY");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv("CASC_NO_VERIFY", value, 1);
+    } else {
+      ::unsetenv("CASC_NO_VERIFY");
+    }
+  }
+  ~ScopedNoVerify() {
+    if (had_old_) {
+      ::setenv("CASC_NO_VERIFY", old_.c_str(), 1);
+    } else {
+      ::unsetenv("CASC_NO_VERIFY");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(PreflightGate, VerdictConstruction) {
+  ScopedNoVerify env(nullptr);
+  const PreflightGate proven = PreflightGate::proven();
+  EXPECT_TRUE(proven.is_proven());
+  EXPECT_TRUE(proven.allow_restructure());
+
+  const PreflightGate refused = PreflightGate::refused(hazard_diag());
+  EXPECT_FALSE(refused.is_proven());
+  EXPECT_FALSE(refused.allow_restructure());
+  EXPECT_EQ(refused.reason().rule, "hazard-cross-chunk");
+
+  EXPECT_TRUE(PreflightGate::from_verdict(true, hazard_diag()).is_proven());
+  EXPECT_FALSE(PreflightGate::from_verdict(false, hazard_diag()).is_proven());
+}
+
+TEST(PreflightGate, EnvOverrideAllowsRefusedGate) {
+  ScopedNoVerify env("1");
+  const PreflightGate refused = PreflightGate::refused(hazard_diag());
+  EXPECT_FALSE(refused.is_proven());
+  EXPECT_TRUE(refused.allow_restructure());
+}
+
+TEST(ExecutorGate, RefusedGateDropsHelperAndLogsDiagnostic) {
+  ScopedNoVerify env(nullptr);
+  const std::uint64_t n = 1024;
+  std::vector<std::uint64_t> out(n, 0);
+  std::atomic<std::uint64_t> helper_calls{0};
+
+  CascadeExecutor ex(ExecutorConfig{2, false});
+  ex.run(
+      n, 128,
+      [&](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t i = begin; i < end; ++i) out[i] = i * 3;
+      },
+      [&](std::uint64_t, std::uint64_t, const TokenWatch&) {
+        ++helper_calls;
+        return true;
+      },
+      PreflightGate::refused(hazard_diag()));
+
+  EXPECT_EQ(helper_calls.load(), 0u) << "refused helper must never run";
+  for (std::uint64_t i = 0; i < n; ++i) ASSERT_EQ(out[i], i * 3);
+  const auto& stats = ex.last_run_stats();
+  EXPECT_TRUE(stats.preflight_refused);
+  EXPECT_NE(stats.preflight_diag.find("hazard-cross-chunk"), std::string::npos)
+      << stats.preflight_diag;
+  EXPECT_EQ(stats.helpers_completed, 0u);
+  EXPECT_EQ(stats.chunks_executed, n / 128);
+}
+
+TEST(ExecutorGate, ProvenGateRunsHelperNormally) {
+  ScopedNoVerify env(nullptr);
+  const std::uint64_t n = 1024;
+  std::atomic<std::uint64_t> helper_calls{0};
+  CascadeExecutor ex(ExecutorConfig{2, false});
+  ex.run(
+      n, 128, [](std::uint64_t, std::uint64_t) {},
+      [&](std::uint64_t, std::uint64_t, const TokenWatch&) {
+        ++helper_calls;
+        return true;
+      },
+      PreflightGate::proven());
+  EXPECT_GT(helper_calls.load(), 0u);
+  const auto& stats = ex.last_run_stats();
+  EXPECT_FALSE(stats.preflight_refused);
+  EXPECT_TRUE(stats.preflight_diag.empty());
+}
+
+TEST(ExecutorGate, StatsResetBetweenGatedRuns) {
+  ScopedNoVerify env(nullptr);
+  CascadeExecutor ex(ExecutorConfig{2, false});
+  auto exec = [](std::uint64_t, std::uint64_t) {};
+  auto helper = [](std::uint64_t, std::uint64_t, const TokenWatch&) {
+    return true;
+  };
+  ex.run(256, 64, exec, helper, PreflightGate::refused(hazard_diag()));
+  EXPECT_TRUE(ex.last_run_stats().preflight_refused);
+  ex.run(256, 64, exec, helper, PreflightGate::proven());
+  EXPECT_FALSE(ex.last_run_stats().preflight_refused);
+  EXPECT_TRUE(ex.last_run_stats().preflight_diag.empty());
+}
+
+TEST(RestructuredGate, RefusedGateNeverStagesButStaysCorrect) {
+  ScopedNoVerify env(nullptr);
+  const std::uint64_t n = 2048;
+  std::vector<double> a(n);
+  for (std::uint64_t i = 0; i < n; ++i) a[i] = 0.5 * static_cast<double>(i);
+  std::vector<double> want(n), got(n);
+  for (std::uint64_t i = 0; i < n; ++i) want[i] = a[i] + 1.0;
+
+  CascadeExecutor ex(ExecutorConfig{2, false});
+  RestructuredLoop<double> loop(ex, 128);
+  loop.run(
+      n, [&](std::uint64_t i) { return a[i]; },
+      [&](std::uint64_t i, double v) { got[i] = v + 1.0; },
+      PreflightGate::refused(hazard_diag()));
+
+  EXPECT_EQ(got, want);
+  const auto& stats = loop.last_run_stats();
+  EXPECT_EQ(stats.chunks, n / 128);
+  EXPECT_EQ(stats.chunks_staged, 0u)
+      << "a refused gate must keep every chunk on the gather fallback";
+  EXPECT_EQ(stats.chunks_fallback, stats.chunks);
+  EXPECT_TRUE(stats.preflight_refused);
+  EXPECT_NE(stats.preflight_diag.find("unsafe_recurrence"), std::string::npos)
+      << stats.preflight_diag;
+}
+
+TEST(RestructuredGate, ProvenGateStagesLikeUngatedRun) {
+  ScopedNoVerify env(nullptr);
+  const std::uint64_t n = 2048;
+  std::vector<double> a(n);
+  for (std::uint64_t i = 0; i < n; ++i) a[i] = static_cast<double>(i);
+  std::vector<double> got(n);
+
+  CascadeExecutor ex(ExecutorConfig{2, false});
+  RestructuredLoop<double> loop(ex, 128);
+  loop.run(
+      n, [&](std::uint64_t i) { return a[i]; },
+      [&](std::uint64_t i, double v) { got[i] = v; }, PreflightGate::proven());
+
+  for (std::uint64_t i = 0; i < n; ++i) ASSERT_EQ(got[i], a[i]);
+  const auto& stats = loop.last_run_stats();
+  EXPECT_FALSE(stats.preflight_refused);
+  EXPECT_EQ(stats.chunks_staged + stats.chunks_fallback, stats.chunks);
+}
+
+TEST(RestructuredGate, EnvOverrideLetsARefusedGateStage) {
+  ScopedNoVerify env("1");
+  const std::uint64_t n = 1024;
+  std::vector<double> a(n, 2.0);
+  std::vector<double> got(n);
+  CascadeExecutor ex(ExecutorConfig{2, false});
+  RestructuredLoop<double> loop(ex, 128);
+  loop.run(
+      n, [&](std::uint64_t i) { return a[i]; },
+      [&](std::uint64_t i, double v) { got[i] = v; },
+      PreflightGate::refused(hazard_diag()));
+  // With the escape hatch the helper may stage again; either way results
+  // are correct and no refusal is recorded.
+  for (double v : got) ASSERT_EQ(v, 2.0);
+  EXPECT_FALSE(loop.last_run_stats().preflight_refused);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// casclint — the cascade-safety verifier CLI.
+//
+// Lints .casc loop specs: parses (collecting every diagnostic), runs the
+// static dependence/footprint passes, proves or refutes restructure
+// eligibility, and (by default) replays the instantiated loop's reference
+// trace through the shadow checker to confirm the static claims dynamically.
+//
+//   casclint --spec=examples/specs/spmv.casc
+//   casclint --spec=a.casc,b.casc --format=json --out=lint.json
+//   casclint --spec=loop.casc --chunk=128K --no-shadow --strict
+//
+// Exit status: 0 = all specs clean (no errors; with --strict, no warnings
+// either), 1 = at least one diagnostic at the failing severity, 2 = usage or
+// I/O error.
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "casc/analysis/verifier.hpp"
+#include "casc/cli/args.hpp"
+
+namespace {
+
+using casc::cli::OptionSpec;
+
+const std::vector<OptionSpec> kSpecs = {
+    {"spec", "paths", "comma-separated .casc spec files to lint", ""},
+    {"format", "text|json", "report format", "text"},
+    {"chunk", "bytes", "chunk size the analysis reasons about", "64K"},
+    {"no-shadow", "", "skip the trace-backed shadow checker", ""},
+    {"shadow-iters", "n", "iteration cap for the shadow replay", "1048576"},
+    {"strict", "", "treat warnings as errors for the exit status", ""},
+    {"out", "path", "write the report here instead of stdout", ""},
+    {"help", "", "show this help", ""},
+};
+
+std::vector<std::string> split_commas(const std::string& list) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(list);
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> raw(argv + 1, argv + argc);
+  casc::cli::Args args;
+  try {
+    args = casc::cli::Args::parse(raw, kSpecs);
+  } catch (const std::exception& e) {
+    std::cerr << "casclint: " << e.what() << "\n\n"
+              << casc::cli::Args::help("casclint",
+                                       "cascade-safety verifier for .casc "
+                                       "loop specs",
+                                       kSpecs);
+    return 2;
+  }
+  if (args.has("help")) {
+    std::cout << casc::cli::Args::help(
+        "casclint", "cascade-safety verifier for .casc loop specs", kSpecs);
+    return 0;
+  }
+  const std::vector<std::string> paths = split_commas(args.get("spec"));
+  if (paths.empty()) {
+    std::cerr << "casclint: no input (--spec=a.casc[,b.casc...])\n";
+    return 2;
+  }
+  const std::string format = args.get("format");
+  if (format != "text" && format != "json") {
+    std::cerr << "casclint: unknown --format '" << format << "'\n";
+    return 2;
+  }
+
+  casc::analysis::AnalyzeOptions opt;
+  std::uint64_t exit_code = 0;
+  std::ostringstream out;
+  try {
+    opt.chunk_bytes = args.get_bytes("chunk");
+    opt.run_shadow = !args.has("no-shadow");
+    opt.max_shadow_iterations = args.get_u64("shadow-iters");
+  } catch (const std::exception& e) {
+    std::cerr << "casclint: " << e.what() << '\n';
+    return 2;
+  }
+
+  if (format == "json") out << "[\n";
+  bool first = true;
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "casclint: cannot open '" << path << "'\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    casc::analysis::AnalysisReport report;
+    try {
+      report = casc::analysis::analyze_text(text.str(), opt);
+    } catch (const std::exception& e) {
+      std::cerr << "casclint: " << path << ": " << e.what() << '\n';
+      return 2;
+    }
+    const bool failed =
+        !report.ok() || (args.has("strict") && report.diags.warnings() > 0);
+    if (failed) exit_code = 1;
+    if (format == "text") {
+      out << path << ":\n" << casc::analysis::render_text(report) << '\n';
+    } else {
+      // Identify documents by basename so the JSON is path-independent and
+      // golden-diffable across checkouts.
+      if (!first) out << ",\n";
+      casc::analysis::render_json(report, out, basename_of(path));
+    }
+    first = false;
+  }
+  if (format == "json") out << "]\n";
+
+  const std::string rendered = out.str();
+  const std::string out_path = args.get("out");
+  if (!out_path.empty()) {
+    std::ofstream os(out_path, std::ios::binary);
+    if (!os) {
+      std::cerr << "casclint: cannot write '" << out_path << "'\n";
+      return 2;
+    }
+    os << rendered;
+  } else {
+    std::cout << rendered;
+  }
+  return static_cast<int>(exit_code);
+}

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare casclint JSON reports against committed goldens.
+
+casclint's --format=json output is byte-deterministic (fixed key order, no
+timestamps, basenamed source paths), so goldens are compared exactly: any
+difference — a new diagnostic, a changed verdict, a reordered key — is a
+baseline-invalidating event that must land together with a regenerated
+golden (casclint --format=json --out=goldens/casclint/<name>.json ...).
+
+Usage:
+  casclint_diff.py GOLDEN CURRENT [--verbose]
+
+GOLDEN and CURRENT are either two .json files or two directories; with
+directories, files are matched by name.  Golden files with no counterpart in
+CURRENT are an error; extra CURRENT files are reported but allowed (new specs
+should land with new goldens).
+
+Exit status: 0 = identical, 1 = mismatch/IO error, 2 = usage error.
+"""
+
+import argparse
+import difflib
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        raise SystemExit(f"error: cannot read {path}: {e}")
+    try:
+        docs = json.loads(text)
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"error: {path} is not valid JSON: {e}")
+    for doc in docs if isinstance(docs, list) else [docs]:
+        if doc.get("tool") != "casclint":
+            raise SystemExit(
+                f"error: {path}: tool {doc.get('tool')!r}, expected 'casclint'")
+    return text
+
+
+def compare_file(golden_path, cur_path, verbose):
+    """Returns a list of failure strings (empty = pass)."""
+    golden = load(golden_path)
+    cur = load(cur_path)
+    name = os.path.basename(golden_path)
+    if golden == cur:
+        if verbose:
+            print(f"  {name}: identical")
+        return []
+    diff = difflib.unified_diff(
+        golden.splitlines(keepends=True), cur.splitlines(keepends=True),
+        fromfile=f"golden/{name}", tofile=f"current/{name}")
+    return [f"{name}: reports differ\n" + "".join(diff)]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("golden")
+    ap.add_argument("current")
+    ap.add_argument("--verbose", action="store_true")
+    args = ap.parse_args()
+
+    failures = []
+    if os.path.isdir(args.golden) != os.path.isdir(args.current):
+        raise SystemExit("error: GOLDEN and CURRENT must both be files or "
+                         "both be directories")
+    if os.path.isdir(args.golden):
+        golden_files = sorted(
+            f for f in os.listdir(args.golden) if f.endswith(".json"))
+        cur_files = set(
+            f for f in os.listdir(args.current) if f.endswith(".json"))
+        for f in golden_files:
+            if f not in cur_files:
+                failures.append(f"{f}: present in goldens, missing from "
+                                f"{args.current}")
+                continue
+            failures.extend(compare_file(os.path.join(args.golden, f),
+                                         os.path.join(args.current, f),
+                                         args.verbose))
+        for f in sorted(cur_files - set(golden_files)):
+            print(f"note: {f} has no golden (new spec? commit one)")
+    else:
+        failures.extend(compare_file(args.golden, args.current, args.verbose))
+
+    if failures:
+        print(f"\n{len(failures)} golden mismatch(es):", file=sys.stderr)
+        for f in failures:
+            print(f, file=sys.stderr)
+        return 1
+    print("casclint goldens: all identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
