@@ -12,12 +12,14 @@
 #include "bench_gbench_json.hpp"
 #include "casc/rt/executor.hpp"
 #include "casc/rt/helpers.hpp"
+#include "casc/rt/restructured.hpp"
 
 namespace {
 
 using casc::rt::CascadeExecutor;
 using casc::rt::ExecutorConfig;
-using casc::rt::PerWorkerBuffers;
+using casc::rt::RestructuredLoop;
+using casc::rt::RestructuredOptions;
 using casc::rt::TokenWatch;
 
 constexpr std::uint64_t kN = 1 << 20;           // 8 MB of doubles per array
@@ -73,36 +75,88 @@ void BM_CascadedGatherPrefetch(benchmark::State& state) {
 }
 BENCHMARK(BM_CascadedGatherPrefetch)->Arg(2)->Arg(4);
 
-void BM_CascadedGatherRestructure(benchmark::State& state) {
+// Helper-free cascade: pure framework overhead (chunking + token hand-offs)
+// over the sequential loop.  Oversubscribed on a small host this is the
+// number the futex parking tier exists for — sleeping waiters leave the
+// token holder the whole core, so the wall should stay within a few percent
+// of BM_SequentialGather.
+void BM_CascadedGatherNoHelper(benchmark::State& state) {
   Workload& w = workload();
   const unsigned threads = static_cast<unsigned>(state.range(0));
   CascadeExecutor ex(ExecutorConfig{threads, false});
-  PerWorkerBuffers bufs(threads, kChunkIters * sizeof(double), kChunkIters);
-  std::vector<char> staged(kN / kChunkIters, 0);
   for (auto _ : state) {
-    std::fill(staged.begin(), staged.end(), 0);
-    ex.run(
-        kN, kChunkIters,
-        [&](std::uint64_t b, std::uint64_t e) {
-          auto& buf = bufs.for_chunk(b);
-          if (staged[b / kChunkIters]) {
-            for (std::uint64_t i = b; i < e; ++i) w.x[i] = buf.pop<double>() + 1.0;
-          } else {
-            for (std::uint64_t i = b; i < e; ++i) w.x[i] = w.a[w.ij[i]] + 1.0;
-          }
-        },
-        [&](std::uint64_t b, std::uint64_t e, const TokenWatch&) {
-          auto& buf = bufs.for_chunk(b);
-          buf.reset();
-          for (std::uint64_t i = b; i < e; ++i) buf.push(w.a[w.ij[i]]);
-          staged[b / kChunkIters] = 1;
-          return true;
-        });
+    ex.run(kN, kChunkIters, [&](std::uint64_t b, std::uint64_t e) {
+      for (std::uint64_t i = b; i < e; ++i) w.x[i] = w.a[w.ij[i]] + 1.0;
+    });
     benchmark::ClobberMemory();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
 }
+BENCHMARK(BM_CascadedGatherNoHelper)->Arg(2)->Arg(4);
+
+// The staged path: RestructuredLoop's cursor-based stage/drain (one hard
+// bounds check per chunk, commit-to-publish, prefetched drain), parking per
+// ExecutorConfig's kAuto default.
+void BM_CascadedGatherRestructure(benchmark::State& state) {
+  Workload& w = workload();
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  CascadeExecutor ex(ExecutorConfig{threads, false});
+  RestructuredLoop<double> loop(ex, kChunkIters);
+  for (auto _ : state) {
+    loop.run(
+        kN, [&](std::uint64_t i) { return w.a[w.ij[i]]; },
+        [&](std::uint64_t i, double v) { w.x[i] = v + 1.0; });
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+  state.counters["staged_fraction"] = loop.last_run_stats().staged_fraction();
+}
 BENCHMARK(BM_CascadedGatherRestructure)->Arg(2)->Arg(4);
+
+// Look-ahead ablation at a fixed 4 threads: L buffers per worker let an idle
+// helper stage its next L chunks instead of waiting out the token.
+void BM_CascadedGatherLookahead(benchmark::State& state) {
+  Workload& w = workload();
+  CascadeExecutor ex(ExecutorConfig{4, false});
+  RestructuredOptions options;
+  options.iters_per_chunk = kChunkIters;
+  options.lookahead = static_cast<unsigned>(state.range(0));
+  RestructuredLoop<double> loop(ex, options);
+  for (auto _ : state) {
+    loop.run(
+        kN, [&](std::uint64_t i) { return w.a[w.ij[i]]; },
+        [&](std::uint64_t i, double v) { w.x[i] = v + 1.0; });
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+  state.counters["staged_ahead"] =
+      static_cast<double>(loop.last_run_stats().chunks_staged_ahead);
+}
+BENCHMARK(BM_CascadedGatherLookahead)->Arg(1)->Arg(2)->Arg(4);
+
+// Adaptive chunk size: the chunker hill-climbs across benchmark iterations
+// (the repeated-call pattern run_auto/auto_chunk exist for).
+void BM_CascadedGatherAutoChunk(benchmark::State& state) {
+  Workload& w = workload();
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  CascadeExecutor ex(ExecutorConfig{threads, false});
+  RestructuredOptions options;
+  options.iters_per_chunk = kChunkIters;
+  options.auto_chunk = true;
+  options.min_chunk_iters = 1024;
+  options.max_chunk_iters = 64 * 1024;
+  RestructuredLoop<double> loop(ex, options);
+  for (auto _ : state) {
+    loop.run(
+        kN, [&](std::uint64_t i) { return w.a[w.ij[i]]; },
+        [&](std::uint64_t i, double v) { w.x[i] = v + 1.0; });
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+  state.counters["final_iters_per_chunk"] =
+      static_cast<double>(loop.current_iters_per_chunk());
+}
+BENCHMARK(BM_CascadedGatherAutoChunk)->Arg(2)->Arg(4);
 
 }  // namespace
 

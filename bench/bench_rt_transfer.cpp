@@ -8,7 +8,9 @@
 // token ping-pong below isolates the shared-memory flag cost itself.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "bench_gbench_json.hpp"
@@ -76,6 +78,41 @@ void BM_SequentialBufferRoundTrip(benchmark::State& state) {
                           static_cast<std::int64_t>(sizeof(double)));
 }
 BENCHMARK(BM_SequentialBufferRoundTrip)->Arg(1024)->Arg(8192)->Arg(65536);
+
+// Spin-vs-futex wait-tier ablation: the same empty-chunk cascade at 1x/2x/4x
+// oversubscription (threads = factor * cores), with the wait mode forced.
+// The benchmark arg is the oversubscription factor, so names (and therefore
+// baseline metric keys) are stable across hosts with different core counts.
+// tokens/s is the transfer rate the wait policy sustains; at 1x the two modes
+// should be near-identical (parking only engages after the spin/yield
+// budget), while oversubscribed the futex tier stops waiters from stealing
+// scheduler slices from the token holder.
+void transfer_with_mode(benchmark::State& state, casc::rt::WaitMode mode) {
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned threads = static_cast<unsigned>(state.range(0)) * cores;
+  ExecutorConfig config;
+  config.num_threads = threads;
+  config.wait_mode = mode;
+  CascadeExecutor ex(config);
+  constexpr std::uint64_t kChunks = 256;
+  for (auto _ : state) {
+    ex.run(kChunks, 1, [](std::uint64_t, std::uint64_t) {});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kChunks);
+  state.counters["tokens/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()) * kChunks,
+                         benchmark::Counter::kIsRate);
+}
+
+void BM_TransferWaitSpin(benchmark::State& state) {
+  transfer_with_mode(state, casc::rt::WaitMode::kSpin);
+}
+BENCHMARK(BM_TransferWaitSpin)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_TransferWaitPark(benchmark::State& state) {
+  transfer_with_mode(state, casc::rt::WaitMode::kPark);
+}
+BENCHMARK(BM_TransferWaitPark)->Arg(1)->Arg(2)->Arg(4);
 
 // Forced-load prefetch sweep speed (helper-phase cache warming).
 void BM_PrefetchSpan(benchmark::State& state) {

@@ -4,6 +4,8 @@
 #include <string>
 
 #include "casc/common/check.hpp"
+#include "casc/common/stopwatch.hpp"
+#include "casc/rt/adaptive.hpp"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -29,8 +31,9 @@ void try_pin_to_cpu(unsigned cpu) {
 }  // namespace
 
 CascadeExecutor::CascadeExecutor(ExecutorConfig config) {
-  num_threads_ = config.num_threads != 0 ? config.num_threads
-                                         : std::max(1u, std::thread::hardware_concurrency());
+  cores_ = std::max(1u, std::thread::hardware_concurrency());
+  num_threads_ = config.num_threads != 0 ? config.num_threads : cores_;
+  wait_mode_ = config.wait_mode;
   log_ = config.event_log;
   watchdog_budget_ = config.watchdog;
   std::vector<common::CacheAligned<WorkerState>> slots(num_threads_);
@@ -125,9 +128,21 @@ void CascadeExecutor::fire_watchdog() {
 bool CascadeExecutor::await_turn(std::uint64_t c) {
   SpinWait spin;
   std::uint32_t polls = 0;
+  const bool may_park = token_.park_enabled();
   for (;;) {
     if (token_.current() == c) return true;
     if (token_.aborted()) return false;
+    if (may_park && spin.should_park()) {
+      // Futex tier: sleep in bounded slices so the watchdog deadline is
+      // still observed within ~one slice even on a lost wake.  A clock read
+      // per slice (milliseconds apart) is noise.
+      if (watchdog_enabled_ && past_deadline()) {
+        fire_watchdog();
+        return false;
+      }
+      token_.park_until_signal(c);
+      continue;
+    }
     // The deadline check is amortized: one clock read every 1024 polls.
     if (watchdog_enabled_ && (++polls & 0x3FFu) == 0 && past_deadline()) {
       fire_watchdog();
@@ -153,7 +168,7 @@ CascadeExecutor::WorkerOutcome CascadeExecutor::participate(unsigned id,
     ws.chunk.store(c, std::memory_order_relaxed);
     const std::uint64_t begin = c * job.iters_per_chunk;
     const std::uint64_t end = std::min(begin + job.iters_per_chunk, job.total_iters);
-    if (job.helper != nullptr && *job.helper) {
+    if (job.helper) {
       ws.phase.store(static_cast<std::uint8_t>(WorkerPhase::kHelper),
                      std::memory_order_relaxed);
       const TokenWatch watch(&token_, c);
@@ -163,7 +178,7 @@ CascadeExecutor::WorkerOutcome CascadeExecutor::participate(unsigned id,
         note(id, telemetry::EventKind::kHelperBegin, c);
         bool completed = false;
         try {
-          completed = (*job.helper)(begin, end, watch);
+          completed = job.helper(begin, end, watch);
         } catch (...) {
           note(id, telemetry::EventKind::kAbort, c);
           first_error_->capture(c);
@@ -184,7 +199,7 @@ CascadeExecutor::WorkerOutcome CascadeExecutor::participate(unsigned id,
                    std::memory_order_relaxed);
     note(id, telemetry::EventKind::kExecBegin, c);
     try {
-      (*job.exec)(begin, end);
+      job.exec(begin, end);
     } catch (...) {
       // The thrower holds the token and will never pass it; poison the
       // cascade so every await/watch unwinds instead of spinning forever.
@@ -208,7 +223,7 @@ CascadeExecutor::WorkerOutcome CascadeExecutor::participate(unsigned id,
 }
 
 void CascadeExecutor::run(std::uint64_t total_iters, std::uint64_t iters_per_chunk,
-                          ExecFn exec, HelperFn helper) {
+                          ExecRef exec, HelperRef helper) {
   CASC_CHECK(static_cast<bool>(exec), "run() requires an execution function");
   CASC_CHECK(iters_per_chunk > 0, "iters_per_chunk must be positive");
   CASC_CHECK(!active_.exchange(true, std::memory_order_acq_rel),
@@ -228,10 +243,14 @@ void CascadeExecutor::run(std::uint64_t total_iters, std::uint64_t iters_per_chu
   job.total_iters = total_iters;
   job.iters_per_chunk = iters_per_chunk;
   job.num_chunks = (total_iters + iters_per_chunk - 1) / iters_per_chunk;
-  job.exec = &exec;
-  job.helper = helper ? &helper : nullptr;
+  job.exec = exec;
+  job.helper = helper;
 
   token_.reset();
+  // Parking is a per-run decision: oversubscribed workers sleep in the futex
+  // tier, threads <= cores keeps the pure spin/yield fast path.
+  token_.set_park_enabled(wait_mode_ == WaitMode::kPark ||
+                          (wait_mode_ == WaitMode::kAuto && num_threads_ > cores_));
   first_error_->reset();
   watchdog_fired_.store(false, std::memory_order_relaxed);
   watchdog_dump_ = CascadeStateDump{};
@@ -309,19 +328,28 @@ void CascadeExecutor::run(std::uint64_t total_iters, std::uint64_t iters_per_chu
 }
 
 void CascadeExecutor::run(std::uint64_t total_iters, std::uint64_t iters_per_chunk,
-                          ExecFn exec, HelperFn helper, const PreflightGate& gate) {
+                          ExecRef exec, HelperRef helper, const PreflightGate& gate) {
   // A refused gate means the helper would stage operand values that some
   // chunk writes: running it could feed execution stale data.  Drop it — the
   // cascade degenerates to token hand-offs over the plain loop body, which is
   // always correct — and record the refusal so callers can see why their
   // helper never ran.
-  const bool refused = helper != nullptr && !gate.allow_restructure();
-  run(total_iters, iters_per_chunk, std::move(exec),
-      refused ? HelperFn{} : std::move(helper));
+  const bool refused = static_cast<bool>(helper) && !gate.allow_restructure();
+  run(total_iters, iters_per_chunk, exec, refused ? HelperRef{} : helper);
   if (refused) {
     stats_.preflight_refused = true;
     stats_.preflight_diag = common::render_text(gate.reason());
   }
+}
+
+void CascadeExecutor::run_auto(std::uint64_t total_iters, AdaptiveChunker& chunker,
+                               ExecRef exec, HelperRef helper) {
+  common::Stopwatch sw;
+  run(total_iters, chunker.current(), exec, helper);
+  // The chunker's model divides by both inputs; a degenerate call (empty
+  // loop, sub-tick wall time) carries no signal worth feeding back.
+  const double seconds = sw.elapsed_seconds();
+  if (total_iters > 0 && seconds > 0.0) chunker.record(seconds, total_iters);
 }
 
 }  // namespace casc::rt

@@ -36,6 +36,7 @@
 
 #include "casc/common/align.hpp"
 #include "casc/common/first_error.hpp"
+#include "casc/rt/function_ref.hpp"
 #include "casc/rt/preflight.hpp"
 #include "casc/rt/state_dump.hpp"
 #include "casc/rt/token.hpp"
@@ -44,7 +45,9 @@
 namespace casc::rt {
 
 /// Executes iterations [begin, end) of the loop body.  Runs with the token
-/// held; must not block indefinitely.
+/// held; must not block indefinitely.  This owning alias exists for callers
+/// that STORE a callable (FaultPlan::arm, user containers); run() itself
+/// takes the non-allocating ExecRef below.
 using ExecFn = std::function<void(std::uint64_t begin, std::uint64_t end)>;
 
 /// Optimizes memory state for the coming execution of [begin, end).
@@ -53,6 +56,27 @@ using ExecFn = std::function<void(std::uint64_t begin, std::uint64_t end)>;
 /// completion (used for statistics only).
 using HelperFn =
     std::function<bool(std::uint64_t begin, std::uint64_t end, const TokenWatch& watch)>;
+
+/// Borrowed views of the two phase callables.  run() is synchronous, so a
+/// lambda temporary at the call site outlives the run; an empty std::function
+/// converts to a null ref.  Chunk dispatch through these is one indirect
+/// call, zero allocations (see function_ref.hpp).
+using ExecRef = FunctionRef<void(std::uint64_t, std::uint64_t)>;
+using HelperRef = FunctionRef<bool(std::uint64_t, std::uint64_t, const TokenWatch&)>;
+
+/// How workers wait for the token (see token.hpp for the tier mechanics).
+class AdaptiveChunker;
+
+enum class WaitMode : std::uint8_t {
+  /// Park when num_threads exceeds hardware_concurrency, pure spin/yield
+  /// otherwise — the right choice unless you are benchmarking the tiers.
+  kAuto,
+  /// Never park: the pre-parking spin/yield loop.  Lowest hand-off latency
+  /// when every worker owns a core; actively harmful oversubscribed.
+  kSpin,
+  /// Always fall through to the futex tier after the spin/yield budget.
+  kPark,
+};
 
 /// Pool/behaviour configuration.
 struct ExecutorConfig {
@@ -71,6 +95,10 @@ struct ExecutorConfig {
   /// the instrumentation into a single never-taken branch on the hot path.
   /// The events also surface in snapshot()/render() failure dumps.
   telemetry::EventLog* event_log = nullptr;
+  /// Token wait policy.  kAuto parks oversubscribed workers in the futex
+  /// tier (threads > cores) and keeps the threads <= cores fast path
+  /// pure-spin; kSpin/kPark force one behaviour for ablations.
+  WaitMode wait_mode = WaitMode::kAuto;
 };
 
 /// Statistics from the most recent run() — including a failed one.
@@ -127,8 +155,10 @@ class CascadeExecutor {
   /// for the full failure semantics).  The calling thread participates as
   /// worker 0 (it executes chunk 0 immediately, so a cascade over fewer
   /// iterations than one chunk degenerates to a plain sequential loop).
-  void run(std::uint64_t total_iters, std::uint64_t iters_per_chunk, ExecFn exec,
-           HelperFn helper = nullptr);
+  /// The callables are borrowed, not copied — they must stay alive until
+  /// run() returns, which any callable written at the call site does.
+  void run(std::uint64_t total_iters, std::uint64_t iters_per_chunk, ExecRef exec,
+           HelperRef helper = nullptr);
 
   /// Gated variant for restructuring helpers: `helper` stages operand values
   /// early, which is only sequentially correct when every staged operand is
@@ -138,8 +168,16 @@ class CascadeExecutor {
   /// results are identical, and the refusal is recorded in last_run_stats()
   /// (preflight_refused / preflight_diag).  CASC_NO_VERIFY=1 overrides a
   /// refusal at the caller's risk.
-  void run(std::uint64_t total_iters, std::uint64_t iters_per_chunk, ExecFn exec,
-           HelperFn helper, const PreflightGate& gate);
+  void run(std::uint64_t total_iters, std::uint64_t iters_per_chunk, ExecRef exec,
+           HelperRef helper, const PreflightGate& gate);
+
+  /// Auto-chunk variant for repeated-call workloads (the wave5 pattern:
+  /// thousands of invocations of the same loop): uses `chunker.current()` as
+  /// the chunk size, times the run, and feeds the measurement back so the
+  /// chunk size hill-climbs across calls.  The chunker is caller-owned state;
+  /// one chunker per (loop, executor) pair.
+  void run_auto(std::uint64_t total_iters, AdaptiveChunker& chunker, ExecRef exec,
+                HelperRef helper = nullptr);
 
   /// Number of workers (including the calling thread).
   [[nodiscard]] unsigned num_threads() const noexcept { return num_threads_; }
@@ -155,8 +193,8 @@ class CascadeExecutor {
     std::uint64_t total_iters = 0;
     std::uint64_t iters_per_chunk = 0;
     std::uint64_t num_chunks = 0;
-    const ExecFn* exec = nullptr;
-    const HelperFn* helper = nullptr;
+    ExecRef exec;
+    HelperRef helper;
   };
 
   /// Per-worker observability slot, written with relaxed stores on the hot
@@ -190,6 +228,8 @@ class CascadeExecutor {
   [[nodiscard]] bool past_deadline() const;
 
   unsigned num_threads_;
+  unsigned cores_ = 1;  ///< hardware_concurrency, cached at construction
+  WaitMode wait_mode_ = WaitMode::kAuto;
   telemetry::EventLog* log_ = nullptr;  ///< ExecutorConfig::event_log
   std::vector<std::thread> pool_;
 

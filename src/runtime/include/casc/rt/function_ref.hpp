@@ -1,0 +1,68 @@
+// Non-owning, non-allocating callable reference for the runtime's hot
+// dispatch paths.  A std::function constructed from a capturing lambda heap-
+// allocates and dispatches through two indirections; chunk dispatch in the
+// worker loop must be one indirect call and zero allocations, so the executor
+// carries FunctionRef instead (the paper charges every per-chunk cost against
+// the 120–500-cycle transfer budget, §3.3).
+//
+// Lifetime contract: a FunctionRef borrows the callable.  CascadeExecutor::
+// run() is fully synchronous — every worker finishes with the job before
+// run() returns — so binding a temporary lambda at the call site is safe, the
+// same way it is for parameters of std::for_each.  Do NOT store a FunctionRef
+// beyond the callable's lifetime; for owning storage keep using std::function
+// (ExecFn / HelperFn, e.g. FaultPlan::arm).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace casc::rt {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  constexpr FunctionRef() noexcept = default;
+  constexpr FunctionRef(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  /// Borrows any callable with a matching signature.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                !std::is_same_v<std::remove_cvref_t<F>, std::function<R(Args...)>> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        invoke_(&invoke_impl<std::remove_reference_t<F>>) {}
+
+  /// std::function interop: an empty function maps to a null ref, so callers
+  /// that used to pass `ExecFn{}` / `nullptr` keep their meaning.
+  FunctionRef(const std::function<R(Args...)>& f) noexcept {  // NOLINT(google-explicit-constructor)
+    if (f) {
+      obj_ = const_cast<void*>(static_cast<const void*>(std::addressof(f)));
+      invoke_ = &invoke_impl<const std::function<R(Args...)>>;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return invoke_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename F>
+  static R invoke_impl(void* obj, Args... args) {
+    return (*static_cast<F*>(obj))(std::forward<Args>(args)...);
+  }
+
+  void* obj_ = nullptr;
+  R (*invoke_)(void*, Args...) = nullptr;
+};
+
+}  // namespace casc::rt

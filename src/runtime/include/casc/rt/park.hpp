@@ -1,0 +1,84 @@
+// OS-assisted parking for the token ring's third wait tier.  On Linux this is
+// a raw futex on a 32-bit wake-sequence word: wake_all() bumps the word and
+// issues FUTEX_WAKE only when someone might be sleeping; wait() sleeps until
+// the word moves past the observed value.  Elsewhere it degrades to a
+// condition_variable with identical semantics.
+//
+// The spot is a pure sleep/wake mechanism: it carries NO payload ordering of
+// its own.  Callers must re-check their actual condition (token counter,
+// abort flag) through their own acquire loads after every wait() return —
+// spurious wakeups and timeouts are normal.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <sys/time.h>
+#include <unistd.h>
+#else
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#endif
+
+namespace casc::rt {
+
+/// One futex word (with portable fallback).  All methods are thread-safe.
+class ParkingSpot {
+ public:
+  /// Snapshot of the wake sequence; pass to wait().  Taking the epoch BEFORE
+  /// re-checking the guarded condition closes the lost-wakeup window: a wake
+  /// that races the re-check bumps the word, and wait() then returns
+  /// immediately instead of sleeping.
+  [[nodiscard]] std::uint32_t epoch() const noexcept {
+    return word_.load(std::memory_order_acquire);
+  }
+
+  /// Sleeps until the wake sequence moves past `seen`, a spurious wakeup, or
+  /// ~`timeout_ns` elapses — whichever comes first.
+  void wait(std::uint32_t seen, std::int64_t timeout_ns) noexcept {
+#if defined(__linux__)
+    struct timespec ts;
+    ts.tv_sec = timeout_ns / 1'000'000'000;
+    ts.tv_nsec = timeout_ns % 1'000'000'000;
+    // EAGAIN (word already moved), EINTR, and ETIMEDOUT are all fine: the
+    // caller re-checks its condition either way.
+    (void)::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word_),
+                    FUTEX_WAIT_PRIVATE, seen, &ts, nullptr, 0);
+#else
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, std::chrono::nanoseconds(timeout_ns), [&] {
+      return word_.load(std::memory_order_acquire) != seen;
+    });
+#endif
+  }
+
+  /// Bumps the wake sequence and wakes every sleeper.
+  void wake_all() noexcept {
+#if defined(__linux__)
+    word_.fetch_add(1, std::memory_order_release);
+    (void)::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word_),
+                    FUTEX_WAKE_PRIVATE, INT32_MAX, nullptr, nullptr, 0);
+#else
+    {
+      // The bump must happen under the mutex, or a waiter between its
+      // predicate check and cv wait could sleep through the notify.
+      std::lock_guard<std::mutex> lock(mutex_);
+      word_.fetch_add(1, std::memory_order_release);
+    }
+    cv_.notify_all();
+#endif
+  }
+
+ private:
+  std::atomic<std::uint32_t> word_{0};
+#if !defined(__linux__)
+  std::mutex mutex_;
+  std::condition_variable cv_;
+#endif
+};
+
+}  // namespace casc::rt

@@ -2,16 +2,37 @@
 // byte arena the restructuring helper fills in dynamic reference order and
 // the execution phase drains strictly sequentially.  Reuse across chunks
 // keeps the same lines hot in the owning processor's caches.
+//
+// Three access tiers, from safest to fastest:
+//   * push()/pop()           — one value, bounds checked by CASC_DCHECK (on in
+//                              Debug/sanitizer builds, compiled out in Release).
+//   * push_span()/pop_span() — one memcpy per span, hard CASC_CHECK per call
+//                              (per-chunk granularity: always on).
+//   * write_cursor()/read_cursor() — streaming cursors for the helper/exec hot
+//                              loops: capacity is hard-checked ONCE when the
+//                              cursor is acquired, per-element advances are
+//                              CASC_DCHECK only, and a write cursor publishes
+//                              nothing until commit() — a jump-out that
+//                              abandons the cursor leaves the buffer unchanged.
+//
+// Buffers of >= 2 MB are aligned to the transparent-huge-page boundary and
+// madvise(MADV_HUGEPAGE)d, so a large operand staging area costs one TLB
+// entry instead of hundreds.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <new>
 #include <type_traits>
 
 #include "casc/common/align.hpp"
 #include "casc/common/check.hpp"
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
 
 namespace casc::rt {
 
@@ -22,15 +43,25 @@ namespace casc::rt {
 /// processor never overlap).
 class SequentialBuffer {
  public:
+  /// Capacity at or above which the backing store is huge-page aligned and
+  /// advised (Linux THP; a no-op elsewhere).
+  static constexpr std::size_t kHugePageSize = std::size_t{2} << 20;
+
   explicit SequentialBuffer(std::size_t capacity_bytes)
-      : capacity_(common::round_up(capacity_bytes, common::kCacheLineSize)),
+      // Validation happens inside checked_alignment(), i.e. BEFORE the
+      // allocation below it in initialization order.
+      : align_(checked_alignment(capacity_bytes)),
+        capacity_(common::round_up(capacity_bytes, align_)),
         storage_(static_cast<std::byte*>(
-            ::operator new[](capacity_, std::align_val_t{common::kCacheLineSize}))) {
-    CASC_CHECK(capacity_bytes > 0, "buffer capacity must be positive");
+            ::operator new[](capacity_, std::align_val_t{align_}))) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+    // Best-effort: THP may be disabled system-wide; the buffer works either way.
+    if (align_ >= kHugePageSize) (void)::madvise(storage_, capacity_, MADV_HUGEPAGE);
+#endif
   }
 
   ~SequentialBuffer() {
-    ::operator delete[](storage_, std::align_val_t{common::kCacheLineSize});
+    ::operator delete[](storage_, std::align_val_t{align_});
   }
 
   SequentialBuffer(const SequentialBuffer&) = delete;
@@ -39,24 +70,159 @@ class SequentialBuffer {
   /// Rewinds both cursors; contents become dead.
   void reset() noexcept { write_pos_ = read_pos_ = 0; }
 
-  /// Appends one value (helper phase).
+  /// Appends one value (helper phase).  Bounds are CASC_DCHECK-only: this is
+  /// the per-iteration hot path.  Callers that cannot prove capacity should
+  /// size the buffer via the chunk geometry (as PerWorkerBuffers does) or use
+  /// push_span()/write_cursor(), which hard-check.
   template <typename T>
   void push(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    CASC_CHECK(write_pos_ + sizeof(T) <= capacity_, "sequential buffer overflow");
+    CASC_DCHECK(write_pos_ + sizeof(T) <= capacity_, "sequential buffer overflow");
     std::memcpy(storage_ + write_pos_, &value, sizeof(T));
     write_pos_ += sizeof(T);
   }
 
-  /// Pops the next value in FIFO order (execution phase).
+  /// Pops the next value in FIFO order (execution phase).  CASC_DCHECK-only,
+  /// like push().
   template <typename T>
   T pop() {
     static_assert(std::is_trivially_copyable_v<T>);
-    CASC_CHECK(read_pos_ + sizeof(T) <= write_pos_, "sequential buffer underflow");
+    CASC_DCHECK(read_pos_ + sizeof(T) <= write_pos_, "sequential buffer underflow");
     T value;
     std::memcpy(&value, storage_ + read_pos_, sizeof(T));
     read_pos_ += sizeof(T);
     return value;
+  }
+
+  /// Stages `count` contiguous values with one bounds check and one memcpy.
+  template <typename T>
+  void push_span(const T* values, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t bytes = count * sizeof(T);
+    CASC_CHECK(write_pos_ + bytes <= capacity_, "sequential buffer overflow");
+    std::memcpy(storage_ + write_pos_, values, bytes);
+    write_pos_ += bytes;
+  }
+
+  /// Drains `count` values into `out` with one bounds check and one memcpy.
+  template <typename T>
+  void pop_span(T* out, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t bytes = count * sizeof(T);
+    CASC_CHECK(read_pos_ + bytes <= write_pos_, "sequential buffer underflow");
+    std::memcpy(out, storage_ + read_pos_, bytes);
+    read_pos_ += bytes;
+  }
+
+  /// Streaming writer over reserved space for up to `max_count` values of T.
+  /// Nothing is visible to pop()/read_cursor() until commit(); destroying an
+  /// uncommitted cursor discards the staged values (the jump-out path).
+  template <typename T>
+  class WriteCursor {
+   public:
+    WriteCursor(const WriteCursor&) = delete;
+    WriteCursor& operator=(const WriteCursor&) = delete;
+    WriteCursor(WriteCursor&& other) noexcept
+        : buf_(other.buf_), base_(other.base_), count_(other.count_),
+          max_count_(other.max_count_) {
+      other.buf_ = nullptr;
+    }
+    WriteCursor& operator=(WriteCursor&&) = delete;
+    ~WriteCursor() = default;  // uncommitted staging is simply dropped
+
+    /// Appends one value; bounds are CASC_DCHECK-only (the acquisition
+    /// hard-checked capacity for max_count already).
+    void push(const T& value) noexcept {
+      CASC_DCHECK(count_ < max_count_, "write cursor overflow");
+      std::memcpy(base_ + count_ * sizeof(T), &value, sizeof(T));
+      ++count_;
+    }
+
+    [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+    /// Publishes everything pushed so far to the buffer's write position.
+    void commit() noexcept {
+      buf_->write_pos_ += count_ * sizeof(T);
+      base_ += count_ * sizeof(T);
+      max_count_ -= count_;
+      count_ = 0;
+    }
+
+   private:
+    friend class SequentialBuffer;
+    WriteCursor(SequentialBuffer* buf, std::byte* base, std::size_t max_count) noexcept
+        : buf_(buf), base_(base), max_count_(max_count) {}
+
+    SequentialBuffer* buf_;
+    std::byte* base_;
+    std::size_t count_ = 0;
+    std::size_t max_count_;
+  };
+
+  /// Streaming reader over `count` already-staged values of T.  The values
+  /// are consumed from the buffer immediately (the read position advances at
+  /// acquisition); next() then walks the span without further bookkeeping.
+  template <typename T>
+  class ReadCursor {
+   public:
+    /// Next value in FIFO order; CASC_DCHECK-only bounds.
+    T next() noexcept {
+      CASC_DCHECK(index_ < count_, "read cursor underflow");
+      T value;
+      std::memcpy(&value, base_ + index_ * sizeof(T), sizeof(T));
+      ++index_;
+      return value;
+    }
+
+    /// Software-prefetches the value `distance` elements ahead of the read
+    /// position (clamped to the span).  The drain loop calls this so lines
+    /// evicted between staging and execution are back in flight before
+    /// next() needs them.
+    void prefetch(std::size_t distance) const noexcept {
+#if defined(__GNUC__)
+      std::size_t ahead = index_ + distance;
+      if (ahead >= count_) {
+        if (count_ == 0) return;
+        ahead = count_ - 1;
+      }
+      __builtin_prefetch(base_ + ahead * sizeof(T), /*rw=*/0, /*locality=*/3);
+#else
+      (void)distance;
+#endif
+    }
+
+    [[nodiscard]] std::size_t remaining() const noexcept { return count_ - index_; }
+
+   private:
+    friend class SequentialBuffer;
+    ReadCursor(const std::byte* base, std::size_t count) noexcept
+        : base_(base), count_(count) {}
+
+    const std::byte* base_;
+    std::size_t count_;
+    std::size_t index_ = 0;
+  };
+
+  /// Acquires a write cursor after ONE hard capacity check for `max_count`
+  /// values of T.
+  template <typename T>
+  [[nodiscard]] WriteCursor<T> write_cursor(std::size_t max_count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CASC_CHECK(write_pos_ + max_count * sizeof(T) <= capacity_,
+               "sequential buffer overflow");
+    return WriteCursor<T>(this, storage_ + write_pos_, max_count);
+  }
+
+  /// Acquires a read cursor over the next `count` staged values of T after
+  /// ONE hard underflow check; the read position advances immediately.
+  template <typename T>
+  [[nodiscard]] ReadCursor<T> read_cursor(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t bytes = count * sizeof(T);
+    CASC_CHECK(read_pos_ + bytes <= write_pos_, "sequential buffer underflow");
+    const std::byte* base = storage_ + read_pos_;
+    read_pos_ += bytes;
+    return ReadCursor<T>(base, count);
   }
 
   [[nodiscard]] std::size_t bytes_written() const noexcept { return write_pos_; }
@@ -67,6 +233,14 @@ class SequentialBuffer {
   [[nodiscard]] bool drained() const noexcept { return read_pos_ == write_pos_; }
 
  private:
+  /// Validates the requested capacity and picks the storage alignment:
+  /// huge-page for large buffers, cache-line otherwise.
+  static std::size_t checked_alignment(std::size_t capacity_bytes) {
+    CASC_CHECK(capacity_bytes > 0, "buffer capacity must be positive");
+    return capacity_bytes >= kHugePageSize ? kHugePageSize : common::kCacheLineSize;
+  }
+
+  std::size_t align_;
   std::size_t capacity_;
   std::byte* storage_;
   std::size_t write_pos_ = 0;

@@ -3,6 +3,12 @@
 // (and acceptably fast) even when threads outnumber cores — including the
 // degenerate single-core case, where pure spinning would deadlock-by-slowness
 // against the thread holding the token.
+//
+// Waiting is tiered: kSpinLimit pause instructions (tier 1), then OS yields
+// (tier 2).  After kYieldLimit yields, should_park() turns true and callers
+// that have a parking facility (Token's futex tier) should sleep instead of
+// stealing further cycles from the token holder; callers without one just
+// keep yielding, which is the pre-parking behaviour.
 #pragma once
 
 #include <thread>
@@ -21,11 +27,16 @@ class SpinWait {
       ++spins_;
       cpu_pause();
     } else {
+      ++yields_;
       std::this_thread::yield();
     }
   }
 
-  void reset() noexcept { spins_ = 0; }
+  /// True once both the spin and yield tiers are exhausted — the caller has
+  /// been waiting long enough that an OS sleep beats burning the CPU.
+  [[nodiscard]] bool should_park() const noexcept { return yields_ >= kYieldLimit; }
+
+  void reset() noexcept { spins_ = yields_ = 0; }
 
   static void cpu_pause() noexcept {
 #if defined(__x86_64__) || defined(__i386__)
@@ -39,7 +50,9 @@ class SpinWait {
 
  private:
   static constexpr int kSpinLimit = 64;
+  static constexpr int kYieldLimit = 64;
   int spins_ = 0;
+  int yields_ = 0;
 };
 
 }  // namespace casc::rt

@@ -9,12 +9,22 @@
 // sentinel.  Once set, await() returns without the token and helper watches
 // report signalled, so every worker unwinds promptly instead of spinning on
 // a chain that will never advance (see docs/RUNTIME.md for the protocol).
+//
+// Waiting is three-tiered: pause spins, OS yields, then — only when parking
+// is enabled for the run — a futex sleep (condition_variable off Linux).
+// Parking exists for oversubscription: when threads outnumber cores, a
+// yielding waiter still steals scheduler slices from the token holder, which
+// *lengthens* the serial chain it is waiting on.  With threads <= cores the
+// executor leaves parking off and the fast path is exactly the old
+// spin/yield loop; pass() then never touches the parking state beyond one
+// predictable branch.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
 #include "casc/common/align.hpp"
+#include "casc/rt/park.hpp"
 #include "casc/rt/spin_wait.hpp"
 
 namespace casc::rt {
@@ -22,11 +32,26 @@ namespace casc::rt {
 /// Shared token state.  One instance per executor; all workers poll it.
 class Token {
  public:
+  /// How long one futex sleep lasts at most; bounds how stale a parked
+  /// worker's view of deadline/abort state can get even on a lost wake.
+  static constexpr std::int64_t kParkSliceNs = 2'000'000;  // 2 ms
+
   /// Resets the token to chunk 0 and clears any abort (single-threaded
   /// context only).
   void reset() noexcept {
     current_.value.store(0, std::memory_order_relaxed);
     aborted_.value.store(false, std::memory_order_relaxed);
+  }
+
+  /// Enables/disables the parking tier for subsequent await() calls.
+  /// Single-threaded context only (the executor flips it between runs);
+  /// waiters read it relaxed.
+  void set_park_enabled(bool enabled) noexcept {
+    park_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool park_enabled() const noexcept {
+    return park_enabled_.load(std::memory_order_relaxed);
   }
 
   /// Chunk currently allowed to execute (acquire: pairs with pass()).
@@ -43,7 +68,10 @@ class Token {
   /// Poisons the cascade: await() stops blocking and watches report
   /// signalled.  Sticky until reset().  Safe to call from any thread, any
   /// number of times.
-  void abort() noexcept { aborted_.value.store(true, std::memory_order_release); }
+  void abort() noexcept {
+    aborted_.value.store(true, std::memory_order_release);
+    wake_sleepers();
+  }
 
   /// True once the cascade has been poisoned (acquire: pairs with abort()).
   [[nodiscard]] bool aborted() const noexcept {
@@ -55,15 +83,21 @@ class Token {
     return aborted_.value.load(std::memory_order_relaxed);
   }
 
-  /// Blocks (spin, then yield) until it is chunk `c`'s turn or the cascade
-  /// is aborted.  Returns true iff the token actually arrived — on false the
-  /// caller must NOT execute its chunk.
+  /// Blocks until it is chunk `c`'s turn or the cascade is aborted: spins,
+  /// yields, then (when parking is enabled for this run) sleeps in
+  /// kParkSliceNs slices.  Returns true iff the token actually arrived — on
+  /// false the caller must NOT execute its chunk.
   [[nodiscard]] bool await(std::uint64_t c) const noexcept {
     SpinWait spin;
+    const bool may_park = park_enabled();
     for (;;) {
       if (current() == c) return true;
       if (aborted()) return false;
-      spin.wait();
+      if (may_park && spin.should_park()) {
+        park_until_signal(c);
+      } else {
+        spin.wait();
+      }
     }
   }
 
@@ -72,11 +106,45 @@ class Token {
   /// next executor.  Precondition: the caller holds the token for c.
   void pass(std::uint64_t c) noexcept {
     current_.value.store(c + 1, std::memory_order_release);
+    // One always-predicted branch on the spin-mode fast path; the wake
+    // syscall itself only happens when a sleeper is registered.
+    if (park_enabled_.load(std::memory_order_relaxed)) wake_sleepers();
+  }
+
+  /// One bounded sleep waiting for chunk `c` (or an abort).  Public so the
+  /// executor's watchdog-aware wait loop can interleave its own deadline
+  /// checks between sleep slices.  Returns on wake, timeout, or spurious
+  /// wakeup; the caller re-checks the token itself.
+  void park_until_signal(std::uint64_t c) const noexcept {
+    // Epoch first, then register, then re-check: see ParkingSpot::epoch().
+    const std::uint32_t seen = spot_.value.epoch();
+    sleepers_.value.fetch_add(1, std::memory_order_seq_cst);
+    // The seq_cst re-check pairs with wake_sleepers()'s fence: either this
+    // load sees the pass/abort, or the passer's sleeper-count load sees our
+    // registration and issues the wake.
+    if (current_.value.load(std::memory_order_seq_cst) < c &&
+        !aborted_.value.load(std::memory_order_seq_cst)) {
+      spot_.value.wait(seen, kParkSliceNs);
+    }
+    sleepers_.value.fetch_sub(1, std::memory_order_release);
   }
 
  private:
+  void wake_sleepers() noexcept {
+    // StoreLoad barrier between the counter/abort publish and the sleeper
+    // probe — without it both sides could miss each other (Dekker).
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (sleepers_.value.load(std::memory_order_relaxed) == 0) return;
+    spot_.value.wake_all();
+  }
+
   common::CacheAligned<std::atomic<std::uint64_t>> current_;
   common::CacheAligned<std::atomic<bool>> aborted_;
+  // Parking state on its own lines: probed by pass() but only written when
+  // workers actually sleep, so the hot counter line stays exclusive.
+  mutable common::CacheAligned<std::atomic<std::uint32_t>> sleepers_;
+  mutable common::CacheAligned<ParkingSpot> spot_;
+  std::atomic<bool> park_enabled_{false};
 };
 
 /// Read-only view a helper receives so it can jump out as soon as its own

@@ -1,0 +1,162 @@
+// Randomized property tests for the restructured-loop hot path: whatever mix
+// of staged drains, look-ahead staging, jump-out fallbacks, and adaptive
+// chunk sizes a run ends up with, the observable results must be
+// bit-identical to the plain sequential loop `for i: consume(i, gather(i))`.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "casc/rt/restructured.hpp"
+
+namespace {
+
+using casc::rt::CascadeExecutor;
+using casc::rt::ExecutorConfig;
+using casc::rt::RestructuredLoop;
+using casc::rt::RestructuredOptions;
+
+struct RandomWorkload {
+  std::vector<double> a;
+  std::vector<std::uint32_t> ij;
+
+  RandomWorkload(std::uint64_t n, std::uint32_t seed) : a(n), ij(n) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> val(-1e6, 1e6);
+    std::uniform_int_distribution<std::uint32_t> idx(0, static_cast<std::uint32_t>(n - 1));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      a[i] = val(rng);
+      ij[i] = idx(rng);
+    }
+  }
+};
+
+/// The loop-carried recurrence makes any ordering or staleness bug visible in
+/// the final bits: acc depends on every operand in exact sequence.
+double sequential_reference(const RandomWorkload& w, std::vector<double>& out) {
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < w.a.size(); ++i) {
+    const double v = w.a[w.ij[i]];
+    acc = acc * 0.75 + v;
+    out[i] = acc;
+  }
+  return acc;
+}
+
+void run_and_compare(CascadeExecutor& ex, RestructuredOptions options,
+                     const RandomWorkload& w) {
+  const std::uint64_t n = w.a.size();
+  std::vector<double> want(n);
+  const double want_acc = sequential_reference(w, want);
+
+  RestructuredLoop<double> loop(ex, options);
+  std::vector<double> got(n, 0.0);
+  double acc = 0.0;
+  loop.run(
+      n, [&](std::uint64_t i) { return w.a[w.ij[i]]; },
+      [&](std::uint64_t i, double v) {
+        acc = acc * 0.75 + v;
+        got[i] = acc;
+      });
+
+  // Bit-identical, not approximately equal: the cascade must perform the
+  // exact same double operations in the exact same order.
+  EXPECT_EQ(acc, want_acc);
+  EXPECT_EQ(got, want);
+  const auto& stats = loop.last_run_stats();
+  EXPECT_EQ(stats.chunks_staged + stats.chunks_fallback, stats.chunks);
+  EXPECT_LE(stats.chunks_staged_ahead, stats.chunks_staged);
+}
+
+struct PropertyCase {
+  unsigned threads;
+  unsigned lookahead;
+};
+
+class RestructuredProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(RestructuredProperty, StagedAndFallbackPathsAreBitIdentical) {
+  const PropertyCase pc = GetParam();
+  CascadeExecutor ex(ExecutorConfig{pc.threads, false});
+  std::mt19937 rng(0xC45Cu + pc.threads * 131u + pc.lookahead);
+  for (int trial = 0; trial < 8; ++trial) {
+    // Sizes straddle the chunk boundary cases: sub-chunk, exact multiples,
+    // ragged tails.
+    std::uniform_int_distribution<std::uint64_t> size(1, 5000);
+    std::uniform_int_distribution<std::uint64_t> chunk(1, 512);
+    const std::uint64_t n = size(rng);
+    RandomWorkload w(n, rng());
+    RestructuredOptions options;
+    options.iters_per_chunk = chunk(rng);
+    options.lookahead = pc.lookahead;
+    run_and_compare(ex, options, w);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RestructuredProperty,
+                         ::testing::Values(PropertyCase{1, 1}, PropertyCase{1, 4},
+                                           PropertyCase{2, 1}, PropertyCase{2, 2},
+                                           PropertyCase{4, 3}, PropertyCase{4, 8}),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param.threads) + "_la" +
+                                  std::to_string(info.param.lookahead);
+                         });
+
+TEST(RestructuredAutoChunk, AdaptsAcrossRunsAndStaysBitIdentical) {
+  CascadeExecutor ex(ExecutorConfig{2, false});
+  RestructuredOptions options;
+  options.iters_per_chunk = 512;
+  options.auto_chunk = true;
+  options.min_chunk_iters = 64;
+  options.max_chunk_iters = 2048;
+  options.lookahead = 2;
+  RestructuredLoop<double> loop(ex, options);
+
+  const std::uint64_t n = 6000;
+  RandomWorkload w(n, 77);
+  std::vector<double> want(n);
+  const double want_acc = sequential_reference(w, want);
+
+  // The wave5 pattern: the same loop invoked repeatedly.  Every invocation
+  // must produce the reference bits no matter what chunk size the hill-climb
+  // picked for it.
+  for (int call = 0; call < 12; ++call) {
+    std::vector<double> got(n, 0.0);
+    double acc = 0.0;
+    loop.run(
+        n, [&](std::uint64_t i) { return w.a[w.ij[i]]; },
+        [&](std::uint64_t i, double v) {
+          acc = acc * 0.75 + v;
+          got[i] = acc;
+        });
+    ASSERT_EQ(acc, want_acc) << "call " << call;
+    ASSERT_EQ(got, want) << "call " << call;
+    const auto& stats = loop.last_run_stats();
+    ASSERT_GE(stats.iters_per_chunk, options.min_chunk_iters);
+    ASSERT_LE(stats.iters_per_chunk, options.max_chunk_iters);
+  }
+}
+
+TEST(RestructuredLookahead, ReportsChunksStagedAhead) {
+  // With a 1-thread cascade every helper runs strictly before its own
+  // execution phase and the token is always already available, so nothing is
+  // staged ahead; with lookahead > 1 and more chunks than workers the counter
+  // may grow but must never exceed chunks_staged.
+  CascadeExecutor ex(ExecutorConfig{2, false});
+  RestructuredOptions options;
+  options.iters_per_chunk = 64;
+  options.lookahead = 4;
+  RestructuredLoop<std::uint64_t> loop(ex, options);
+  const std::uint64_t n = 64 * 32;
+  std::vector<std::uint64_t> got(n, 0);
+  loop.run(
+      n, [](std::uint64_t i) { return i * 7; },
+      [&](std::uint64_t i, std::uint64_t v) { got[i] = v; });
+  for (std::uint64_t i = 0; i < n; ++i) ASSERT_EQ(got[i], i * 7);
+  const auto& stats = loop.last_run_stats();
+  EXPECT_EQ(stats.chunks, 32u);
+  EXPECT_LE(stats.chunks_staged_ahead, stats.chunks_staged);
+}
+
+}  // namespace

@@ -292,12 +292,14 @@ TEST(Helpers, RestructuredCascadeMatchesSequential) {
 
   CascadeExecutor ex(ExecutorConfig{4, false});
   PerWorkerBuffers bufs(ex.num_threads(), chunk * sizeof(double), chunk);
-  std::vector<bool> staged((n + chunk - 1) / chunk, false);
+  // Distinct chunks must occupy distinct bytes (distinct workers write their
+  // own flags concurrently) — vector<bool> would pack them into shared words.
+  std::vector<char> staged((n + chunk - 1) / chunk, 0);
   ex.run(
       n, chunk,
       [&](std::uint64_t b, std::uint64_t e) {
         auto& buf = bufs.for_chunk(b);
-        if (staged[b / chunk]) {
+        if (staged[b / chunk] != 0) {
           for (std::uint64_t i = b; i < e; ++i) got[i] = buf.pop<double>() + 1.0;
         } else {
           for (std::uint64_t i = b; i < e; ++i) got[i] = a[ij[i]] + 1.0;
@@ -307,7 +309,7 @@ TEST(Helpers, RestructuredCascadeMatchesSequential) {
         auto& buf = bufs.for_chunk(b);
         buf.reset();
         for (std::uint64_t i = b; i < e; ++i) buf.push(a[ij[i]]);
-        staged[b / chunk] = true;  // set only after the full stage completes
+        staged[b / chunk] = 1;  // set only after the full stage completes
         return true;
       });
   EXPECT_EQ(got, want);
