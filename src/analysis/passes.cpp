@@ -6,7 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "casc/cascade/chunking.hpp"
+#include "casc/core/chunk.hpp"
 
 namespace casc::analysis {
 
@@ -179,7 +179,7 @@ StaticFootprint compute_footprints(const LoopSpec& spec,
     }
   }
   if (iters == 0) return fp;
-  const cascade::ChunkPlan plan = cascade::ChunkPlan::for_iters_per_bytes(
+  const core::ChunkPlan plan = core::ChunkPlan::for_iters_per_bytes(
       iters, std::max<std::uint64_t>(fp.bytes_per_iteration, 1), chunk_bytes);
   fp.chunk_iters = plan.iters_per_chunk();
   fp.num_chunks = plan.num_chunks();

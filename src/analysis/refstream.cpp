@@ -1,12 +1,12 @@
-#include "casc/cascade/preflight.hpp"
+#include "casc/analysis/refstream.hpp"
 
 #include <algorithm>
 #include <cstdio>
 #include <unordered_map>
 
-#include "casc/cascade/chunking.hpp"
+#include "casc/core/chunk.hpp"
 
-namespace casc::cascade {
+namespace casc::analysis {
 
 namespace {
 
@@ -27,15 +27,15 @@ struct ClaimInterval {
 
 }  // namespace
 
-PreflightReport preflight_verify(const Workload& workload,
-                                 const PreflightOptions& opt) {
-  PreflightReport report;
+RefStreamReport verify_ref_stream(const core::Workload& workload,
+                                  const RefStreamOptions& opt) {
+  RefStreamReport report;
   const std::uint64_t total = workload.num_iterations();
   const std::uint64_t iters = std::min(total, opt.max_iterations);
   report.truncated = iters < total;
   report.iterations_checked = iters;
 
-  const ChunkPlan plan = ChunkPlan::for_iters_per_bytes(
+  const core::ChunkPlan plan = core::ChunkPlan::for_iters_per_bytes(
       std::max<std::uint64_t>(1, total), workload.bytes_per_iteration(),
       opt.chunk_bytes);
   const std::uint64_t iters_per_chunk = plan.iters_per_chunk();
@@ -152,4 +152,4 @@ PreflightReport preflight_verify(const Workload& workload,
   return report;
 }
 
-}  // namespace casc::cascade
+}  // namespace casc::analysis

@@ -6,7 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "casc/cascade/chunking.hpp"
+#include "casc/core/chunk.hpp"
 #include "casc/common/check.hpp"
 
 namespace casc::analysis {
@@ -88,7 +88,7 @@ ShadowReport shadow_check(const trace::Trace& trace,
   report.iterations_checked = n;
   if (n == 0) return report;
 
-  const cascade::ChunkPlan plan = cascade::ChunkPlan::for_iters_per_bytes(
+  const core::ChunkPlan plan = core::ChunkPlan::for_iters_per_bytes(
       n, std::max<std::uint64_t>(trace.meta().bytes_per_iteration, 1),
       opt.chunk_bytes);
   report.chunk_iters = plan.iters_per_chunk();

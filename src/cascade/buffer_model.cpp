@@ -1,4 +1,4 @@
-#include "casc/cascade/seq_buffer.hpp"
+#include "casc/cascade/buffer_model.hpp"
 
 #include "casc/common/check.hpp"
 

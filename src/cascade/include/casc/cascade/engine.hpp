@@ -18,7 +18,7 @@
 
 #include "casc/cascade/chunking.hpp"
 #include "casc/cascade/options.hpp"
-#include "casc/cascade/seq_buffer.hpp"
+#include "casc/cascade/buffer_model.hpp"
 #include "casc/cascade/workload.hpp"
 #include "casc/loopir/loop_nest.hpp"
 #include "casc/sim/machine.hpp"

@@ -1,55 +1,25 @@
 // Preflight verification of a workload's restructure-safety claims.
 //
-// The restructuring helper (paper §2.2) copies operands it believes are
-// read-only into a per-processor sequential buffer *before* the preceding
-// chunks have executed.  That is only equivalent to sequential execution if
-// no staged operand is ever written by the loop: a write to a claimed
-// read-only address is a flow/anti hazard that crosses the chunk boundary
-// the moment writer and reader land in different chunks, and the staged copy
-// silently goes stale.  The engine trusts the Ref::read_only_operand
-// classification; this pass checks it against the workload's own reference
-// stream (the ground truth) and reports every violation as a Diagnostic, so
-// CascadeSimulator can refuse the restructure helper instead of computing
-// wrong speedups — and so casclint can report the hazard with evidence.
+// The checker itself now lives in casc::analysis (casc/analysis/refstream.hpp)
+// so the simulator and the threaded runtime verify against the SAME
+// implementation.  This header keeps the simulator-facing names: the aliases
+// and the inline preflight_verify() delegate straight through.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "casc/common/diagnostic.hpp"
+#include "casc/analysis/refstream.hpp"
 #include "casc/cascade/workload.hpp"
 
 namespace casc::cascade {
 
-struct PreflightOptions {
-  /// Chunk geometry used to classify hazards as crossing a chunk boundary
-  /// (the same value the cascaded run will use).
-  std::uint64_t chunk_bytes = 64 * 1024;
-  /// Replay cap: workloads longer than this are verified over a prefix only,
-  /// and the verdict is marked truncated (still sound for the prefix).
-  std::uint64_t max_iterations = 1ull << 22;
-  /// Cap on concrete hazard instances reported as diagnostics.
-  std::uint64_t max_reported = 4;
-};
-
-/// Verdict of one preflight pass over a workload's reference stream.
-struct PreflightReport {
-  /// No write ever lands in the claimed read-only (staged) footprint; the
-  /// restructure helper provably preserves sequential semantics.
-  bool restructure_safe = true;
-  bool truncated = false;                 ///< hit PreflightOptions::max_iterations
-  std::uint64_t iterations_checked = 0;
-  std::uint64_t refs_checked = 0;
-  std::uint64_t claimed_ro_bytes = 0;     ///< distinct bytes claimed read-only
-  std::uint64_t violating_writes = 0;     ///< writes into that footprint
-  std::uint64_t cross_chunk_hazards = 0;  ///< violations spanning a chunk boundary
-  common::DiagnosticList diags;
-};
+using PreflightOptions = analysis::RefStreamOptions;
+using PreflightReport = analysis::RefStreamReport;
 
 /// Streams `workload`'s references once and checks every claimed-read-only
-/// byte against every write.  O(refs log writes) time; memory bounded by the
-/// distinct write/staged footprints of the verified prefix.
-[[nodiscard]] PreflightReport preflight_verify(const Workload& workload,
-                                               const PreflightOptions& opt = {});
+/// byte against every write.  Delegates to analysis::verify_ref_stream — the
+/// single preflight implementation shared with the threaded runtime.
+[[nodiscard]] inline PreflightReport preflight_verify(
+    const Workload& workload, const PreflightOptions& opt = {}) {
+  return analysis::verify_ref_stream(workload, opt);
+}
 
 }  // namespace casc::cascade

@@ -1,59 +1,15 @@
-// The engine's view of a workload.  CascadeSimulator needs only five things
-// from whatever it executes: the iteration count, per-iteration compute
-// costs, the classified reference stream of each iteration, the §2.2
-// bytes-per-iteration estimate, and the address ranges to pre-touch for
-// start states.  Abstracting them lets the same engine run loop nests
-// (LoopWorkload) and captured traces (trace::TraceWorkload) identically.
+// Compatibility shim: the Workload interface moved to the shared core
+// (casc/core/workload.hpp) so trace capture and the real-thread bridge can
+// consume it without depending on the simulator.  This header keeps the
+// historical casc::cascade spellings working.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "casc/loopir/loop_nest.hpp"
+#include "casc/core/workload.hpp"
 
 namespace casc::cascade {
 
-/// A contiguous data region a workload touches (for start-state warming).
-struct AddressRange {
-  std::uint64_t base = 0;
-  std::uint64_t bytes = 0;
-};
-
-/// Abstract workload interface consumed by CascadeSimulator.
-class Workload {
- public:
-  virtual ~Workload() = default;
-
-  [[nodiscard]] virtual std::uint64_t num_iterations() const = 0;
-  [[nodiscard]] virtual std::uint32_t compute_cycles() const = 0;
-  [[nodiscard]] virtual std::uint32_t restructured_compute_cycles() const = 0;
-  /// Estimated bytes touched per iteration (chunk sizing, paper §2.2).
-  [[nodiscard]] virtual std::uint64_t bytes_per_iteration() const = 0;
-  /// Sequential-buffer bytes one iteration stages under restructuring.
-  [[nodiscard]] virtual std::uint64_t buffer_bytes_per_iteration() const = 0;
-  /// Appends iteration `it`'s classified references to `out`.
-  virtual void refs_for_iteration(std::uint64_t it,
-                                  std::vector<loopir::Ref>& out) const = 0;
-  /// Data regions for start-state warming (distributed/warm starts).
-  [[nodiscard]] virtual std::vector<AddressRange> data_ranges() const = 0;
-};
-
-/// Workload view over a finalized LoopNest (non-owning).
-class LoopWorkload final : public Workload {
- public:
-  explicit LoopWorkload(const loopir::LoopNest& nest);
-
-  [[nodiscard]] std::uint64_t num_iterations() const override;
-  [[nodiscard]] std::uint32_t compute_cycles() const override;
-  [[nodiscard]] std::uint32_t restructured_compute_cycles() const override;
-  [[nodiscard]] std::uint64_t bytes_per_iteration() const override;
-  [[nodiscard]] std::uint64_t buffer_bytes_per_iteration() const override;
-  void refs_for_iteration(std::uint64_t it,
-                          std::vector<loopir::Ref>& out) const override;
-  [[nodiscard]] std::vector<AddressRange> data_ranges() const override;
-
- private:
-  const loopir::LoopNest* nest_;
-};
+using core::AddressRange;
+using core::LoopWorkload;
+using core::Workload;
 
 }  // namespace casc::cascade

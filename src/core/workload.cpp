@@ -1,8 +1,8 @@
-#include "casc/cascade/workload.hpp"
+#include "casc/core/workload.hpp"
 
 #include "casc/common/check.hpp"
 
-namespace casc::cascade {
+namespace casc::core {
 
 LoopWorkload::LoopWorkload(const loopir::LoopNest& nest) : nest_(&nest) {
   CASC_CHECK(nest.finalized(), "loop nest must be finalized");
@@ -47,4 +47,4 @@ std::vector<AddressRange> LoopWorkload::data_ranges() const {
   return ranges;
 }
 
-}  // namespace casc::cascade
+}  // namespace casc::core

@@ -1,0 +1,195 @@
+#include "casc/exec/bridge.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "casc/analysis/verifier.hpp"
+#include "casc/common/check.hpp"
+#include "casc/common/stopwatch.hpp"
+#include "casc/rt/helpers.hpp"
+
+namespace casc::exec {
+
+namespace {
+
+/// Interprets iterations [begin, end) against real storage, continuing from
+/// `acc`.  `staged` non-null: drain proven-read-only operand values from the
+/// cursor instead of gathering them from the arrays.
+std::uint64_t interpret_span(MaterializedLoop& loop, std::uint64_t begin,
+                             std::uint64_t end, std::uint64_t acc,
+                             rt::SequentialBuffer::ReadCursor<std::uint64_t>* staged) {
+  for (std::uint64_t it = begin; it < end; ++it) {
+    for (const ResolvedRef* ref = loop.refs_begin(it); ref != loop.refs_end(it);
+         ++ref) {
+      if (ref->is_write) {
+        const std::uint64_t w = MaterializedLoop::mix(acc, it);
+        loop.store(*ref, w);
+        acc = w;
+      } else {
+        std::uint64_t v;
+        if (staged != nullptr && ref->staged) {
+          staged->prefetch(8);
+          v = staged->next();
+        } else {
+          v = loop.load(*ref);
+        }
+        acc = MaterializedLoop::mix(acc, v);
+      }
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+core::ChunkPlan plan_for(const MaterializedLoop& loop, std::uint64_t chunk_bytes) {
+  return core::ChunkPlan::for_iters_per_bytes(loop.num_iterations(),
+                                              loop.nest().bytes_per_iteration(),
+                                              chunk_bytes);
+}
+
+rt::PreflightGate gate_for(const MaterializedLoop& loop, std::uint64_t chunk_bytes) {
+  analysis::AnalyzeOptions opt;
+  opt.chunk_bytes = chunk_bytes;
+  const analysis::AnalysisReport report = analysis::analyze(loop.spec(), opt);
+  if (report.restructure_eligible) return rt::PreflightGate::proven();
+  common::Diagnostic reason{common::Severity::kError, "preflight-unproven",
+                            "the analysis verifier could not prove the spec "
+                            "restructure-eligible"};
+  for (const common::Diagnostic& diag : report.diags.items()) {
+    if (diag.severity == common::Severity::kError) {
+      reason = diag;
+      break;
+    }
+  }
+  return rt::PreflightGate::refused(std::move(reason));
+}
+
+ExecResult run_reference(MaterializedLoop& loop) {
+  loop.reset();
+  ExecResult result;
+  result.total_iters = loop.num_iterations();
+  result.iters_per_chunk = result.total_iters;
+  common::Stopwatch watch;
+  result.digest = interpret_span(loop, 0, result.total_iters,
+                                 MaterializedLoop::kAccSeed, nullptr);
+  result.seconds = watch.elapsed_seconds();
+  result.rw_checksum = loop.rw_checksum();
+  return result;
+}
+
+ExecResult run_cascaded(MaterializedLoop& loop, rt::CascadeExecutor& executor,
+                        const RtOptions& opt) {
+  loop.reset();
+  const std::uint64_t total = loop.num_iterations();
+  std::uint64_t ipc = opt.iters_per_chunk;
+  if (ipc == 0) ipc = plan_for(loop, opt.chunk_bytes).iters_per_chunk();
+  CASC_CHECK(ipc > 0, "iters_per_chunk must be positive");
+  const std::uint64_t num_chunks = total == 0 ? 0 : (total + ipc - 1) / ipc;
+
+  ExecResult result;
+  result.total_iters = total;
+  result.iters_per_chunk = ipc;
+  result.num_chunks = std::max<std::uint64_t>(1, num_chunks);
+  if (total == 0) {
+    result.digest = MaterializedLoop::kAccSeed;
+    result.rw_checksum = loop.rw_checksum();
+    return result;
+  }
+
+  // The loop-carried accumulator crosses chunk boundaries on the token's
+  // release/acquire edge — the same edge that makes the arrays' own writes
+  // visible to the next execution phase.
+  std::uint64_t acc = MaterializedLoop::kAccSeed;
+
+  auto staged_in = [&](std::uint64_t begin, std::uint64_t end) {
+    return loop.staged_refs_before(end) - loop.staged_refs_before(begin);
+  };
+
+  // Helper and execution phase of chunk c run on the same worker (c mod P),
+  // so the staged flags need no synchronization.
+  std::vector<char> chunk_staged(num_chunks, 0);
+  rt::PerWorkerBuffers* buffers = nullptr;
+  std::unique_ptr<rt::PerWorkerBuffers> buffers_owned;
+  if (opt.helper == HelperMode::kRestructure) {
+    const std::uint64_t capacity =
+        std::max<std::uint64_t>(64, loop.max_staged_per_iter() * ipc * 8);
+    buffers_owned = std::make_unique<rt::PerWorkerBuffers>(
+        executor.num_threads(), capacity, ipc, opt.lookahead);
+    buffers = buffers_owned.get();
+  }
+
+  auto exec = [&](std::uint64_t begin, std::uint64_t end) {
+    const std::uint64_t c = begin / ipc;
+    if (buffers != nullptr && chunk_staged[c] != 0) {
+      auto cursor = buffers->for_chunk_index(c).read_cursor<std::uint64_t>(
+          staged_in(begin, end));
+      acc = interpret_span(loop, begin, end, acc, &cursor);
+    } else {
+      acc = interpret_span(loop, begin, end, acc, nullptr);
+    }
+  };
+
+  auto prefetch_helper = [&](std::uint64_t begin, std::uint64_t end,
+                             const rt::TokenWatch& watch) -> bool {
+    for (std::uint64_t it = begin; it < end; ++it) {
+      if ((it & 0x3f) == 0 && watch.signalled()) return false;
+      for (const ResolvedRef* ref = loop.refs_begin(it); ref != loop.refs_end(it);
+           ++ref) {
+        rt::force_load(loop.addr(*ref));
+      }
+    }
+    return true;
+  };
+
+  auto restructure_helper = [&](std::uint64_t begin, std::uint64_t end,
+                                const rt::TokenWatch& watch) -> bool {
+    const std::uint64_t c = begin / ipc;
+    rt::SequentialBuffer& buf = buffers->for_chunk_index(c);
+    buf.reset();
+    auto cursor = buf.write_cursor<std::uint64_t>(staged_in(begin, end));
+    for (std::uint64_t it = begin; it < end; ++it) {
+      // Abandoning the uncommitted cursor discards the partial staging; the
+      // execution phase falls back to gathering from the arrays.
+      if ((it & 0x3f) == 0 && watch.signalled()) return false;
+      for (const ResolvedRef* ref = loop.refs_begin(it); ref != loop.refs_end(it);
+           ++ref) {
+        if (ref->staged) cursor.push(loop.load(*ref));
+      }
+    }
+    cursor.commit();
+    chunk_staged[c] = 1;
+    return true;
+  };
+
+  common::Stopwatch watch;
+  switch (opt.helper) {
+    case HelperMode::kNone:
+      executor.run(total, ipc, exec);
+      break;
+    case HelperMode::kPrefetch:
+      executor.run(total, ipc, exec, prefetch_helper);
+      break;
+    case HelperMode::kRestructure: {
+      const rt::PreflightGate gate = gate_for(loop, opt.chunk_bytes);
+      executor.run(total, ipc, exec, restructure_helper, gate);
+      break;
+    }
+  }
+  result.seconds = watch.elapsed_seconds();
+
+  const rt::RunStats& stats = executor.last_run_stats();
+  result.transfers = stats.transfers;
+  result.helpers_completed = stats.helpers_completed;
+  result.helpers_jumped_out = stats.helpers_jumped_out;
+  result.preflight_refused = stats.preflight_refused;
+  result.preflight_diag = stats.preflight_diag;
+  result.staged_chunks = static_cast<std::uint64_t>(
+      std::count(chunk_staged.begin(), chunk_staged.end(), char{1}));
+  result.digest = acc;
+  result.rw_checksum = loop.rw_checksum();
+  return result;
+}
+
+}  // namespace casc::exec

@@ -1,0 +1,79 @@
+// The LoopSpec → real-runtime bridge: runs a MaterializedLoop under
+// rt::CascadeExecutor with the cascade's helper phases, or sequentially as
+// the bit-identity reference.
+//
+// Chunk geometry comes from core::ChunkPlan::for_iters_per_bytes — the SAME
+// call the simulator's engine makes — so a spec executed on both backends
+// uses the same iters-per-chunk.  The restructure gate comes from
+// casc::analysis (the verifier pipeline over the spec's original claims):
+// the runtime itself stays analysis-free, exactly as its PreflightGate
+// contract prescribes, and a spec with unsound claims degrades to prefetch
+// with the refusal recorded in the result.
+//
+// Helper phases on real hardware:
+//   * prefetch:    force_load every operand line of the coming chunk,
+//                  polling the token watch to jump out;
+//   * restructure: stage every proven-read-only operand VALUE of the coming
+//                  chunk into the worker's rt::SequentialBuffer (uncommitted
+//                  write cursor, so a jump-out leaves the buffer untouched);
+//                  the execution phase then drains values strictly
+//                  sequentially instead of gathering them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "casc/core/chunk.hpp"
+#include "casc/exec/materialize.hpp"
+#include "casc/rt/executor.hpp"
+
+namespace casc::exec {
+
+enum class HelperMode { kNone, kPrefetch, kRestructure };
+
+struct RtOptions {
+  HelperMode helper = HelperMode::kRestructure;
+  /// Paper §2.2 chunk byte budget; drives the shared ChunkPlan.
+  std::uint64_t chunk_bytes = 64 * 1024;
+  /// Explicit override; 0 derives from chunk_bytes like the simulator does.
+  std::uint64_t iters_per_chunk = 0;
+  /// Sequential-buffer ring depth per worker (restructure only).
+  unsigned lookahead = 2;
+};
+
+/// Outcome of one run (either backend-side entry point).
+struct ExecResult {
+  std::uint64_t digest = 0;       ///< final interpreter accumulator
+  std::uint64_t rw_checksum = 0;  ///< FNV over writable array contents
+  double seconds = 0.0;           ///< wall time of the loop itself
+  std::uint64_t total_iters = 0;
+  std::uint64_t num_chunks = 1;
+  std::uint64_t iters_per_chunk = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t helpers_completed = 0;
+  std::uint64_t helpers_jumped_out = 0;
+  std::uint64_t staged_chunks = 0;  ///< chunks whose staging was committed
+  bool preflight_refused = false;
+  std::string preflight_diag;
+};
+
+/// The chunk plan a cascaded run of `loop` uses — exposed so callers (and the
+/// parity test) can confirm both backends derive identical geometry.
+[[nodiscard]] core::ChunkPlan plan_for(const MaterializedLoop& loop,
+                                       std::uint64_t chunk_bytes);
+
+/// Restructure-safety gate for `loop`, derived from the analysis verifier
+/// over the spec's ORIGINAL claims (a demoted claim refuses the gate even
+/// though the sanitized nest no longer stages the offending operand).
+[[nodiscard]] rt::PreflightGate gate_for(const MaterializedLoop& loop,
+                                         std::uint64_t chunk_bytes);
+
+/// Sequential reference interpretation (arrays reset first): the ground
+/// truth every cascaded run must match bit for bit.
+ExecResult run_reference(MaterializedLoop& loop);
+
+/// Cascaded execution on the real threaded runtime (arrays reset first).
+ExecResult run_cascaded(MaterializedLoop& loop, rt::CascadeExecutor& executor,
+                        const RtOptions& opt = {});
+
+}  // namespace casc::exec

@@ -1,0 +1,127 @@
+// Materialization: turning a declarative loopir::LoopSpec into something the
+// REAL runtime can execute.
+//
+// The simulator interprets a LoopNest's reference stream against a modeled
+// machine; nothing ever touches memory.  MaterializedLoop closes that gap: it
+// instantiates the spec (demoting false read-only claims the way the shadow
+// checker does, so unsafe specs still materialize), allocates real backing
+// storage for every array, fills data arrays deterministically and index
+// arrays with the exact values the nest materialized, and pre-resolves the
+// nest's dynamic reference stream into (array, byte-offset) pairs.  Both the
+// sequential reference interpreter and the cascaded rt bridge (bridge.hpp)
+// then execute the SAME resolved stream with the SAME deterministic
+// semantics, so their results can be compared bit for bit.
+//
+// Interpretation semantics (fixed, backend-independent): one u64 accumulator
+// `acc` carried across the whole loop; for each reference in body order,
+//   read:  v = load(ref);            acc = mix(acc, v)
+//   write: w = mix(acc, iteration);  store(ref, w); acc = w
+// with mix(a, x) = (a ^ x) * 0x100000001b3.  Loads/stores move
+// min(elem_size, 8) bytes little-endian.  Every iteration's writes depend on
+// every prior reference, so any reordering or stale staged value changes the
+// final digest — bit-identity across backends is a real check, not a
+// coincidence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "casc/loopir/loop_nest.hpp"
+#include "casc/loopir/loop_spec.hpp"
+
+namespace casc::exec {
+
+/// One dynamic reference, resolved to real storage.  16 bytes; the resolved
+/// stream is the executable form of the loop.
+struct ResolvedRef {
+  std::uint64_t offset = 0;   ///< byte offset within the array's storage
+  std::uint32_t array = 0;    ///< loopir::ArrayId
+  std::uint8_t size = 0;      ///< element bytes
+  bool is_write = false;
+  /// Read of a proven-read-only operand (including index loads): the
+  /// restructuring helper may stage its value ahead of execution.
+  bool staged = false;
+};
+
+/// A spec with real backing arrays and a pre-resolved reference stream.
+class MaterializedLoop {
+ public:
+  /// Instantiates via analysis::sanitized_instantiate (false read-only claims
+  /// are demoted so unsafe specs still materialize — the demotions are
+  /// recorded and also make the restructure gate refuse).  Throws
+  /// CheckFailure on unrepairable specs or loops too large to materialize.
+  explicit MaterializedLoop(const loopir::LoopSpec& spec);
+
+  [[nodiscard]] const loopir::LoopSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const loopir::LoopNest& nest() const noexcept { return nest_; }
+  /// Arrays whose read-only claim was demoted at instantiation (non-empty
+  /// exactly when the spec's claims were unsound).
+  [[nodiscard]] const std::vector<std::string>& demoted_claims() const noexcept {
+    return demoted_;
+  }
+
+  [[nodiscard]] std::uint64_t num_iterations() const noexcept {
+    return iter_offsets_.size() - 1;
+  }
+
+  /// Restores every array to its deterministic initial contents.  Each run_*
+  /// entry point calls this, so repeated runs are independent.
+  void reset();
+
+  /// FNV-1a over the bytes of every writable (non-read-only) array — the
+  /// loop's observable output state.
+  [[nodiscard]] std::uint64_t rw_checksum() const;
+
+  // ---- resolved stream ----------------------------------------------------
+
+  [[nodiscard]] const ResolvedRef* refs_begin(std::uint64_t it) const noexcept {
+    return refs_.data() + iter_offsets_[it];
+  }
+  [[nodiscard]] const ResolvedRef* refs_end(std::uint64_t it) const noexcept {
+    return refs_.data() + iter_offsets_[it + 1];
+  }
+
+  /// Number of stageable references among iterations [0, it) — prefix sums
+  /// that size per-chunk staging exactly.
+  [[nodiscard]] std::uint64_t staged_refs_before(std::uint64_t it) const noexcept {
+    return staged_prefix_[it];
+  }
+  [[nodiscard]] std::uint64_t max_staged_per_iter() const noexcept {
+    return max_staged_per_iter_;
+  }
+
+  // ---- interpreter building blocks ---------------------------------------
+
+  [[nodiscard]] const std::byte* addr(const ResolvedRef& ref) const noexcept {
+    return storage_[ref.array].data() + ref.offset;
+  }
+
+  /// Little-endian load of min(size, 8) bytes, zero-extended.
+  [[nodiscard]] std::uint64_t load(const ResolvedRef& ref) const noexcept;
+  /// Little-endian store of the low min(size, 8) bytes.
+  void store(const ResolvedRef& ref, std::uint64_t value) noexcept;
+
+  /// The shared mix step (see the header comment).
+  [[nodiscard]] static constexpr std::uint64_t mix(std::uint64_t acc,
+                                                   std::uint64_t x) noexcept {
+    return (acc ^ x) * 0x100000001b3ull;
+  }
+  /// Initial accumulator value for every run.
+  static constexpr std::uint64_t kAccSeed = 0x9e3779b97f4a7c15ull;
+
+ private:
+  void fill_arrays();
+  void resolve_stream();
+
+  loopir::LoopSpec spec_;
+  std::vector<std::string> demoted_;
+  loopir::LoopNest nest_;
+  std::vector<std::vector<std::byte>> storage_;  // one vector per array
+  std::vector<ResolvedRef> refs_;                // flat, iteration-major
+  std::vector<std::uint64_t> iter_offsets_;      // num_iterations + 1
+  std::vector<std::uint64_t> staged_prefix_;     // num_iterations + 1
+  std::uint64_t max_staged_per_iter_ = 0;
+};
+
+}  // namespace casc::exec

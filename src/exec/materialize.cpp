@@ -1,0 +1,147 @@
+#include "casc/exec/materialize.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "casc/analysis/shadow.hpp"
+#include "casc/common/check.hpp"
+#include "casc/common/rng.hpp"
+
+namespace casc::exec {
+
+namespace {
+
+/// Materialization cap: the resolved stream costs 16 bytes per reference, so
+/// this bounds the bridge at ~256 MB of stream — far above every spec in the
+/// tree, far below anything that could take the host down.
+constexpr std::uint64_t kMaxResolvedRefs = 1ull << 24;
+
+}  // namespace
+
+MaterializedLoop::MaterializedLoop(const loopir::LoopSpec& spec)
+    : spec_(spec), nest_(analysis::sanitized_instantiate(spec, &demoted_)) {
+  fill_arrays();
+  resolve_stream();
+}
+
+void MaterializedLoop::fill_arrays() {
+  const std::size_t n = nest_.num_arrays();
+  storage_.resize(n);
+  for (loopir::ArrayId id = 0; id < n; ++id) {
+    storage_[id].assign(nest_.array(id).size_bytes(), std::byte{0});
+  }
+  reset();
+}
+
+void MaterializedLoop::reset() {
+  for (loopir::ArrayId id = 0; id < nest_.num_arrays(); ++id) {
+    const loopir::ArraySpec& spec = nest_.array(id);
+    std::vector<std::byte>& bytes = storage_[id];
+    const std::vector<std::uint32_t>& index_values = nest_.index_values(id);
+    if (!index_values.empty()) {
+      // Index array: real storage holds exactly the values the nest
+      // materialized, so the runtime chases the indices the sim modelled.
+      const std::size_t width = std::min<std::size_t>(spec.elem_size, 8);
+      for (std::size_t i = 0; i < index_values.size(); ++i) {
+        const std::uint64_t v = index_values[i];
+        std::memcpy(bytes.data() + i * spec.elem_size, &v, width);
+      }
+      continue;
+    }
+    // Data array: deterministic pseudo-random contents keyed by array id, so
+    // every backend (and every reset) sees identical operand values.
+    common::Rng rng(0xC45CADEull ^ (std::uint64_t{id} + 1) * 0x9e3779b97f4a7c15ull);
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+      const std::uint64_t word = rng.next();
+      const std::size_t take = std::min<std::size_t>(8, bytes.size() - pos);
+      std::memcpy(bytes.data() + pos, &word, take);
+      pos += take;
+    }
+  }
+}
+
+void MaterializedLoop::resolve_stream() {
+  // Base-address table for mapping the nest's simulated addresses back to
+  // (array, offset); bases never overlap (finalize assigns disjoint regions).
+  struct Region {
+    std::uint64_t base;
+    std::uint64_t size;
+    loopir::ArrayId id;
+  };
+  std::vector<Region> regions;
+  regions.reserve(nest_.num_arrays());
+  for (loopir::ArrayId id = 0; id < nest_.num_arrays(); ++id) {
+    regions.push_back({nest_.array_base(id), nest_.array(id).size_bytes(), id});
+  }
+  std::sort(regions.begin(), regions.end(),
+            [](const Region& a, const Region& b) { return a.base < b.base; });
+  auto resolve = [&](std::uint64_t addr) -> const Region& {
+    auto it = std::upper_bound(regions.begin(), regions.end(), addr,
+                               [](std::uint64_t a, const Region& r) {
+                                 return a < r.base;
+                               });
+    CASC_CHECK(it != regions.begin(), "reference before every array base");
+    const Region& region = *(it - 1);
+    CASC_CHECK(addr + 1 <= region.base + region.size,
+               "reference outside every array extent");
+    return region;
+  };
+
+  const std::uint64_t iters = nest_.num_iterations();
+  iter_offsets_.reserve(iters + 1);
+  staged_prefix_.reserve(iters + 1);
+  iter_offsets_.push_back(0);
+  staged_prefix_.push_back(0);
+  std::uint64_t staged_total = 0;
+  std::vector<loopir::Ref> scratch;
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    scratch.clear();
+    nest_.refs_for_iteration(it, scratch);
+    CASC_CHECK(refs_.size() + scratch.size() <= kMaxResolvedRefs,
+               "loop too large to materialize for the real runtime");
+    std::uint64_t staged_here = 0;
+    for (const loopir::Ref& ref : scratch) {
+      const Region& region = resolve(ref.mem.addr);
+      ResolvedRef resolved;
+      resolved.offset = ref.mem.addr - region.base;
+      resolved.array = region.id;
+      resolved.size = static_cast<std::uint8_t>(ref.mem.size);
+      resolved.is_write = ref.mem.type == sim::AccessType::kWrite;
+      resolved.staged = !resolved.is_write &&
+                        (ref.read_only_operand || ref.is_index_load);
+      CASC_CHECK(resolved.offset + resolved.size <= region.size,
+                 "reference straddles an array extent");
+      if (resolved.staged) ++staged_here;
+      refs_.push_back(resolved);
+    }
+    staged_total += staged_here;
+    max_staged_per_iter_ = std::max(max_staged_per_iter_, staged_here);
+    iter_offsets_.push_back(refs_.size());
+    staged_prefix_.push_back(staged_total);
+  }
+}
+
+std::uint64_t MaterializedLoop::load(const ResolvedRef& ref) const noexcept {
+  std::uint64_t value = 0;
+  std::memcpy(&value, addr(ref), std::min<std::size_t>(ref.size, 8));
+  return value;
+}
+
+void MaterializedLoop::store(const ResolvedRef& ref, std::uint64_t value) noexcept {
+  std::memcpy(storage_[ref.array].data() + ref.offset, &value,
+              std::min<std::size_t>(ref.size, 8));
+}
+
+std::uint64_t MaterializedLoop::rw_checksum() const {
+  std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a
+  for (loopir::ArrayId id = 0; id < nest_.num_arrays(); ++id) {
+    if (nest_.array(id).read_only) continue;
+    for (const std::byte b : storage_[id]) {
+      hash = (hash ^ static_cast<std::uint64_t>(b)) * 0x100000001b3ull;
+    }
+  }
+  return hash;
+}
+
+}  // namespace casc::exec

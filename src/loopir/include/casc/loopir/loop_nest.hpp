@@ -146,6 +146,11 @@ class LoopNest {
   /// Convenience used by tests: materializes the full reference stream.
   [[nodiscard]] std::vector<Ref> all_refs() const;
 
+  /// Materialized values of index array `id` (empty for non-index arrays).
+  /// casc::exec fills real backing memory from these so the threaded runtime
+  /// chases exactly the indices the simulator modelled.
+  [[nodiscard]] const std::vector<std::uint32_t>& index_values(ArrayId id) const;
+
  private:
   struct IndexData {
     ArrayId array = 0;                 // which array holds these values

@@ -195,6 +195,13 @@ const LoopNest::IndexData* LoopNest::index_data_for(ArrayId id) const noexcept {
   return nullptr;
 }
 
+const std::vector<std::uint32_t>& LoopNest::index_values(ArrayId id) const {
+  CASC_CHECK(id < arrays_.size(), "array id out of range");
+  static const std::vector<std::uint32_t> kEmpty;
+  const IndexData* d = index_data_for(id);
+  return d == nullptr ? kEmpty : d->values;
+}
+
 std::uint64_t LoopNest::bytes_per_iteration() const noexcept {
   std::uint64_t bytes = 0;
   for (const AccessSpec& acc : accesses_) {

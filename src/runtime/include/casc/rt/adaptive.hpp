@@ -1,46 +1,14 @@
-// Online chunk-size adaptation for the real runtime.  The simulator's chunk
-// tuner needs a model of the machine; on real hardware the executor can
-// instead hill-climb on measured throughput across successive run() calls —
-// useful when the same loop is invoked repeatedly (the wave5 pattern: ~5000
-// calls of PARMVR).
+// Compatibility shim: online chunk-size adaptation moved to the shared core
+// (casc/core/chunk.hpp) where it implements the same Chunker interface as
+// the geometry-derived FixedChunker — one chunk-scheduling vocabulary for
+// both backends.  This header keeps the historical casc::rt::AdaptiveChunker
+// spelling working.
 #pragma once
 
-#include <cstdint>
-
-#include "casc/common/check.hpp"
+#include "casc/core/chunk.hpp"
 
 namespace casc::rt {
 
-/// Deterministic hill-climber over power-of-two chunk sizes.  Feed it the
-/// measured duration of each run; query current() for the chunk size to use
-/// next.  It probes up/down and settles on the locally best size, re-probing
-/// periodically so it can follow slow drift.
-class AdaptiveChunker {
- public:
-  /// All sizes in iterations; bounds are clamped to powers of two.
-  AdaptiveChunker(std::uint64_t initial, std::uint64_t min_iters,
-                  std::uint64_t max_iters);
-
-  /// Chunk size (iterations) to use for the next run.
-  [[nodiscard]] std::uint64_t current() const noexcept { return current_; }
-
-  /// Records that a run over `total_iters` iterations with chunk current()
-  /// took `seconds`.  Adjusts the next chunk size.
-  void record(double seconds, std::uint64_t total_iters);
-
-  /// Number of direction flips so far (diagnostic; a settled climber flips
-  /// rarely).
-  [[nodiscard]] unsigned reversals() const noexcept { return reversals_; }
-
- private:
-  static std::uint64_t to_pow2(std::uint64_t v) noexcept;
-
-  std::uint64_t min_;
-  std::uint64_t max_;
-  std::uint64_t current_;
-  double best_throughput_ = 0.0;  ///< iters/sec at `current_` before the probe
-  int direction_ = +1;            ///< +1 = growing, -1 = shrinking
-  unsigned reversals_ = 0;
-};
+using AdaptiveChunker = core::AdaptiveChunker;
 
 }  // namespace casc::rt

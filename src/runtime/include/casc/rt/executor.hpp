@@ -42,6 +42,10 @@
 #include "casc/rt/token.hpp"
 #include "casc/telemetry/event_log.hpp"
 
+namespace casc::core {
+class AdaptiveChunker;  // casc/core/chunk.hpp
+}  // namespace casc::core
+
 namespace casc::rt {
 
 /// Executes iterations [begin, end) of the loop body.  Runs with the token
@@ -64,9 +68,11 @@ using HelperFn =
 using ExecRef = FunctionRef<void(std::uint64_t, std::uint64_t)>;
 using HelperRef = FunctionRef<bool(std::uint64_t, std::uint64_t, const TokenWatch&)>;
 
-/// How workers wait for the token (see token.hpp for the tier mechanics).
-class AdaptiveChunker;
+/// Online chunk-size adaptation now lives in the shared core; this alias
+/// keeps run_auto()'s historical signature spelling working.
+using AdaptiveChunker = core::AdaptiveChunker;
 
+/// How workers wait for the token (see token.hpp for the tier mechanics).
 enum class WaitMode : std::uint8_t {
   /// Park when num_threads exceeds hardware_concurrency, pure spin/yield
   /// otherwise — the right choice unless you are benchmarking the tiers.

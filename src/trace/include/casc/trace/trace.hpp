@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "casc/cascade/workload.hpp"
+#include "casc/core/workload.hpp"
 #include "casc/loopir/loop_nest.hpp"
 
 namespace casc::trace {
@@ -29,7 +29,7 @@ struct TraceMeta {
 class Trace {
  public:
   /// Records every iteration of `workload` (metadata copied from it).
-  static Trace capture(const cascade::Workload& workload, std::string name);
+  static Trace capture(const core::Workload& workload, std::string name);
   /// Convenience: capture a finalized loop nest.
   static Trace capture(const loopir::LoopNest& nest);
 
@@ -51,7 +51,7 @@ class Trace {
   void refs_for_iteration(std::uint64_t it, std::vector<loopir::Ref>& out) const;
 
   /// Coalesced data regions the trace touches.
-  [[nodiscard]] const std::vector<cascade::AddressRange>& ranges() const noexcept {
+  [[nodiscard]] const std::vector<core::AddressRange>& ranges() const noexcept {
     return ranges_;
   }
 
@@ -61,11 +61,11 @@ class Trace {
   TraceMeta meta_;
   std::vector<loopir::Ref> refs_;
   std::vector<std::uint64_t> iter_offsets_;  // size = num_iterations + 1
-  std::vector<cascade::AddressRange> ranges_;
+  std::vector<core::AddressRange> ranges_;
 };
 
 /// Workload view over a Trace (non-owning).
-class TraceWorkload final : public cascade::Workload {
+class TraceWorkload final : public core::Workload {
  public:
   explicit TraceWorkload(const Trace& trace) : trace_(&trace) {}
 
@@ -88,7 +88,7 @@ class TraceWorkload final : public cascade::Workload {
                           std::vector<loopir::Ref>& out) const override {
     trace_->refs_for_iteration(it, out);
   }
-  [[nodiscard]] std::vector<cascade::AddressRange> data_ranges() const override {
+  [[nodiscard]] std::vector<core::AddressRange> data_ranges() const override {
     return trace_->ranges();
   }
 

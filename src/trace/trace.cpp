@@ -78,7 +78,7 @@ loopir::Ref unpack(const RefRecord& rec) {
 
 }  // namespace
 
-Trace Trace::capture(const cascade::Workload& workload, std::string name) {
+Trace Trace::capture(const core::Workload& workload, std::string name) {
   Trace trace;
   trace.meta_.name = std::move(name);
   trace.meta_.compute_cycles = workload.compute_cycles();
@@ -101,7 +101,7 @@ Trace Trace::capture(const cascade::Workload& workload, std::string name) {
 }
 
 Trace Trace::capture(const loopir::LoopNest& nest) {
-  return capture(cascade::LoopWorkload(nest), nest.name());
+  return capture(core::LoopWorkload(nest), nest.name());
 }
 
 void Trace::compute_ranges() {
@@ -142,7 +142,7 @@ void Trace::write(std::ostream& os) const {
     put(os, rec.flags);
   }
   put<std::uint32_t>(os, static_cast<std::uint32_t>(ranges_.size()));
-  for (const cascade::AddressRange& range : ranges_) {
+  for (const core::AddressRange& range : ranges_) {
     put(os, range.base);
     put(os, range.bytes);
   }
@@ -191,7 +191,7 @@ Trace Trace::read(std::istream& is) {
   const auto num_ranges = get<std::uint32_t>(is);
   trace.ranges_.reserve(num_ranges);
   for (std::uint32_t r = 0; r < num_ranges; ++r) {
-    cascade::AddressRange range;
+    core::AddressRange range;
     range.base = get<std::uint64_t>(is);
     range.bytes = get<std::uint64_t>(is);
     trace.ranges_.push_back(range);

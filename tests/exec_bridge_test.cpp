@@ -1,0 +1,156 @@
+// Cross-backend equivalence: every spec in tests/specs/, materialized by
+// casc::exec, must produce bit-identical results on the real threaded
+// runtime — for every helper mode, several worker counts, and chunk
+// geometries — compared against plain sequential interpretation.  Also pins
+// the chunk-plan parity contract: sim and rt derive their chunk geometry
+// from the same core::ChunkPlan call, so identical options yield identical
+// plans.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "casc/cascade/engine.hpp"
+#include "casc/core/chunk.hpp"
+#include "casc/exec/bridge.hpp"
+#include "casc/exec/materialize.hpp"
+#include "casc/loopir/loop_spec.hpp"
+#include "casc/rt/executor.hpp"
+
+namespace {
+
+using namespace casc;
+
+loopir::LoopSpec load_spec(const std::string& file) {
+  const std::string path = std::string(CASC_TEST_SPEC_DIR) + "/" + file;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return loopir::LoopSpec::parse(buffer.str());
+}
+
+const std::vector<std::string> kSpecs = {"dense_sum.casc", "spmv_small.casc",
+                                         "unsafe_seeded.casc"};
+
+TEST(ExecBridge, ReferenceRunsAreDeterministic) {
+  for (const std::string& file : kSpecs) {
+    exec::MaterializedLoop loop(load_spec(file));
+    const exec::ExecResult a = exec::run_reference(loop);
+    const exec::ExecResult b = exec::run_reference(loop);
+    EXPECT_EQ(a.digest, b.digest) << file;
+    EXPECT_EQ(a.rw_checksum, b.rw_checksum) << file;
+    EXPECT_EQ(a.total_iters, loop.num_iterations()) << file;
+  }
+}
+
+TEST(ExecBridge, CascadedMatchesReferenceBitForBit) {
+  for (const std::string& file : kSpecs) {
+    exec::MaterializedLoop loop(load_spec(file));
+    const exec::ExecResult ref = exec::run_reference(loop);
+    for (const unsigned threads : {1u, 2u, 4u}) {
+      rt::ExecutorConfig cfg;
+      cfg.num_threads = threads;
+      rt::CascadeExecutor executor(cfg);
+      for (const exec::HelperMode mode :
+           {exec::HelperMode::kNone, exec::HelperMode::kPrefetch,
+            exec::HelperMode::kRestructure}) {
+        exec::RtOptions opt;
+        opt.helper = mode;
+        const exec::ExecResult got = exec::run_cascaded(loop, executor, opt);
+        EXPECT_EQ(got.digest, ref.digest)
+            << file << " threads=" << threads << " mode=" << static_cast<int>(mode);
+        EXPECT_EQ(got.rw_checksum, ref.rw_checksum)
+            << file << " threads=" << threads << " mode=" << static_cast<int>(mode);
+      }
+    }
+  }
+}
+
+TEST(ExecBridge, NonDefaultChunkGeometryStillMatches) {
+  exec::MaterializedLoop loop(load_spec("dense_sum.casc"));
+  const exec::ExecResult ref = exec::run_reference(loop);
+  rt::ExecutorConfig cfg;
+  cfg.num_threads = 3;
+  rt::CascadeExecutor executor(cfg);
+  for (const std::uint64_t ipc : {1ull, 7ull, 1024ull, 1ull << 20}) {
+    exec::RtOptions opt;
+    opt.helper = exec::HelperMode::kRestructure;
+    opt.iters_per_chunk = ipc;
+    const exec::ExecResult got = exec::run_cascaded(loop, executor, opt);
+    EXPECT_EQ(got.digest, ref.digest) << "ipc=" << ipc;
+    EXPECT_EQ(got.rw_checksum, ref.rw_checksum) << "ipc=" << ipc;
+  }
+}
+
+TEST(ExecBridge, SafeSpecStagesAndRunsGated) {
+  exec::MaterializedLoop loop(load_spec("dense_sum.casc"));
+  EXPECT_TRUE(loop.demoted_claims().empty());
+  EXPECT_TRUE(exec::gate_for(loop, 64 * 1024).is_proven());
+  rt::ExecutorConfig cfg;
+  cfg.num_threads = 2;
+  rt::CascadeExecutor executor(cfg);
+  exec::RtOptions opt;
+  opt.helper = exec::HelperMode::kRestructure;
+  const exec::ExecResult got = exec::run_cascaded(loop, executor, opt);
+  EXPECT_FALSE(got.preflight_refused);
+  EXPECT_GT(got.staged_chunks, 0u);
+}
+
+TEST(ExecBridge, UnsafeSpecRefusesRestructureButStaysCorrect) {
+  exec::MaterializedLoop loop(load_spec("unsafe_seeded.casc"));
+  // The false read-only claim on 'y' is demoted at materialization...
+  EXPECT_EQ(loop.demoted_claims(), std::vector<std::string>{"y"});
+  // ...and refuses the restructure gate (the verifier judges the ORIGINAL
+  // claims, not the sanitized nest).
+  EXPECT_FALSE(exec::gate_for(loop, 64 * 1024).is_proven());
+
+  const exec::ExecResult ref = exec::run_reference(loop);
+  rt::ExecutorConfig cfg;
+  cfg.num_threads = 2;
+  rt::CascadeExecutor executor(cfg);
+  exec::RtOptions opt;
+  opt.helper = exec::HelperMode::kRestructure;
+  const exec::ExecResult got = exec::run_cascaded(loop, executor, opt);
+  EXPECT_TRUE(got.preflight_refused);
+  EXPECT_FALSE(got.preflight_diag.empty());
+  EXPECT_EQ(got.staged_chunks, 0u);
+  EXPECT_EQ(got.digest, ref.digest);
+  EXPECT_EQ(got.rw_checksum, ref.rw_checksum);
+}
+
+TEST(ExecBridge, ChunkPlanParityAcrossBackends) {
+  constexpr std::uint64_t kChunkBytes = 64 * 1024;
+  for (const std::string& file : kSpecs) {
+    exec::MaterializedLoop loop(load_spec(file));
+    const loopir::LoopNest& nest = loop.nest();
+
+    // Both backends must call the one shared planner with the same inputs.
+    const core::ChunkPlan shared = core::ChunkPlan::for_iters_per_bytes(
+        nest.num_iterations(), nest.bytes_per_iteration(), kChunkBytes);
+    const core::ChunkPlan rt_plan = exec::plan_for(loop, kChunkBytes);
+    EXPECT_EQ(rt_plan.iters_per_chunk(), shared.iters_per_chunk()) << file;
+    EXPECT_EQ(rt_plan.num_chunks(), shared.num_chunks()) << file;
+
+    // The simulated cascade over the same nest lands on the same chunk count.
+    cascade::CascadeSimulator sim(sim::MachineConfig::pentium_pro());
+    cascade::CascadeOptions sim_opt;
+    sim_opt.chunk_bytes = kChunkBytes;
+    sim_opt.helper = cascade::HelperKind::kPrefetch;
+    const cascade::CascadeResult sim_result = sim.run_cascaded(nest, sim_opt);
+    EXPECT_EQ(sim_result.num_chunks, shared.num_chunks()) << file;
+
+    // And so does the real run, end to end.
+    rt::CascadeExecutor executor{rt::ExecutorConfig{}};
+    exec::RtOptions opt;
+    opt.helper = exec::HelperMode::kNone;
+    opt.chunk_bytes = kChunkBytes;
+    const exec::ExecResult got = exec::run_cascaded(loop, executor, opt);
+    EXPECT_EQ(got.iters_per_chunk, shared.iters_per_chunk()) << file;
+    EXPECT_EQ(got.num_chunks, shared.num_chunks()) << file;
+  }
+}
+
+}  // namespace

@@ -1,19 +1,29 @@
-// cascsim — command-line driver for the cascaded-execution simulator.
+// cascsim — command-line driver for the cascaded-execution pipeline.
+//
+// One loop description, two backends:
+//   * --backend=sim (default): the cycle-accurate simulated machine;
+//   * --backend=rt: the SAME spec materialized into real arrays and run on
+//     the real threaded runtime (casc::exec), reported predicted-vs-measured
+//     with casc-bench-v1 JSON output.
 //
 // Examples:
 //   cascsim --machine=r10000 --loop=parmvr:8 --helper=restructure
 //   cascsim --machine=ppro --procs=4 --loop=parmvr --chunk=64K
 //   cascsim --machine=future:8 --loop=synth:sparse --unbounded --sweep=1K:256K --plot
 //   cascsim --loop=file:myloop.casc --helper=auto --threecs
+//   cascsim --backend=rt --loop=file:a.casc,b.casc --threads=4
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "casc/cascade/engine.hpp"
 #include "casc/cascade/helper_selector.hpp"
 #include "casc/cascade/sequence.hpp"
 #include "casc/cli/args.hpp"
 #include "casc/common/check.hpp"
+#include "casc/common/diagnostic.hpp"
+#include "casc/exec/bridge.hpp"
 #include "casc/loopir/loop_spec.hpp"
 #include "casc/report/ascii_plot.hpp"
 #include "casc/report/table.hpp"
@@ -21,6 +31,7 @@
 #include "casc/rt/state_dump.hpp"
 #include "casc/sim/three_cs.hpp"
 #include "casc/synth/synthetic_loop.hpp"
+#include "casc/telemetry/bench_reporter.hpp"
 #include "casc/telemetry/perf_counters.hpp"
 #include "casc/telemetry/timeline_export.hpp"
 #include "casc/trace/trace.hpp"
@@ -31,14 +42,17 @@ namespace {
 using namespace casc;  // NOLINT(build/namespaces)
 
 const std::vector<cli::OptionSpec> kSpecs = {
+    {"backend", "sim|rt", "simulated machine, or the real threaded runtime", "sim"},
     {"machine", "ppro|r10000|future:N", "machine model", "ppro"},
     {"procs", "N", "processor count (0 = machine default)", "0"},
     {"loop", "parmvr[:id]|synth:dense|synth:sparse|file:PATH|trace:PATH",
-     "workload", "parmvr"},
+     "workload (--backend=rt takes file:PATH[,PATH...])", "parmvr"},
     {"dump-trace", "PATH", "capture the (single) loop's trace to a file and exit", ""},
     {"scale", "N", "divide PARMVR footprints by N", "1"},
     {"helper", "none|prefetch|restructure|auto", "helper strategy", "restructure"},
     {"chunk", "BYTES", "chunk size (K/M suffixes ok)", "64K"},
+    {"threads", "N", "rt backend: worker threads (0 = hardware)", "0"},
+    {"bench-name", "NAME", "rt backend: BENCH_<NAME>.json output name", "xval_specs"},
     {"sweep", "MIN:MAX", "sweep chunk sizes instead of a single run", ""},
     {"calls", "N", "repeat the workload N times on one machine", "1"},
     {"start", "cold|distributed|warm", "initial cache state", "distributed"},
@@ -52,6 +66,29 @@ const std::vector<cli::OptionSpec> kSpecs = {
     {"help", "", "show this help", ""},
 };
 
+/// Bad *user input* (unknown names, unreadable files, malformed specs).
+/// Unlike CheckFailure — which is reserved for internal invariant violations
+/// and aborts with the full help screen — a UsageError carries structured
+/// Diagnostics, is rendered one finding per line, and exits 2.
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(common::DiagnosticList diags)
+      : std::runtime_error(diags.render_text()), diags_(std::move(diags)) {}
+
+  [[nodiscard]] const common::DiagnosticList& diags() const noexcept {
+    return diags_;
+  }
+
+ private:
+  common::DiagnosticList diags_;
+};
+
+[[noreturn]] void usage_error(std::string rule, std::string message) {
+  common::DiagnosticList diags;
+  diags.error(std::move(rule), std::move(message));
+  throw UsageError(std::move(diags));
+}
+
 sim::MachineConfig make_machine(const cli::Args& args) {
   const std::string name = args.get("machine");
   sim::MachineConfig cfg;
@@ -60,13 +97,33 @@ sim::MachineConfig make_machine(const cli::Args& args) {
   } else if (name == "r10000" || name == "r10k") {
     cfg = sim::MachineConfig::r10000();
   } else if (name.rfind("future:", 0) == 0) {
-    cfg = sim::MachineConfig::future(std::stod(name.substr(7)));
+    try {
+      cfg = sim::MachineConfig::future(std::stod(name.substr(7)));
+    } catch (const std::exception&) {
+      usage_error("cli-unknown-machine",
+                  "malformed future machine '" + name + "' (expected future:N)");
+    }
   } else {
-    CASC_CHECK(false, "unknown machine '" + name + "'");
+    usage_error("cli-unknown-machine",
+                "unknown machine '" + name + "' (expected ppro, r10000, or future:N)");
   }
   const std::uint64_t procs = args.get_u64("procs");
   if (procs != 0) cfg.num_processors = static_cast<unsigned>(procs);
   return cfg;
+}
+
+/// Reads and parses one .casc spec, reporting every problem as a Diagnostic.
+loopir::LoopSpec load_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    usage_error("cli-spec-unreadable", "cannot open loop spec '" + path + "'");
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  common::DiagnosticList diags;
+  loopir::LoopSpec spec = loopir::LoopSpec::parse(buffer.str(), diags);
+  if (!diags.ok()) throw UsageError(std::move(diags));
+  return spec;
 }
 
 std::vector<loopir::LoopNest> make_loops(const cli::Args& args) {
@@ -82,14 +139,12 @@ std::vector<loopir::LoopNest> make_loops(const cli::Args& args) {
   } else if (loop == "synth:sparse") {
     loops.push_back(synth::make_synthetic_loop(synth::Density::kSparse));
   } else if (loop.rfind("file:", 0) == 0) {
-    const std::string path = loop.substr(5);
-    std::ifstream in(path);
-    CASC_CHECK(in.good(), "cannot open loop spec '" + path + "'");
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    loops.push_back(loopir::LoopSpec::parse(buffer.str()).instantiate());
+    loops.push_back(load_spec_file(loop.substr(5)).instantiate());
   } else {
-    CASC_CHECK(false, "unknown loop '" + loop + "'");
+    usage_error("cli-unknown-loop",
+                "unknown loop '" + loop +
+                    "' (expected parmvr[:id], synth:dense, synth:sparse, "
+                    "file:PATH, or trace:PATH)");
   }
   return loops;
 }
@@ -107,7 +162,9 @@ cascade::CascadeOptions make_options(const cli::Args& args) {
   } else if (start == "warm") {
     opt.start_state = cascade::StartState::kWarmSingle;
   } else {
-    CASC_CHECK(false, "unknown start state '" + start + "'");
+    usage_error("cli-unknown-start",
+                "unknown start state '" + start +
+                    "' (expected cold, distributed, or warm)");
   }
   const std::string helper = args.get("helper");
   if (helper == "none") {
@@ -117,7 +174,9 @@ cascade::CascadeOptions make_options(const cli::Args& args) {
   } else if (helper == "restructure" || helper == "auto") {
     opt.helper = cascade::HelperKind::kRestructure;
   } else {
-    CASC_CHECK(false, "unknown helper '" + helper + "'");
+    usage_error("cli-unknown-helper",
+                "unknown helper '" + helper +
+                    "' (expected none, prefetch, restructure, or auto)");
   }
   return opt;
 }
@@ -144,6 +203,127 @@ void run_threecs(const std::vector<loopir::LoopNest>& loops,
     }
   }
   table.print(std::cout);
+}
+
+/// --backend=rt: materialize each spec, predict with the simulator, measure
+/// on the real threaded runtime, and cross-validate bit for bit.
+int run_backend_rt(const cli::Args& args) {
+  const std::string loop = args.get("loop");
+  if (loop.rfind("file:", 0) != 0) {
+    usage_error("cli-backend-loop",
+                "--backend=rt executes materialized specs only; pass "
+                "--loop=file:PATH[,PATH...]");
+  }
+  std::vector<std::string> paths;
+  std::string rest = loop.substr(5);
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string head = rest.substr(0, comma);
+    if (!head.empty()) paths.push_back(head);
+    if (comma == std::string::npos) break;
+    rest = rest.substr(comma + 1);
+  }
+  if (paths.empty()) {
+    usage_error("cli-backend-loop", "--backend=rt got an empty file: list");
+  }
+
+  const sim::MachineConfig cfg = make_machine(args);
+  const cascade::CascadeOptions sim_opt = make_options(args);
+  exec::RtOptions rt_opt;
+  rt_opt.chunk_bytes = sim_opt.chunk_bytes;
+  switch (sim_opt.helper) {
+    case cascade::HelperKind::kNone: rt_opt.helper = exec::HelperMode::kNone; break;
+    case cascade::HelperKind::kPrefetch:
+      rt_opt.helper = exec::HelperMode::kPrefetch;
+      break;
+    case cascade::HelperKind::kRestructure:
+      rt_opt.helper = exec::HelperMode::kRestructure;
+      break;
+  }
+
+  rt::ExecutorConfig exec_cfg;
+  exec_cfg.num_threads = static_cast<unsigned>(args.get_u64("threads"));
+  rt::CascadeExecutor executor(exec_cfg);
+
+  telemetry::BenchReporter reporter(args.get("bench-name"));
+  reporter.set_param("backend", std::string("rt"));
+  reporter.set_param("machine", cfg.name);
+  reporter.set_param("chunk_bytes", sim_opt.chunk_bytes);
+  reporter.set_param("helper", cascade::to_string(sim_opt.helper));
+  reporter.set_param("threads", std::uint64_t{executor.num_threads()});
+
+  telemetry::PerfCounters counters;
+  counters.start();
+
+  report::Table table({"Loop", "Iters", "Chunk iters", "Chunks", "Predicted speedup",
+                       "Measured speedup", "Staged", "Digest", "Preflight"});
+  table.set_title("predicted (sim: " + cfg.name + ") vs measured (rt: " +
+                  std::to_string(executor.num_threads()) + " threads, " +
+                  cascade::to_string(sim_opt.helper) + ", " +
+                  report::fmt_bytes(sim_opt.chunk_bytes) + " chunks)");
+
+  bool all_match = true;
+  for (const std::string& path : paths) {
+    const loopir::LoopSpec spec = load_spec_file(path);
+    exec::MaterializedLoop loop_mat(spec);
+    const std::string& name = loop_mat.nest().name();
+
+    // Predicted: the simulated machine over the same (sanitized) nest.
+    cascade::CascadeSimulator sim(cfg);
+    const auto seq = sim.run_sequential(loop_mat.nest(), sim_opt.start_state);
+    const auto casc_result = sim.run_cascaded(loop_mat.nest(), sim_opt);
+    const double predicted = static_cast<double>(seq.total_cycles) /
+                             static_cast<double>(casc_result.total_cycles);
+
+    // Measured: sequential reference, then the cascaded threaded run.
+    const exec::ExecResult ref = exec::run_reference(loop_mat);
+    const exec::ExecResult rt_result = exec::run_cascaded(loop_mat, executor, rt_opt);
+    const bool match = rt_result.digest == ref.digest &&
+                       rt_result.rw_checksum == ref.rw_checksum;
+    all_match = all_match && match;
+    const double measured = rt_result.seconds > 0.0 ? ref.seconds / rt_result.seconds : 0.0;
+
+    table.add_row({name, report::fmt_count(rt_result.total_iters),
+                   report::fmt_count(rt_result.iters_per_chunk),
+                   report::fmt_count(rt_result.num_chunks),
+                   report::fmt_double(predicted), report::fmt_double(measured),
+                   report::fmt_count(rt_result.staged_chunks),
+                   match ? "match" : "MISMATCH",
+                   rt_result.preflight_refused ? "refused" : "ok"});
+
+    reporter.add_metric(name + ".predicted_speedup", predicted);
+    reporter.add_metric(name + ".measured_speedup", measured);
+    reporter.add_metric(name + ".digest_match", match ? 1.0 : 0.0);
+    reporter.add_metric(name + ".num_chunks",
+                        static_cast<double>(rt_result.num_chunks));
+    reporter.add_metric(name + ".staged_chunks",
+                        static_cast<double>(rt_result.staged_chunks));
+    reporter.add_metric(name + ".preflight_refused",
+                        rt_result.preflight_refused ? 1.0 : 0.0);
+    reporter.add_wall_ns(static_cast<std::int64_t>(rt_result.seconds * 1e9));
+
+    if (rt_result.preflight_refused) {
+      std::cout << "note: " << name
+                << ": restructure refused by preflight, helper degraded: "
+                << rt_result.preflight_diag << "\n";
+    }
+  }
+
+  counters.stop();
+  reporter.set_counters(counters.available() ? counters.read()
+                                             : telemetry::CounterSample{},
+                        counters.available(), counters.unavailable_reason());
+
+  table.print(std::cout);
+  const std::string written = reporter.write_file();
+  if (!written.empty()) std::cout << "bench json: " << written << "\n";
+
+  if (!all_match) {
+    std::cerr << "error[xval-digest-mismatch]: cascaded rt execution diverged "
+                 "from the sequential reference\n";
+    return 4;
+  }
+  return 0;
 }
 
 int run_modes(const cli::Args& args, telemetry::TraceWriter* trace) {
@@ -186,7 +366,13 @@ int run_modes(const cli::Args& args, telemetry::TraceWriter* trace) {
   }
 
   if (args.has("dump-trace")) {
-    CASC_CHECK(loops.size() == 1, "--dump-trace needs a single-loop workload");
+    if (loops.size() != 1) {
+      usage_error("cli-dump-trace-multi-loop",
+                  "--dump-trace needs a single-loop workload (" +
+                      std::to_string(loops.size()) +
+                      " loops selected); pick one with --loop=parmvr:ID or "
+                      "--loop=file:PATH");
+    }
     const trace::Trace t = trace::Trace::capture(loops[0]);
     t.save(args.get("dump-trace"));
     std::cout << "wrote " << report::fmt_count(t.num_refs()) << " refs over "
@@ -198,10 +384,20 @@ int run_modes(const cli::Args& args, telemetry::TraceWriter* trace) {
   if (args.has("sweep")) {
     const std::string sweep = args.get("sweep");
     const auto colon = sweep.find(':');
-    CASC_CHECK(colon != std::string::npos, "--sweep expects MIN:MAX");
-    const std::uint64_t lo = cli::parse_bytes(sweep.substr(0, colon));
-    const std::uint64_t hi = cli::parse_bytes(sweep.substr(colon + 1));
-    CASC_CHECK(lo > 0 && lo <= hi, "invalid sweep range");
+    if (colon == std::string::npos) {
+      usage_error("cli-bad-sweep", "--sweep expects MIN:MAX, got '" + sweep + "'");
+    }
+    std::uint64_t lo = 0, hi = 0;
+    try {
+      lo = cli::parse_bytes(sweep.substr(0, colon));
+      hi = cli::parse_bytes(sweep.substr(colon + 1));
+    } catch (const common::CheckFailure& e) {
+      usage_error("cli-bad-sweep", std::string("--sweep: ") + e.what());
+    }
+    if (lo == 0 || lo > hi) {
+      usage_error("cli-bad-sweep", "invalid sweep range '" + sweep +
+                                       "' (need 0 < MIN <= MAX)");
+    }
 
     std::vector<double> xs;
     report::Series curve{"speedup (" + cascade::to_string(opt.helper) + ")", {}};
@@ -320,6 +516,12 @@ void print_counters(const telemetry::PerfCounters& counters) {
 }
 
 int run(const cli::Args& args) {
+  const std::string backend = args.get("backend");
+  if (backend == "rt") return run_backend_rt(args);
+  if (backend != "sim") {
+    usage_error("cli-unknown-backend",
+                "unknown backend '" + backend + "' (expected sim or rt)");
+  }
   const bool want_counters = args.has("counters");
   const std::string trace_path = args.get("trace-json");
   telemetry::TraceWriter trace;
@@ -359,16 +561,22 @@ int main(int argc, char** argv) {
   try {
     const cli::Args args = cli::Args::parse(raw, kSpecs);
     if (args.has("help")) {
-      std::cout << cli::Args::help("cascsim", "cascaded-execution simulator driver",
+      std::cout << cli::Args::help("cascsim", "cascaded-execution pipeline driver",
                                    kSpecs);
       return 0;
     }
     return run(args);
+  } catch (const UsageError& e) {
+    for (const casc::common::Diagnostic& diag : e.diags().items()) {
+      std::cerr << casc::common::render_text(diag) << "\n";
+    }
+    std::cerr << "run 'cascsim --help' for usage\n";
+    return 2;
   } catch (const casc::common::CheckFailure& e) {
     std::cerr << "error: " << e.what() << "\n";
     print_cascade_dumps();
     std::cerr << "\n"
-              << casc::cli::Args::help("cascsim", "cascaded-execution simulator driver",
+              << casc::cli::Args::help("cascsim", "cascaded-execution pipeline driver",
                                        kSpecs);
     return 2;
   } catch (const casc::rt::WatchdogExpired& e) {
