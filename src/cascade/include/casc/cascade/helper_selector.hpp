@@ -31,7 +31,17 @@ struct HelperChoice {
   /// prefetch fallback the engine actually ran, and restructure is never the
   /// selected helper.
   bool restructure_refused = false;
+
+  /// One step down the demotion ladder from this choice (see demote_helper):
+  /// the speedup is re-read from speedup_by_kind, so a demoted choice still
+  /// reports the margin the trial measured for the weaker strategy.
+  [[nodiscard]] HelperChoice demoted() const noexcept;
 };
+
+/// The fail-soft demotion ladder the runtime walks under a soft-budget miss
+/// or helper quarantine: restructure -> prefetch -> none (none is terminal).
+/// Each step strictly reduces helper-side work and shared-state footprint.
+[[nodiscard]] HelperKind demote_helper(HelperKind kind) noexcept;
 
 /// Tries every helper strategy at `opt.chunk_bytes` and returns the best.
 /// With preflight verification on (the default), an unproven restructure

@@ -7,6 +7,7 @@
 #include "casc/analysis/verifier.hpp"
 #include "casc/common/check.hpp"
 #include "casc/common/stopwatch.hpp"
+#include "casc/rt/fault_injection.hpp"
 #include "casc/rt/helpers.hpp"
 
 namespace casc::exec {
@@ -122,7 +123,13 @@ ExecResult run_cascaded(MaterializedLoop& loop, rt::CascadeExecutor& executor,
 
   auto exec = [&](std::uint64_t begin, std::uint64_t end) {
     const std::uint64_t c = begin / ipc;
-    if (buffers != nullptr && chunk_staged[c] != 0) {
+    // The fail-soft context gates the staged path: a reclaimed chunk runs on
+    // a non-owner thread (whose buffers these are not — and the short-circuit
+    // also keeps it from touching the owner's chunk_staged slot), and a
+    // suspect-staging chunk must ignore whatever its faulty helper committed.
+    const rt::ExecContext& ctx = executor.current_exec_context();
+    if (buffers != nullptr && !ctx.reclaimed && !ctx.staging_invalid &&
+        chunk_staged[c] != 0) {
       auto cursor = buffers->for_chunk_index(c).read_cursor<std::uint64_t>(
           staged_in(begin, end));
       acc = interpret_span(loop, begin, end, acc, &cursor);
@@ -163,17 +170,46 @@ ExecResult run_cascaded(MaterializedLoop& loop, rt::CascadeExecutor& executor,
     return true;
   };
 
+  if (opt.soft_budget_factor > 0.0 && opt.estimated_seq_seconds > 0.0) {
+    const auto demote_ms = std::chrono::milliseconds(std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(opt.soft_budget_factor *
+                                     opt.estimated_seq_seconds * 1e3)));
+    executor.set_soft_budget(demote_ms, 2 * demote_ms);
+  }
+
+  // Chaos arming: wrap the run's helper in the planned fault schedule.  The
+  // owning HelperFn locals keep the armed wrappers alive across run().
+  const bool chaos_on = opt.chaos != nullptr && !opt.chaos->empty();
+  rt::HelperFn armed;
+
   common::Stopwatch watch;
   switch (opt.helper) {
     case HelperMode::kNone:
-      executor.run(total, ipc, exec);
+      if (chaos_on) {
+        // No helper to fault: install a no-op one so the planned faults
+        // still exercise the quarantine/backoff machinery.
+        armed = opt.chaos->arm(nullptr);
+        executor.run(total, ipc, exec, armed);
+      } else {
+        executor.run(total, ipc, exec);
+      }
       break;
     case HelperMode::kPrefetch:
-      executor.run(total, ipc, exec, prefetch_helper);
+      if (chaos_on) {
+        armed = opt.chaos->arm(prefetch_helper);
+        executor.run(total, ipc, exec, armed);
+      } else {
+        executor.run(total, ipc, exec, prefetch_helper);
+      }
       break;
     case HelperMode::kRestructure: {
       const rt::PreflightGate gate = gate_for(loop, opt.chunk_bytes);
-      executor.run(total, ipc, exec, restructure_helper, gate);
+      if (chaos_on) {
+        armed = opt.chaos->arm(restructure_helper);
+        executor.run(total, ipc, exec, armed, gate);
+      } else {
+        executor.run(total, ipc, exec, restructure_helper, gate);
+      }
       break;
     }
   }
@@ -185,6 +221,13 @@ ExecResult run_cascaded(MaterializedLoop& loop, rt::CascadeExecutor& executor,
   result.helpers_jumped_out = stats.helpers_jumped_out;
   result.preflight_refused = stats.preflight_refused;
   result.preflight_diag = stats.preflight_diag;
+  result.helper_faults = stats.helper_faults;
+  result.chunks_reclaimed = stats.chunks_reclaimed;
+  result.helper_retries = stats.helper_retries;
+  result.stagings_invalidated = stats.stagings_invalidated;
+  result.workers_quarantined = stats.workers_quarantined;
+  result.demotion_level = stats.demotion_level;
+  result.degraded = stats.degraded();
   result.staged_chunks = static_cast<std::uint64_t>(
       std::count(chunk_staged.begin(), chunk_staged.end(), char{1}));
   result.digest = acc;

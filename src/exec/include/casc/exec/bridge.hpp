@@ -27,6 +27,10 @@
 #include "casc/exec/materialize.hpp"
 #include "casc/rt/executor.hpp"
 
+namespace casc::rt {
+class ChaosPlan;  // casc/rt/fault_injection.hpp
+}  // namespace casc::rt
+
 namespace casc::exec {
 
 enum class HelperMode { kNone, kPrefetch, kRestructure };
@@ -39,6 +43,18 @@ struct RtOptions {
   std::uint64_t iters_per_chunk = 0;
   /// Sequential-buffer ring depth per worker (restructure only).
   unsigned lookahead = 2;
+  /// Seeded helper-fault schedule (non-owning; must outlive the run).  The
+  /// planned faults are armed onto the run's helper phases — with
+  /// HelperMode::kNone a no-op helper is installed so the faults still fire.
+  /// The fail-soft runtime must absorb all of them: the run completes with
+  /// the sequential digest, degraded counters record the damage.
+  const rt::ChaosPlan* chaos = nullptr;
+  /// Soft-budget demotion, derived from the sequential estimate: when both
+  /// are > 0 the executor demotes helpers after (soft_budget_factor x
+  /// estimated_seq_seconds) and goes fully sequential after twice that.
+  /// Persists on the executor until changed (see set_soft_budget()).
+  double soft_budget_factor = 0.0;
+  double estimated_seq_seconds = 0.0;
 };
 
 /// Outcome of one run (either backend-side entry point).
@@ -55,6 +71,14 @@ struct ExecResult {
   std::uint64_t staged_chunks = 0;  ///< chunks whose staging was committed
   bool preflight_refused = false;
   std::string preflight_diag;
+  // Fail-soft degradation (mirrors rt::RunStats; all zero on a clean run).
+  std::uint64_t helper_faults = 0;
+  std::uint64_t chunks_reclaimed = 0;
+  std::uint64_t helper_retries = 0;
+  std::uint64_t stagings_invalidated = 0;
+  unsigned workers_quarantined = 0;
+  unsigned demotion_level = 0;
+  bool degraded = false;  ///< RunStats::degraded() of the underlying run
 };
 
 /// The chunk plan a cascaded run of `loop` uses — exposed so callers (and the

@@ -1,5 +1,8 @@
 #include "casc/rt/fault_injection.hpp"
 
+#include <algorithm>
+#include <random>
+#include <sstream>
 #include <thread>
 #include <utility>
 
@@ -55,6 +58,13 @@ FaultPlan FaultPlan::stall_in_helper(std::uint64_t chunk,
   return plan;
 }
 
+FaultPlan FaultPlan::corrupt_staging(std::uint64_t chunk,
+                                     std::uint64_t iters_per_chunk) {
+  FaultPlan plan = throw_in_helper(chunk, iters_per_chunk);
+  plan.action = Action::kCorruptStaging;
+  return plan;
+}
+
 ExecFn FaultPlan::arm(ExecFn inner) const {
   if (site != Site::kExec) return inner;
   const FaultPlan plan = *this;
@@ -82,12 +92,104 @@ HelperFn FaultPlan::arm(HelperFn inner) const {
                                 std::to_string(plan.chunk),
                             plan.chunk);
       }
+      if (plan.action == Action::kCorruptStaging) {
+        // The nasty ordering: the helper's staging is committed first, then
+        // the fault surfaces.  A correct fail-soft runtime must distrust the
+        // already-committed slot(s).
+        if (inner) (void)inner(begin, end, watch);
+        throw InjectedFault("injected staging corruption at chunk " +
+                                std::to_string(plan.chunk),
+                            plan.chunk);
+      }
       if (!stall(plan.stall_for, plan.honor_jump_out ? &watch : nullptr)) {
         return false;  // jumped out mid-stall
       }
     }
     return inner ? inner(begin, end, watch) : true;
   };
+}
+
+ChaosPlan ChaosPlan::make(std::uint64_t seed, std::uint64_t num_chunks,
+                          std::uint64_t iters_per_chunk, ChaosOptions options) {
+  ChaosPlan plan;
+  plan.iters_per_chunk_ = iters_per_chunk != 0 ? iters_per_chunk : 1;
+  std::vector<int> kinds;
+  if (options.allow_throw) kinds.push_back(0);
+  if (options.allow_stall) kinds.push_back(1);
+  if (options.allow_corrupt_staging) kinds.push_back(2);
+  if (kinds.empty() || options.fault_rate <= 0.0) return plan;
+  std::mt19937_64 rng(seed ^ 0x9E3779B97F4A7C15ull);
+  std::bernoulli_distribution hit(std::min(options.fault_rate, 1.0));
+  std::uniform_int_distribution<std::size_t> pick(0, kinds.size() - 1);
+  const auto max_stall_ms = std::max<std::int64_t>(std::int64_t{1},
+                                                   options.max_stall.count());
+  std::uniform_int_distribution<std::int64_t> stall_ms(1, max_stall_ms);
+  std::bernoulli_distribution honor(0.5);
+  for (std::uint64_t c = 0; c < num_chunks; ++c) {
+    if (!hit(rng)) continue;
+    switch (kinds[pick(rng)]) {
+      case 0:
+        plan.faults_.push_back(FaultPlan::throw_in_helper(c, plan.iters_per_chunk_));
+        break;
+      case 1:
+        plan.faults_.push_back(FaultPlan::stall_in_helper(
+            c, plan.iters_per_chunk_, std::chrono::milliseconds(stall_ms(rng)),
+            honor(rng)));
+        break;
+      default:
+        plan.faults_.push_back(FaultPlan::corrupt_staging(c, plan.iters_per_chunk_));
+        break;
+    }
+  }
+  return plan;
+}
+
+HelperFn ChaosPlan::arm(HelperFn inner) const {
+  if (faults_.empty()) {
+    return inner ? std::move(inner)
+                 : HelperFn([](std::uint64_t, std::uint64_t, const TokenWatch&) {
+                     return true;
+                   });
+  }
+  const std::vector<FaultPlan> faults = faults_;
+  return [faults, inner = std::move(inner)](std::uint64_t begin, std::uint64_t end,
+                                            const TokenWatch& watch) -> bool {
+    // All planned faults share the run's chunk geometry, so any entry maps
+    // begin back to its chunk index.
+    const std::uint64_t c = begin / faults.front().iters_per_chunk;
+    const auto it = std::lower_bound(
+        faults.begin(), faults.end(), c,
+        [](const FaultPlan& p, std::uint64_t chunk) { return p.chunk < chunk; });
+    if (it == faults.end() || it->chunk != c) {
+      return inner ? inner(begin, end, watch) : true;
+    }
+    // Delegate to the single-fault wrapper (cold path; a per-fire copy of
+    // `inner` is fine).
+    return it->arm(inner)(begin, end, watch);
+  };
+}
+
+std::string ChaosPlan::summary() const {
+  std::uint64_t throws = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t corrupts = 0;
+  for (const FaultPlan& f : faults_) {
+    switch (f.action) {
+      case FaultPlan::Action::kThrow:
+        ++throws;
+        break;
+      case FaultPlan::Action::kStall:
+        ++stalls;
+        break;
+      case FaultPlan::Action::kCorruptStaging:
+        ++corrupts;
+        break;
+    }
+  }
+  std::ostringstream os;
+  os << faults_.size() << " faults: " << throws << " throw, " << stalls
+     << " stall, " << corrupts << " corrupt";
+  return os.str();
 }
 
 }  // namespace casc::rt

@@ -9,16 +9,28 @@
 // sequential semantics are preserved while the other P-1 workers optimize
 // their memory state.
 //
-// Failure semantics (full protocol in docs/RUNTIME.md):
-//   * An exception escaping an ExecFn or HelperFn on ANY worker poisons the
-//     token; every other worker unwinds promptly instead of spinning, and
-//     run() rethrows the first exception on the calling thread once the pool
-//     has quiesced.  No std::terminate, no wedged pool: the executor is
-//     reusable for the next run().
+// Failure semantics (full fail-stop -> fail-soft matrix in docs/RUNTIME.md):
+//   * Execution-phase faults are fail-stop: an exception escaping an ExecFn
+//     is a fault of the main line of control.  It poisons the token; every
+//     other worker unwinds promptly instead of spinning, and run() rethrows
+//     the first exception on the calling thread once the pool has quiesced.
+//     No std::terminate, no wedged pool: the executor is reusable for the
+//     next run().
+//   * Helper-phase faults are fail-soft by default (Resilience::fail_soft):
+//     helpers are purely speculative, so a helper that throws or stalls past
+//     Resilience::helper_stall_grace costs only its speculation.  The faulty
+//     worker's helper is backed off and retried (bounded, exponential), then
+//     quarantined; any chunk it fails to execute in time is reclaimed and
+//     executed in-place by whichever worker is awaiting the token, on the
+//     unstaged fallback path, preserving bit-identity.  The run completes
+//     with RunStats::degraded() true instead of throwing.
 //   * An optional per-run watchdog deadline (ExecutorConfig::watchdog)
 //     bounds how long run() will let the cascade make no progress; on expiry
 //     the cascade is aborted, a CascadeStateDump is captured, and run()
-//     throws WatchdogExpired carrying that dump.
+//     throws WatchdogExpired carrying that dump.  Soft budgets
+//     (Resilience::demote_helpers_after / go_sequential_after) act earlier:
+//     they demote the run to fewer helpers or pure sequential instead of
+//     killing it.
 //   * After a failed run, last_run_stats() is still valid and records the
 //     abort (aborted / chunks_executed / first_failed_chunk).
 #pragma once
@@ -28,6 +40,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -84,6 +97,44 @@ enum class WaitMode : std::uint8_t {
   kPark,
 };
 
+/// Fail-soft policy: how the executor degrades instead of aborting when
+/// helpers misbehave.  Execution-phase faults are always fail-stop — the
+/// exec phase IS the computation, so its exceptions must reach the caller.
+struct Resilience {
+  /// Master switch.  When false every fault path reverts to PR 1's fail-stop
+  /// protocol: any worker exception aborts the cascade and rethrows.
+  bool fail_soft = true;
+  /// Helper faults tolerated per worker before its helper is permanently
+  /// quarantined for the rest of the run (it still executes its own chunks).
+  unsigned max_helper_faults = 3;
+  /// How long a token-awaiting worker lets the token sit on a chunk whose
+  /// owner is stuck in a helper before reclaiming the chunk and executing it
+  /// itself.  Also the stall fault charged to the stuck owner.
+  std::chrono::milliseconds helper_stall_grace{25};
+  /// Base backoff after a helper fault; doubles per consecutive fault
+  /// (capped), so transient faults retry quickly and repeat offenders wait.
+  std::chrono::milliseconds retry_backoff{1};
+  /// Soft wall-clock budgets (0 = disabled): once a run has been in flight
+  /// this long it is demoted live to level 1 (no helpers) respectively
+  /// level 2 (pure sequential on the calling thread).  Callers derive these
+  /// from the analytic model's sequential estimate (see set_soft_budget()).
+  std::chrono::milliseconds demote_helpers_after{0};
+  std::chrono::milliseconds go_sequential_after{0};
+};
+
+/// What the in-flight execution phase needs to know about how it got the
+/// chunk.  Published to the executing thread only (serialized by the token),
+/// read via CascadeExecutor::current_exec_context().
+struct ExecContext {
+  /// This chunk was reclaimed from a quarantined/stuck owner and is running
+  /// on a non-owner thread: per-worker staging buffers belong to the owner
+  /// and must not be read.
+  bool reclaimed = false;
+  /// The owner's staging is suspect (its helper faulted earlier this run):
+  /// run the unstaged fallback path even if the chunk looks staged.
+  bool staging_invalid = false;
+};
+
 /// Pool/behaviour configuration.
 struct ExecutorConfig {
   /// Worker count (the calling thread is one of them); 0 means
@@ -105,6 +156,8 @@ struct ExecutorConfig {
   /// tier (threads > cores) and keeps the threads <= cores fast path
   /// pure-spin; kSpin/kPark force one behaviour for ablations.
   WaitMode wait_mode = WaitMode::kAuto;
+  /// Fail-soft degradation policy (see struct Resilience above).
+  Resilience resilience;
 };
 
 /// Statistics from the most recent run() — including a failed one.
@@ -122,6 +175,21 @@ struct RunStats {
   std::uint64_t chunks_executed = 0;     ///< execution phases that completed
   bool aborted = false;                  ///< the run was cut short
   std::uint64_t first_failed_chunk = kNoFailedChunk;  ///< chunk whose phase threw
+  // Fail-soft degradation counters (all zero on a clean, undegraded run).
+  std::uint64_t helper_faults = 0;     ///< helper throws/stall-outs survived
+  std::uint64_t chunks_reclaimed = 0;  ///< chunks executed by a non-owner worker
+  std::uint64_t helper_retries = 0;    ///< backed-off helpers retried
+  std::uint64_t stagings_invalidated = 0;  ///< chunks forced onto the fallback
+                                           ///< path because staging was suspect
+  unsigned workers_quarantined = 0;  ///< workers whose helpers were retired
+  unsigned demotion_level = 0;  ///< 0 full cascade, 1 helpers off, 2 sequential
+  /// True iff the run survived any fault or demotion (output is still
+  /// bit-identical to the sequential loop; only speed degraded).
+  [[nodiscard]] bool degraded() const noexcept {
+    return helper_faults != 0 || chunks_reclaimed != 0 || helper_retries != 0 ||
+           stagings_invalidated != 0 || workers_quarantined != 0 ||
+           demotion_level != 0;
+  }
   /// True when a gated run() dropped its restructuring helper because the
   /// PreflightGate was a refusal; preflight_diag carries the rendered
   /// diagnostic explaining why.
@@ -190,6 +258,25 @@ class CascadeExecutor {
 
   [[nodiscard]] const RunStats& last_run_stats() const noexcept { return stats_; }
 
+  /// Sets the soft wall-clock budgets for subsequent runs (persists until
+  /// changed): demote to no-helpers after `demote_helpers_after`, to pure
+  /// sequential after `go_sequential_after` (0 disables either rung).
+  /// Callers typically derive these from the analytic model's sequential
+  /// estimate — the runtime itself stays analysis-free.
+  void set_soft_budget(std::chrono::milliseconds demote_helpers_after,
+                       std::chrono::milliseconds go_sequential_after) noexcept {
+    resilience_.demote_helpers_after = demote_helpers_after;
+    resilience_.go_sequential_after = go_sequential_after;
+  }
+
+  /// Context of the execution phase in flight on the calling thread.  Valid
+  /// only inside an ExecFn (the token serializes writes; each exec phase sees
+  /// the context of its own chunk).  Staging-aware exec functions consult it
+  /// to decide between the staged and fallback paths.
+  [[nodiscard]] const ExecContext& current_exec_context() const noexcept {
+    return exec_context_;
+  }
+
   /// Point-in-time diagnostic snapshot (see state_dump.hpp).  Callable from
   /// any thread, even while a run is in flight.
   [[nodiscard]] CascadeStateDump snapshot() const;
@@ -222,16 +309,62 @@ class CascadeExecutor {
   };
   WorkerOutcome participate(unsigned id, const Job& job);
 
-  /// Waits for chunk `c`'s turn; returns false on abort or watchdog expiry.
-  bool await_turn(std::uint64_t c);
+  /// Per-worker fail-soft health, written/read with relaxed atomics (the
+  /// claim CAS, not health state, is the execution-correctness gate).
+  enum HealthState : std::uint8_t {
+    kHealthy = 0,   ///< helper runs normally
+    kBackoff = 1,   ///< helper faulted; skipped until retry_at_ns
+    kDetached = 2,  ///< quarantined (fault cap) or demoted; worker 0 keeps
+                    ///< executing, others leave the cascade
+  };
+  struct WorkerHealth {
+    std::atomic<std::uint8_t> state{0};  // HealthState
+    std::atomic<std::uint32_t> faults{0};
+    std::atomic<std::int64_t> retry_at_ns{0};  // steady_clock ns of next retry
+  };
+
+  /// How await_or_rescue() resolved a worker's wait for chunk `c`.
+  enum class Turn : std::uint8_t {
+    kMine,     ///< token == c: our turn to (try to claim and) execute
+    kPassed,   ///< token > c: the chunk was reclaimed by someone else
+    kAborted,  ///< abort or watchdog expiry; unwind
+  };
+
+  /// Waits for chunk `c`'s turn.  When rescue is enabled, also monitors the
+  /// token for chunks stuck on quarantined or helper-stalled owners and
+  /// reclaims them (executing them on this thread) so the cascade keeps
+  /// moving.  `c == job.num_chunks` is the drain form: wait for the protocol
+  /// to finish, rescuing stragglers, and return kMine at completion.
+  Turn await_or_rescue(unsigned id, std::uint64_t c, const Job& job,
+                       WorkerOutcome& outcome);
+  /// One rescue attempt for the token-current chunk `t` (stuck since
+  /// `stuck_since`).  Returns true iff this thread claimed and executed it.
+  bool maybe_rescue(unsigned id, std::uint64_t t,
+                    std::chrono::steady_clock::time_point stuck_since,
+                    std::chrono::steady_clock::time_point now, const Job& job,
+                    WorkerOutcome& outcome);
+  /// Executes reclaimed chunk `t` on this (non-owner) thread and passes the
+  /// token.  An exception here is a main-line fault: fail-stop.
+  void execute_reclaimed(unsigned id, std::uint64_t t, const Job& job,
+                         WorkerOutcome& outcome);
+  /// Charges one helper fault to `worker`, moving it to backoff or (at the
+  /// fault cap) quarantine.
+  void record_helper_fault(unsigned worker, std::uint64_t chunk);
+  /// Raises demotion_level_ per the soft budgets; idempotent and monotonic.
+  void update_demotion(std::chrono::steady_clock::time_point now);
+  /// Claims chunk `c` for execution on this thread (CAS 0 -> 1).  The sole
+  /// gate against double execution once rescue is possible.
+  bool claim(std::uint64_t c) noexcept {
+    std::uint8_t expected = 0;
+    return claims_[c].compare_exchange_strong(expected, 1,
+                                              std::memory_order_acq_rel);
+  }
   /// Telemetry hook: one predictable branch when no log is attached.
   void note(unsigned id, telemetry::EventKind kind, std::uint64_t chunk) noexcept {
     if (log_ != nullptr) log_->record(id, kind, chunk);
   }
   /// First caller captures the state dump and poisons the token.
   void fire_watchdog();
-  /// True iff the per-run deadline is enabled and has passed.
-  [[nodiscard]] bool past_deadline() const;
 
   unsigned num_threads_;
   unsigned cores_ = 1;  ///< hardware_concurrency, cached at construction
@@ -264,6 +397,31 @@ class CascadeExecutor {
   bool watchdog_enabled_ = false;
   std::chrono::milliseconds watchdog_budget_{0};
   std::chrono::steady_clock::time_point deadline_{};
+
+  // Fail-soft state.  The per-run flags are set once in run() before workers
+  // start and read-only during the run.
+  Resilience resilience_;
+  bool rescue_enabled_ = false;  ///< claims + reclamation active this run
+  bool budget_enabled_ = false;  ///< soft demotion budgets active this run
+  bool demote_at_set_ = false;
+  bool seq_at_set_ = false;
+  std::chrono::steady_clock::time_point demote_at_{};
+  std::chrono::steady_clock::time_point seq_at_{};
+  std::atomic<unsigned> demotion_level_{0};
+  std::vector<common::CacheAligned<WorkerHealth>> health_;
+  /// One claim byte per chunk (heap array: vector<atomic> cannot resize).
+  std::unique_ptr<std::atomic<std::uint8_t>[]> claims_;
+  std::uint64_t claims_capacity_ = 0;
+  /// Context for the exec phase in flight; written by the executing thread
+  /// between token acquire and exec call, so successive writes are ordered
+  /// by the token's release/acquire chain (TSan-clean without atomics).
+  ExecContext exec_context_;
+  // Degradation counters, reset per run (cold path: faults only).
+  std::atomic<std::uint64_t> ctr_helper_faults_{0};
+  std::atomic<std::uint64_t> ctr_reclaimed_{0};
+  std::atomic<std::uint64_t> ctr_retries_{0};
+  std::atomic<std::uint64_t> ctr_invalidated_{0};
+  std::atomic<unsigned> ctr_quarantined_{0};
 
   // Snapshot inputs that must be readable without mutex_.
   std::atomic<std::uint64_t> snap_num_chunks_{0};

@@ -6,7 +6,15 @@
 //   * stall an execution phase at chunk k for a duration (wedges the chain);
 //   * throw in a helper phase at chunk k;
 //   * stall a helper at chunk k, either honouring jump-out (polls the watch)
-//     or ignoring it (simulates a helper that never checks the token).
+//     or ignoring it (simulates a helper that never checks the token);
+//   * corrupt staging at chunk k: the helper commits its staging, THEN
+//     reports failure — the hard case for fail-soft, because the committed
+//     slot looks staged and must still be distrusted.
+//
+// ChaosPlan composes these into a seeded randomized schedule (kill / stall /
+// corrupt-staging at random chunks, helper sites only) for soak testing the
+// fail-soft runtime: under any chaos schedule every cascade must complete
+// with the sequential digest.
 //
 // This is deliberately a library, not test-local code: every later
 // performance PR (chunk tuner, adaptive runtime) regression-tests its
@@ -17,6 +25,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "casc/rt/executor.hpp"
 
@@ -38,7 +47,14 @@ class InjectedFault : public std::runtime_error {
 /// armed wrappers hold their own copy of the plan.
 struct FaultPlan {
   enum class Site : std::uint8_t { kNone, kExec, kHelper };
-  enum class Action : std::uint8_t { kThrow, kStall };
+  enum class Action : std::uint8_t {
+    kThrow,
+    kStall,
+    /// Helper site only: run the helper to completion (committing whatever
+    /// staging it produces), then throw.  Models a helper that detects its
+    /// own corruption only after the commit.
+    kCorruptStaging,
+  };
 
   Site site = Site::kNone;
   Action action = Action::kThrow;
@@ -59,6 +75,7 @@ struct FaultPlan {
   static FaultPlan stall_in_helper(std::uint64_t chunk, std::uint64_t iters_per_chunk,
                                    std::chrono::milliseconds for_duration,
                                    bool honor_jump_out);
+  static FaultPlan corrupt_staging(std::uint64_t chunk, std::uint64_t iters_per_chunk);
 
   /// Wraps `inner` so the planned exec-site fault fires before the chunk's
   /// body runs (a stall runs the body after the stall completes).
@@ -66,6 +83,48 @@ struct FaultPlan {
   /// Wraps `inner` likewise for helper-site faults.  A stall that honours
   /// jump-out returns false (jumped out) when cut short.
   [[nodiscard]] HelperFn arm(HelperFn inner) const;
+};
+
+/// Tuning knobs for ChaosPlan::make().
+struct ChaosOptions {
+  /// Independent per-chunk probability of a fault.
+  double fault_rate = 0.15;
+  /// Stall durations are drawn uniformly from [1ms, max_stall].
+  std::chrono::milliseconds max_stall{2};
+  // Which fault kinds the schedule may draw from.
+  bool allow_throw = true;
+  bool allow_stall = true;
+  bool allow_corrupt_staging = true;
+};
+
+/// A seeded randomized schedule of helper-site faults (kill / stall /
+/// corrupt-staging) across a run's chunks.  Deterministic per (seed,
+/// geometry, options): the same plan reproduces the same chaos.  Exec-site
+/// faults are deliberately excluded — they are main-line faults the fail-soft
+/// layer must NOT absorb, so chaos soaks can assert zero aborted runs.
+class ChaosPlan {
+ public:
+  ChaosPlan() = default;
+
+  static ChaosPlan make(std::uint64_t seed, std::uint64_t num_chunks,
+                        std::uint64_t iters_per_chunk, ChaosOptions options = {});
+
+  [[nodiscard]] const std::vector<FaultPlan>& faults() const noexcept {
+    return faults_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return faults_.empty(); }
+
+  /// Wraps `inner` so every planned fault fires at its chunk.  A null inner
+  /// is fine (pure-fault helper) — the wrapper reports completion for chunks
+  /// with no planned fault.
+  [[nodiscard]] HelperFn arm(HelperFn inner) const;
+
+  /// One-line human summary ("5 faults: 2 throw, 2 stall, 1 corrupt").
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<FaultPlan> faults_;  ///< helper-site only, sorted by chunk
+  std::uint64_t iters_per_chunk_ = 1;
 };
 
 }  // namespace casc::rt

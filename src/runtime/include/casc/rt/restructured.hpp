@@ -39,6 +39,7 @@
 #include "casc/common/stopwatch.hpp"
 #include "casc/rt/adaptive.hpp"
 #include "casc/rt/executor.hpp"
+#include "casc/rt/fault_injection.hpp"
 #include "casc/rt/helpers.hpp"
 #include "casc/rt/preflight.hpp"
 #include "casc/rt/seq_buffer.hpp"
@@ -62,6 +63,11 @@ struct RestructuredOptions {
   /// How many elements ahead of the consume position the drain loop
   /// prefetches (0 disables).
   std::uint64_t drain_prefetch_distance = 8;
+  /// Seeded helper-fault schedule armed onto the staging helper (non-owning;
+  /// must outlive run()).  The fail-soft executor absorbs the faults; faulted
+  /// or reclaimed chunks consume through the gather() fallback path, so
+  /// results stay bit-identical to the plain loop.
+  const ChaosPlan* chaos = nullptr;
 };
 
 /// Statistics of the last restructured run.
@@ -70,7 +76,10 @@ struct RestructuredStats {
   std::uint64_t chunks_staged = 0;    ///< execution consumed the buffer
   std::uint64_t chunks_fallback = 0;  ///< helper jumped out; original path used
   /// Chunks whose staging completed in a look-ahead pass (before their own
-  /// helper phase even started); a subset of chunks_staged.
+  /// helper phase even started).  On a clean run a subset of chunks_staged;
+  /// on a degraded run a staged-ahead chunk may still be consumed through
+  /// the fallback path (its staging was distrusted or the chunk reclaimed),
+  /// so the subset property only holds when !degraded.
   std::uint64_t chunks_staged_ahead = 0;
   /// Chunk size this run actually used (differs from the configured size in
   /// auto_chunk mode).
@@ -80,6 +89,13 @@ struct RestructuredStats {
   /// preflight_diag carries the rendered refusal.
   bool preflight_refused = false;
   std::string preflight_diag;
+  // Fail-soft degradation of the underlying executor run (all zero on a
+  // clean run).  A reclaimed or distrusted chunk counts as chunks_fallback
+  // here even when its helper committed staging.
+  std::uint64_t helper_faults = 0;
+  std::uint64_t chunks_reclaimed = 0;
+  unsigned workers_quarantined = 0;
+  bool degraded = false;
 
   [[nodiscard]] double staged_fraction() const noexcept {
     return chunks ? static_cast<double>(chunks_staged) / static_cast<double>(chunks)
@@ -194,51 +210,65 @@ class RestructuredLoop {
       return true;
     };
 
+    const auto exec = [&](std::uint64_t begin, std::uint64_t end) {
+      const std::uint64_t chunk = begin / ipc;
+      // The fail-soft context gates the staged path: a reclaimed chunk runs
+      // on a non-owner thread (whose buffers these are not — and the
+      // short-circuit also keeps it off the owner's staged_ byte), and a
+      // suspect-staging chunk must ignore whatever its faulty helper
+      // committed.  Both take the gather() fallback, preserving bit-identity.
+      const ExecContext& ctx = executor_.current_exec_context();
+      if (!ctx.reclaimed && !ctx.staging_invalid && staged_[chunk] != 0) {
+        SequentialBuffer& buf = buffers_.for_chunk_index(chunk);
+        auto cursor = buf.template read_cursor<V>(end - begin);
+        for (std::uint64_t i = begin; i < end; ++i) {
+          if (prefetch_dist != 0) cursor.prefetch(prefetch_dist);
+          consume(i, cursor.next());
+        }
+        ++stats_local_staged_;
+      } else {
+        for (std::uint64_t i = begin; i < end; ++i) {
+          consume(i, gather(i));
+        }
+      }
+    };
+
+    const auto helper = [&](std::uint64_t begin, std::uint64_t end,
+                            const TokenWatch& watch) {
+      const std::uint64_t chunk = begin / ipc;
+      if (!allow_stage) {
+        // Refused gate: keep the gather's cache-warming effect but never
+        // publish a staged buffer.
+        for (std::uint64_t i = begin; i < end; ++i) {
+          if ((i & 0x3f) == 0 && watch.signalled()) return false;
+          (void)gather(i);
+        }
+        return true;
+      }
+      (void)end;
+      // Own chunk first (unless a look-ahead pass already staged it)...
+      if (staged_[chunk] == 0 && !stage_chunk(chunk, watch)) return false;
+      // ...then run ahead into this worker's future chunks until the
+      // token (or the ring capacity) stops us.  The helper has completed
+      // for ITS chunk either way, so the return value stays true.
+      for (unsigned k = 1; k < lookahead; ++k) {
+        const std::uint64_t f = chunk + std::uint64_t{k} * P;
+        if (f >= num_chunks || watch.signalled()) break;
+        if (staged_[f] != 0) continue;
+        if (!stage_chunk(f, watch)) break;
+        stats_local_ahead_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return true;
+    };
+
     common::Stopwatch sw;
-    executor_.run(
-        n, ipc,
-        [&](std::uint64_t begin, std::uint64_t end) {
-          const std::uint64_t chunk = begin / ipc;
-          if (staged_[chunk] != 0) {
-            SequentialBuffer& buf = buffers_.for_chunk_index(chunk);
-            auto cursor = buf.template read_cursor<V>(end - begin);
-            for (std::uint64_t i = begin; i < end; ++i) {
-              if (prefetch_dist != 0) cursor.prefetch(prefetch_dist);
-              consume(i, cursor.next());
-            }
-            ++stats_local_staged_;
-          } else {
-            for (std::uint64_t i = begin; i < end; ++i) {
-              consume(i, gather(i));
-            }
-          }
-        },
-        [&](std::uint64_t begin, std::uint64_t end, const TokenWatch& watch) {
-          const std::uint64_t chunk = begin / ipc;
-          if (!allow_stage) {
-            // Refused gate: keep the gather's cache-warming effect but never
-            // publish a staged buffer.
-            for (std::uint64_t i = begin; i < end; ++i) {
-              if ((i & 0x3f) == 0 && watch.signalled()) return false;
-              (void)gather(i);
-            }
-            return true;
-          }
-          (void)end;
-          // Own chunk first (unless a look-ahead pass already staged it)...
-          if (staged_[chunk] == 0 && !stage_chunk(chunk, watch)) return false;
-          // ...then run ahead into this worker's future chunks until the
-          // token (or the ring capacity) stops us.  The helper has completed
-          // for ITS chunk either way, so the return value stays true.
-          for (unsigned k = 1; k < lookahead; ++k) {
-            const std::uint64_t f = chunk + std::uint64_t{k} * P;
-            if (f >= num_chunks || watch.signalled()) break;
-            if (staged_[f] != 0) continue;
-            if (!stage_chunk(f, watch)) break;
-            stats_local_ahead_.fetch_add(1, std::memory_order_relaxed);
-          }
-          return true;
-        });
+    if (options_.chaos != nullptr && !options_.chaos->empty()) {
+      // The owning HelperFn local keeps the armed wrapper alive across run().
+      const HelperFn armed = options_.chaos->arm(HelperFn(helper));
+      executor_.run(n, ipc, exec, armed);
+    } else {
+      executor_.run(n, ipc, exec, helper);
+    }
 
     if (chunker_ && n > 0) {
       const double seconds = sw.elapsed_seconds();
@@ -250,6 +280,11 @@ class RestructuredLoop {
     stats_.chunks_staged = stats_local_staged_.exchange(0);
     stats_.chunks_staged_ahead = stats_local_ahead_.exchange(0);
     stats_.chunks_fallback = stats_.chunks - stats_.chunks_staged;
+    const RunStats& run_stats = executor_.last_run_stats();
+    stats_.helper_faults = run_stats.helper_faults;
+    stats_.chunks_reclaimed = run_stats.chunks_reclaimed;
+    stats_.workers_quarantined = run_stats.workers_quarantined;
+    stats_.degraded = run_stats.degraded();
   }
 
   CascadeExecutor& executor_;

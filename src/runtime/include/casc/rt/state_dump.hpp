@@ -19,10 +19,11 @@ namespace casc::rt {
 
 /// What a worker was last observed doing.
 enum class WorkerPhase : std::uint8_t {
-  kIdle = 0,       ///< between runs (or finished its share of this run)
-  kHelper = 1,     ///< inside a helper phase
-  kAwaiting = 2,   ///< spinning in await() for its chunk's turn
-  kExecuting = 3,  ///< inside an execution phase (holds the token)
+  kIdle = 0,         ///< between runs (or finished its share of this run)
+  kHelper = 1,       ///< inside a helper phase
+  kAwaiting = 2,     ///< spinning in await() for its chunk's turn
+  kExecuting = 3,    ///< inside an execution phase (holds the token)
+  kQuarantined = 4,  ///< detached fail-soft; its chunks are reclaimed by others
 };
 
 [[nodiscard]] const char* to_string(WorkerPhase phase) noexcept;
@@ -47,6 +48,11 @@ struct CascadeStateDump {
   std::uint64_t num_chunks = 0;   ///< chunk count of the current/last run
   std::uint64_t total_iters = 0;  ///< iteration count of the current/last run
   std::vector<WorkerSnapshot> workers;
+  // Fail-soft degradation state of the current/last run (see RunStats).
+  std::uint64_t helper_faults = 0;     ///< helper throws/stall-outs survived
+  std::uint64_t chunks_reclaimed = 0;  ///< chunks executed by a non-owner
+  unsigned workers_quarantined = 0;    ///< workers whose helpers were retired
+  unsigned demotion_level = 0;         ///< 0 full, 1 no helpers, 2 sequential
   /// The newest telemetry events (time-sorted) when the executor had an
   /// EventLog attached — what each worker was doing just before the dump.
   /// Empty when telemetry is off.

@@ -51,6 +51,8 @@ const char* to_string(WorkerPhase phase) noexcept {
       return "awaiting";
     case WorkerPhase::kExecuting:
       return "executing";
+    case WorkerPhase::kQuarantined:
+      return "quarantined";
   }
   return "?";
 }
@@ -62,6 +64,12 @@ std::string render(const CascadeStateDump& dump) {
      << (dump.run_active ? ", run active" : ", no run active")
      << (dump.aborted ? ", ABORTED" : "")
      << (dump.watchdog_expired ? ", WATCHDOG EXPIRED" : "") << "\n";
+  if (dump.helper_faults != 0 || dump.chunks_reclaimed != 0 ||
+      dump.workers_quarantined != 0 || dump.demotion_level != 0) {
+    os << "  degraded: " << dump.helper_faults << " helper faults, "
+       << dump.chunks_reclaimed << " chunks reclaimed, " << dump.workers_quarantined
+       << " workers quarantined, demotion level " << dump.demotion_level << "\n";
+  }
   for (const WorkerSnapshot& w : dump.workers) {
     os << "  worker " << w.id << ": " << to_string(w.phase) << " (chunk "
        << w.chunk << ", " << w.iters_completed << " iters completed)\n";

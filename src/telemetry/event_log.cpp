@@ -38,6 +38,16 @@ const char* to_string(EventKind kind) noexcept {
       return "abort";
     case EventKind::kWatchdog:
       return "watchdog";
+    case EventKind::kHelperFault:
+      return "helper_fault";
+    case EventKind::kReclaim:
+      return "reclaim";
+    case EventKind::kQuarantine:
+      return "quarantine";
+    case EventKind::kRetry:
+      return "retry";
+    case EventKind::kDemote:
+      return "demote";
   }
   return "?";
 }

@@ -48,6 +48,13 @@ enum class EventKind : std::uint8_t {
   kTokenPass = 7,     ///< token released to `chunk + 1`
   kAbort = 8,         ///< this worker poisoned the cascade (chunk = culprit)
   kWatchdog = 9,      ///< the watchdog fired (chunk = token at expiry)
+  // Fail-soft degradation events (docs/RUNTIME.md "Failure semantics").
+  kHelperFault = 10,  ///< a helper threw or stalled out; run continues degraded
+  kReclaim = 11,      ///< another worker reclaimed and executed `chunk` in-place
+  kQuarantine = 12,   ///< this worker's helper was permanently quarantined
+  kRetry = 13,        ///< a backed-off helper was retried at `chunk`
+  kDemote = 14,       ///< budget demotion (chunk = new level: 1 = no helpers,
+                      ///< 2 = sequential)
 };
 
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;

@@ -69,10 +69,20 @@ void TraceWriter::append_event_log(const EventLog& log, std::uint32_t pid,
       case EventKind::kAbort:
       case EventKind::kWatchdog:
       case EventKind::kRunBegin:
-      case EventKind::kRunEnd: {
+      case EventKind::kRunEnd:
+      case EventKind::kHelperFault:
+      case EventKind::kReclaim:
+      case EventKind::kQuarantine:
+      case EventKind::kRetry:
+      case EventKind::kDemote: {
+        const bool degrade = e.kind >= EventKind::kHelperFault;
         TraceInstant i;
-        i.name = to_string(e.kind);
-        i.category = "control";
+        // Degradation instants carry the chunk (the whole point is locating
+        // the fault); control instants keep their historical bare names.
+        i.name = degrade
+                     ? std::string(to_string(e.kind)) + " chunk " + std::to_string(e.chunk)
+                     : to_string(e.kind);
+        i.category = degrade ? "degrade" : "control";
         i.pid = pid;
         i.tid = w;
         i.ts_us = static_cast<double>(e.ns) / 1000.0;

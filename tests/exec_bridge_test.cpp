@@ -5,6 +5,8 @@
 // the chunk-plan parity contract: sim and rt derive their chunk geometry
 // from the same core::ChunkPlan call, so identical options yield identical
 // plans.
+#include <chrono>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -18,6 +20,7 @@
 #include "casc/exec/materialize.hpp"
 #include "casc/loopir/loop_spec.hpp"
 #include "casc/rt/executor.hpp"
+#include "casc/rt/fault_injection.hpp"
 
 namespace {
 
@@ -151,6 +154,71 @@ TEST(ExecBridge, ChunkPlanParityAcrossBackends) {
     EXPECT_EQ(got.iters_per_chunk, shared.iters_per_chunk()) << file;
     EXPECT_EQ(got.num_chunks, shared.num_chunks()) << file;
   }
+}
+
+TEST(ExecBridgeChaos, AnyChaosScheduleMatchesReferenceBitForBit) {
+  // The fail-soft acceptance property, cross-backend: whatever seeded mix of
+  // helper kills, stalls, and corrupt-staging commits a schedule contains,
+  // the cascaded run must produce the sequential reference bits — for every
+  // helper mode (kNone runs the faults on a no-op helper) and across worker
+  // counts.  Exceptions must not escape: chaos plans are helper-site only.
+  for (const std::string& file : kSpecs) {
+    exec::MaterializedLoop loop(load_spec(file));
+    const exec::ExecResult ref = exec::run_reference(loop);
+    for (const unsigned threads : {2u, 4u}) {
+      rt::ExecutorConfig cfg;
+      cfg.num_threads = threads;
+      // Retry instantly: these runs are far shorter than a real backoff, and
+      // the repeat faults drive workers into quarantine and reclamation.
+      cfg.resilience.retry_backoff = std::chrono::milliseconds(0);
+      rt::CascadeExecutor executor(cfg);
+      for (const exec::HelperMode mode :
+           {exec::HelperMode::kNone, exec::HelperMode::kPrefetch,
+            exec::HelperMode::kRestructure}) {
+        for (const std::uint64_t seed : {1u, 2u, 3u}) {
+          exec::RtOptions opt;
+          opt.helper = mode;
+          const std::uint64_t ipc = exec::plan_for(loop, opt.chunk_bytes).iters_per_chunk();
+          const std::uint64_t chunks =
+              (loop.num_iterations() + ipc - 1) / ipc;
+          rt::ChaosOptions chaos_opt;
+          chaos_opt.fault_rate = 0.5;
+          chaos_opt.max_stall = std::chrono::milliseconds(1);
+          const rt::ChaosPlan plan =
+              rt::ChaosPlan::make(seed, chunks, ipc, chaos_opt);
+          opt.chaos = &plan;
+          const exec::ExecResult got = exec::run_cascaded(loop, executor, opt);
+          EXPECT_EQ(got.digest, ref.digest)
+              << file << " threads=" << threads << " mode=" << static_cast<int>(mode)
+              << " seed=" << seed;
+          EXPECT_EQ(got.rw_checksum, ref.rw_checksum)
+              << file << " threads=" << threads << " mode=" << static_cast<int>(mode)
+              << " seed=" << seed;
+          if (got.helper_faults > 0) EXPECT_TRUE(got.degraded);
+        }
+      }
+    }
+  }
+}
+
+TEST(ExecBridgeChaos, SoftBudgetDemotionKeepsResultsIdentical) {
+  // Drive the budget ladder explicitly: a tiny budget demotes helpers (and
+  // then the whole cascade to sequential) mid-run, and the bits still match.
+  exec::MaterializedLoop loop(load_spec("dense_sum.casc"));
+  const exec::ExecResult ref = exec::run_reference(loop);
+  rt::ExecutorConfig cfg;
+  cfg.num_threads = 4;
+  rt::CascadeExecutor executor(cfg);
+  exec::RtOptions opt;
+  opt.helper = exec::HelperMode::kRestructure;
+  opt.soft_budget_factor = 1.0;
+  opt.estimated_seq_seconds = 1e-6;  // ~1us budget: demotes almost at once
+  const exec::ExecResult got = exec::run_cascaded(loop, executor, opt);
+  EXPECT_EQ(got.digest, ref.digest);
+  EXPECT_EQ(got.rw_checksum, ref.rw_checksum);
+  // Budgets persist on the executor; reset so later tests see a clean slate.
+  executor.set_soft_budget(std::chrono::milliseconds(0),
+                           std::chrono::milliseconds(0));
 }
 
 }  // namespace

@@ -1,8 +1,12 @@
-// Fault-tolerance tests for the real-thread runtime: an exception or stall
-// in any worker's exec/helper phase must abort the cascade, propagate to the
-// calling thread, and leave the executor reusable — never std::terminate,
-// never a wedged pool.  All tests must pass on any core count (including a
-// single-core host), so they assert protocol outcomes, not wall-clock timing.
+// Fault-tolerance tests for the real-thread runtime.  Exec-phase faults are
+// fail-stop: an exception or stall in the main line of control must abort
+// the cascade, propagate to the calling thread, and leave the executor
+// reusable — never std::terminate, never a wedged pool.  Helper-phase faults
+// are fail-soft by default: absorbed via backoff/quarantine/reclamation with
+// the run completing normally (Resilience::fail_soft = false restores the
+// legacy fail-stop helper contract, tested here too).  All tests must pass
+// on any core count (including a single-core host), so they assert protocol
+// outcomes, not wall-clock timing.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -29,6 +33,7 @@ using casc::rt::InjectedFault;
 using casc::rt::RunStats;
 using casc::rt::Token;
 using casc::rt::TokenWatch;
+using casc::rt::WaitMode;
 using casc::rt::WatchdogExpired;
 using casc::rt::WorkerPhase;
 
@@ -104,8 +109,33 @@ TEST_P(FaultThreads, ExecThrowRethrownOnCallingThread) {
   }
 }
 
-TEST_P(FaultThreads, HelperThrowRethrownOnCallingThread) {
+TEST_P(FaultThreads, HelperThrowIsAbsorbedFailSoft) {
+  // The fail-soft contract: a helper fault never surfaces on the calling
+  // thread and never aborts the cascade — it is charged to the worker's
+  // health and the run completes with every chunk executed.
   CascadeExecutor ex(ExecutorConfig{GetParam(), false});
+  const std::uint64_t failing = kChunks - 1;
+  const FaultPlan plan = FaultPlan::throw_in_helper(failing, kChunkIters);
+  ex.run(
+      kIters, kChunkIters, [](std::uint64_t, std::uint64_t) {},
+      plan.arm([](std::uint64_t, std::uint64_t, const TokenWatch&) { return true; }));
+  const RunStats& stats = ex.last_run_stats();
+  EXPECT_FALSE(stats.aborted);
+  EXPECT_EQ(stats.chunks_executed, kChunks);
+  EXPECT_EQ(stats.first_failed_chunk, RunStats::kNoFailedChunk);
+  // The helper may have been skipped (token already arrived); when it did
+  // fire, the fault must be on the books and the run flagged degraded.
+  if (stats.helper_faults > 0) {
+    EXPECT_TRUE(stats.degraded());
+  }
+  expect_successful_run(ex);
+}
+
+TEST_P(FaultThreads, HelperThrowRethrownOnCallingThreadLegacy) {
+  // fail_soft = false restores the historical fail-stop helper contract.
+  ExecutorConfig config{GetParam(), false};
+  config.resilience.fail_soft = false;
+  CascadeExecutor ex(config);
   // Helpers for early chunks may be skipped (token already arrived), in
   // which case the fault never fires and the run succeeds — also fine.  Use
   // a late chunk so on multi-thread runs the helper reliably starts early.
@@ -205,6 +235,9 @@ TEST(Watchdog, SingleThreadStallIsStillCaught) {
 TEST(Watchdog, StalledHelperIgnoringJumpOutIsCaught) {
   ExecutorConfig config{2, false};
   config.watchdog = std::chrono::milliseconds(80);
+  // Legacy fail-stop helpers: with fail-soft on, the stalled chunk would be
+  // reclaimed and the watchdog would (correctly) never fire.
+  config.resilience.fail_soft = false;
   CascadeExecutor ex(config);
   // A helper that ignores jump-out wedges its own chunk's execution phase
   // (helper and exec share a thread): the token chain stops in front of it.
@@ -221,6 +254,76 @@ TEST(Watchdog, StalledHelperIgnoringJumpOutIsCaught) {
   } catch (const WatchdogExpired&) {
     EXPECT_TRUE(ex.last_run_stats().aborted);
   }
+  expect_successful_run(ex);
+}
+
+TEST(Watchdog, StalledHelperIsRescuedFailSoft) {
+  // The fail-soft counterpart: the same ignore-jump-out stall, but the
+  // runtime reclaims the wedged chunk after the stall grace instead of
+  // letting the watchdog kill the run.
+  ExecutorConfig config{2, false};
+  config.watchdog = std::chrono::milliseconds(5000);
+  CascadeExecutor ex(config);
+  const FaultPlan plan = FaultPlan::stall_in_helper(
+      1, kChunkIters, std::chrono::milliseconds(150), /*honor_jump_out=*/false);
+  std::vector<std::uint64_t> out(kIters, 0);
+  ex.run(
+      kIters, kChunkIters,
+      [&](std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t i = b; i < e; ++i) out[i] = i + 1;
+      },
+      plan.arm([](std::uint64_t, std::uint64_t, const TokenWatch&) { return true; }));
+  const RunStats& stats = ex.last_run_stats();
+  EXPECT_FALSE(stats.aborted);
+  EXPECT_EQ(stats.chunks_executed, kChunks);
+  for (std::uint64_t i = 0; i < kIters; ++i) ASSERT_EQ(out[i], i + 1);
+  expect_successful_run(ex);
+}
+
+TEST(Watchdog, ParkedStallInHelperStillProducesDump) {
+  // Futex-parked waiters must not blind the watchdog: a stalled fail-stop
+  // helper under WaitMode::kPark still expires the deadline, and the dump
+  // captured at expiry covers every worker (including the parked ones).
+  ExecutorConfig config{4, false};
+  config.watchdog = std::chrono::milliseconds(80);
+  config.wait_mode = WaitMode::kPark;
+  config.resilience.fail_soft = false;
+  CascadeExecutor ex(config);
+  const FaultPlan plan = FaultPlan::stall_in_helper(
+      2, kChunkIters, std::chrono::milliseconds(400), /*honor_jump_out=*/false);
+  try {
+    ex.run(
+        kIters, kChunkIters, [](std::uint64_t, std::uint64_t) {},
+        plan.arm(
+            [](std::uint64_t, std::uint64_t, const TokenWatch&) { return true; }));
+    // On some interleavings the stalling helper is skipped (token already
+    // arrived); then the run legitimately completes.
+    EXPECT_FALSE(ex.last_run_stats().aborted);
+  } catch (const WatchdogExpired& e) {
+    const CascadeStateDump& dump = e.dump();
+    EXPECT_TRUE(dump.watchdog_expired);
+    EXPECT_EQ(dump.workers.size(), 4u);
+    EXPECT_LT(dump.token, kChunks);
+    EXPECT_TRUE(ex.last_run_stats().aborted);
+  }
+  expect_successful_run(ex);
+}
+
+TEST(Watchdog, ParkedStallInHelperIsRescuedFailSoft) {
+  // Same parked setup with fail-soft on: the wedged chunk is reclaimed and
+  // the cascade completes without the watchdog firing.
+  ExecutorConfig config{4, false};
+  config.watchdog = std::chrono::milliseconds(5000);
+  config.wait_mode = WaitMode::kPark;
+  CascadeExecutor ex(config);
+  const FaultPlan plan = FaultPlan::stall_in_helper(
+      2, kChunkIters, std::chrono::milliseconds(150), /*honor_jump_out=*/false);
+  ex.run(
+      kIters, kChunkIters, [](std::uint64_t, std::uint64_t) {},
+      plan.arm([](std::uint64_t, std::uint64_t, const TokenWatch&) { return true; }));
+  const RunStats& stats = ex.last_run_stats();
+  EXPECT_FALSE(stats.aborted);
+  EXPECT_EQ(stats.chunks_executed, kChunks);
   expect_successful_run(ex);
 }
 

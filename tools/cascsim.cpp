@@ -28,6 +28,7 @@
 #include "casc/report/ascii_plot.hpp"
 #include "casc/report/table.hpp"
 #include "casc/rt/executor.hpp"
+#include "casc/rt/fault_injection.hpp"
 #include "casc/rt/state_dump.hpp"
 #include "casc/sim/three_cs.hpp"
 #include "casc/synth/synthetic_loop.hpp"
@@ -62,6 +63,11 @@ const std::vector<cli::OptionSpec> kSpecs = {
     {"threecs", "", "classify L1/L2 misses (compulsory/capacity/conflict)", ""},
     {"trace-json", "PATH",
      "write the cascaded run's timeline as a Chrome/Perfetto trace", ""},
+    {"chaos", "SEED",
+     "rt backend: seeded chaos fault injection against the helpers (kill / "
+     "stall / corrupt staging); degraded-but-correct runs still exit 0 and "
+     "print a degradation table",
+     ""},
     {"counters", "", "measure hardware counters around the run (perf_event)", ""},
     {"help", "", "show this help", ""},
 };
@@ -245,12 +251,16 @@ int run_backend_rt(const cli::Args& args) {
   exec_cfg.num_threads = static_cast<unsigned>(args.get_u64("threads"));
   rt::CascadeExecutor executor(exec_cfg);
 
+  const bool chaos_on = args.has("chaos");
+  const std::uint64_t chaos_seed = chaos_on ? args.get_u64("chaos") : 0;
+
   telemetry::BenchReporter reporter(args.get("bench-name"));
   reporter.set_param("backend", std::string("rt"));
   reporter.set_param("machine", cfg.name);
   reporter.set_param("chunk_bytes", sim_opt.chunk_bytes);
   reporter.set_param("helper", cascade::to_string(sim_opt.helper));
   reporter.set_param("threads", std::uint64_t{executor.num_threads()});
+  if (chaos_on) reporter.set_param("chaos_seed", chaos_seed);
 
   telemetry::PerfCounters counters;
   counters.start();
@@ -262,7 +272,14 @@ int run_backend_rt(const cli::Args& args) {
                   cascade::to_string(sim_opt.helper) + ", " +
                   report::fmt_bytes(sim_opt.chunk_bytes) + " chunks)");
 
+  report::Table degrade_table({"Loop", "Faults planned", "Helper faults",
+                               "Reclaimed", "Retries", "Invalidated",
+                               "Quarantined", "Demotion"});
+  degrade_table.set_title("fail-soft degradation under chaos (seed " +
+                          std::to_string(chaos_seed) + ")");
+
   bool all_match = true;
+  std::uint64_t loop_index = 0;
   for (const std::string& path : paths) {
     const loopir::LoopSpec spec = load_spec_file(path);
     exec::MaterializedLoop loop_mat(spec);
@@ -277,7 +294,23 @@ int run_backend_rt(const cli::Args& args) {
 
     // Measured: sequential reference, then the cascaded threaded run.
     const exec::ExecResult ref = exec::run_reference(loop_mat);
+    rt::ChaosPlan chaos_plan;
+    if (chaos_on) {
+      // Derive the plan from the run's actual chunk geometry, vary the seed
+      // per loop, and soft-budget the run off the measured reference time so
+      // a chaos pile-up demotes instead of wedging.
+      std::uint64_t ipc = rt_opt.iters_per_chunk;
+      if (ipc == 0) ipc = exec::plan_for(loop_mat, rt_opt.chunk_bytes).iters_per_chunk();
+      const std::uint64_t total = loop_mat.num_iterations();
+      const std::uint64_t num_chunks = total == 0 ? 0 : (total + ipc - 1) / ipc;
+      chaos_plan = rt::ChaosPlan::make(chaos_seed + loop_index, num_chunks, ipc);
+      rt_opt.chaos = &chaos_plan;
+      rt_opt.soft_budget_factor = 8.0;
+      rt_opt.estimated_seq_seconds = ref.seconds;
+    }
+    ++loop_index;
     const exec::ExecResult rt_result = exec::run_cascaded(loop_mat, executor, rt_opt);
+    rt_opt.chaos = nullptr;
     const bool match = rt_result.digest == ref.digest &&
                        rt_result.rw_checksum == ref.rw_checksum;
     all_match = all_match && match;
@@ -302,6 +335,26 @@ int run_backend_rt(const cli::Args& args) {
                         rt_result.preflight_refused ? 1.0 : 0.0);
     reporter.add_wall_ns(static_cast<std::int64_t>(rt_result.seconds * 1e9));
 
+    if (chaos_on) {
+      degrade_table.add_row(
+          {name, report::fmt_count(chaos_plan.faults().size()),
+           report::fmt_count(rt_result.helper_faults),
+           report::fmt_count(rt_result.chunks_reclaimed),
+           report::fmt_count(rt_result.helper_retries),
+           report::fmt_count(rt_result.stagings_invalidated),
+           report::fmt_count(rt_result.workers_quarantined),
+           std::to_string(rt_result.demotion_level)});
+      reporter.add_metric(name + ".helper_faults",
+                          static_cast<double>(rt_result.helper_faults));
+      reporter.add_metric(name + ".chunks_reclaimed",
+                          static_cast<double>(rt_result.chunks_reclaimed));
+      reporter.add_metric(name + ".helper_retries",
+                          static_cast<double>(rt_result.helper_retries));
+      reporter.add_metric(name + ".workers_quarantined",
+                          static_cast<double>(rt_result.workers_quarantined));
+      reporter.add_metric(name + ".degraded", rt_result.degraded ? 1.0 : 0.0);
+    }
+
     if (rt_result.preflight_refused) {
       std::cout << "note: " << name
                 << ": restructure refused by preflight, helper degraded: "
@@ -315,6 +368,12 @@ int run_backend_rt(const cli::Args& args) {
                         counters.available(), counters.unavailable_reason());
 
   table.print(std::cout);
+  if (chaos_on) {
+    // The exit-code contract: degraded-but-correct is success.  Any chaos
+    // damage shows up here; only a digest mismatch (below) fails the run.
+    std::cout << "\n";
+    degrade_table.print(std::cout);
+  }
   const std::string written = reporter.write_file();
   if (!written.empty()) std::cout << "bench json: " << written << "\n";
 

@@ -1,0 +1,263 @@
+// cascsoak — chaos soak harness for the fail-soft cascade runtime.
+//
+// Drives thousands of cascades through one persistent executor while a
+// seeded ChaosPlan kills, stalls, and corrupts the helper phases, cycling
+// through every workload shape the runtime supports:
+//
+//   run % 4 == 0   exec bridge, HelperMode::kNone  (chaos on a no-op helper)
+//   run % 4 == 1   exec bridge, HelperMode::kPrefetch
+//   run % 4 == 2   exec bridge, HelperMode::kRestructure
+//   run % 4 == 3   RestructuredLoop<double> (loop-carried recurrence)
+//
+// The contract under test is the fail-soft guarantee: EVERY cascade must
+// complete with the bit-identical sequential result and NO run may abort —
+// chaos plans contain helper-site faults only, which the runtime must absorb
+// via backoff / quarantine / chunk reclamation.  Degradation is expected and
+// reported; divergence or an escaped exception fails the soak.
+//
+// Exit code: 0 when all runs are degraded-but-correct, 1 otherwise.
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "casc/cli/args.hpp"
+#include "casc/common/diagnostic.hpp"
+#include "casc/exec/bridge.hpp"
+#include "casc/exec/materialize.hpp"
+#include "casc/loopir/loop_spec.hpp"
+#include "casc/report/table.hpp"
+#include "casc/rt/executor.hpp"
+#include "casc/rt/fault_injection.hpp"
+#include "casc/rt/restructured.hpp"
+
+namespace {
+
+using namespace casc;  // NOLINT(build/namespaces)
+
+const std::vector<cli::OptionSpec> kSpecs = {
+    {"runs", "N", "cascades to drive through the chaos schedule", "1000"},
+    {"seed", "N", "base seed; run r uses a seed derived from (seed, r)", "1"},
+    {"threads", "N", "worker threads (0 = hardware)", "4"},
+    {"fault-rate", "PCT", "per-chunk fault probability, percent", "15"},
+    {"max-stall-ms", "N", "upper bound on injected helper stalls", "2"},
+    {"help", "", "show this help", ""},
+};
+
+/// Dense streaming kernel with staged-eligible operands: the bridge-side
+/// soak workload.  Mirrors tests/specs/dense_sum.casc at a trip count sized
+/// for thousands of runs.
+constexpr const char* kSoakSpec = R"(loop soak_dense
+trip 16384
+compute 6 4
+layout conflicting
+array y 8 16384 rw
+array a 8 16384 ro
+array b 8 16384 ro
+access a read
+access b read
+access y write
+)";
+
+constexpr std::uint64_t kItersPerChunk = 1024;
+
+/// Per-run seed derivation (splitmix-style) so consecutive runs draw
+/// unrelated chaos schedules from one base seed.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t run) {
+  std::uint64_t z = seed + run * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// The restructured-loop soak workload: a loop-carried recurrence over a
+/// gathered operand, so any staleness or ordering bug changes the final bits.
+struct RecurrenceWorkload {
+  std::vector<double> a;
+  std::vector<std::uint32_t> ij;
+  std::vector<double> want;
+  double want_acc = 0.0;
+
+  explicit RecurrenceWorkload(std::uint64_t n) : a(n), ij(n), want(n) {
+    std::uint64_t state = 0x5DEECE66Dull;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      state = mix(state, i + 1);
+      a[i] = static_cast<double>(static_cast<std::int64_t>(state % 2000001) -
+                                 1000000);
+      ij[i] = static_cast<std::uint32_t>(mix(state, i) % n);
+    }
+    double acc = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      acc = acc * 0.75 + a[ij[i]];
+      want[i] = acc;
+    }
+    want_acc = acc;
+  }
+};
+
+struct SoakTotals {
+  std::uint64_t helper_faults = 0;
+  std::uint64_t chunks_reclaimed = 0;
+  std::uint64_t helper_retries = 0;
+  std::uint64_t stagings_invalidated = 0;
+  std::uint64_t workers_quarantined = 0;
+  std::uint64_t degraded_runs = 0;
+  std::uint64_t demoted_runs = 0;
+
+  void absorb(const rt::RunStats& stats) {
+    helper_faults += stats.helper_faults;
+    chunks_reclaimed += stats.chunks_reclaimed;
+    helper_retries += stats.helper_retries;
+    stagings_invalidated += stats.stagings_invalidated;
+    workers_quarantined += stats.workers_quarantined;
+    if (stats.degraded()) ++degraded_runs;
+    if (stats.demotion_level > 0) ++demoted_runs;
+  }
+};
+
+int run_soak(const cli::Args& args) {
+  const std::uint64_t runs = std::max<std::uint64_t>(1, args.get_u64("runs"));
+  const std::uint64_t seed = args.get_u64("seed");
+  rt::ChaosOptions chaos_opt;
+  chaos_opt.fault_rate =
+      static_cast<double>(std::min<std::uint64_t>(100, args.get_u64("fault-rate"))) /
+      100.0;
+  chaos_opt.max_stall = std::chrono::milliseconds(
+      std::max<std::uint64_t>(1, args.get_u64("max-stall-ms")));
+
+  rt::ExecutorConfig exec_cfg;
+  exec_cfg.num_threads = static_cast<unsigned>(args.get_u64("threads"));
+  // Retry instantly instead of backing off: these cascades are microseconds
+  // long, and a real backoff would let every faulted helper sit out the rest
+  // of its run — the quarantine and reclamation paths would never fire.
+  exec_cfg.resilience.retry_backoff = std::chrono::milliseconds(0);
+  rt::CascadeExecutor executor(exec_cfg);
+
+  // Bridge workload: materialize once, reference once.
+  common::DiagnosticList diags;
+  const loopir::LoopSpec spec = loopir::LoopSpec::parse(kSoakSpec, diags);
+  if (!diags.ok()) {
+    std::cerr << diags.render_text();
+    return 1;
+  }
+  exec::MaterializedLoop loop(spec);
+  const exec::ExecResult ref = exec::run_reference(loop);
+  const std::uint64_t num_chunks =
+      (loop.num_iterations() + kItersPerChunk - 1) / kItersPerChunk;
+
+  // Restructured workload: one persistent driver whose options point at a
+  // mutable plan slot, refilled with a fresh schedule before each run.
+  const RecurrenceWorkload rec(loop.num_iterations());
+  rt::ChaosPlan rec_plan;
+  rt::RestructuredOptions rec_opt;
+  rec_opt.iters_per_chunk = kItersPerChunk;
+  rec_opt.lookahead = 2;
+  rec_opt.chaos = &rec_plan;
+  rt::RestructuredLoop<double> rec_loop(executor, rec_opt);
+  std::vector<double> got(rec.a.size());
+
+  SoakTotals totals;
+  std::uint64_t failures = 0;
+  std::uint64_t first_failed_run = 0;
+  std::string first_failure;
+
+  const auto fail = [&](std::uint64_t run, const std::string& why) {
+    ++failures;
+    if (failures == 1) {
+      first_failed_run = run;
+      first_failure = why;
+    }
+  };
+
+  for (std::uint64_t run = 0; run < runs; ++run) {
+    const rt::ChaosPlan plan = rt::ChaosPlan::make(mix(seed, run), num_chunks,
+                                                   kItersPerChunk, chaos_opt);
+    try {
+      if (run % 4 == 3) {
+        rec_plan = plan;
+        double acc = 0.0;
+        std::fill(got.begin(), got.end(), 0.0);
+        rec_loop.run(
+            rec.a.size(), [&](std::uint64_t i) { return rec.a[rec.ij[i]]; },
+            [&](std::uint64_t i, double v) {
+              acc = acc * 0.75 + v;
+              got[i] = acc;
+            });
+        if (acc != rec.want_acc || got != rec.want) {
+          fail(run, "restructured-loop result diverged from the reference");
+        }
+      } else {
+        exec::RtOptions rt_opt;
+        rt_opt.iters_per_chunk = kItersPerChunk;
+        rt_opt.helper = run % 4 == 0   ? exec::HelperMode::kNone
+                        : run % 4 == 1 ? exec::HelperMode::kPrefetch
+                                       : exec::HelperMode::kRestructure;
+        rt_opt.chaos = &plan;
+        rt_opt.soft_budget_factor = 8.0;
+        rt_opt.estimated_seq_seconds = ref.seconds;
+        const exec::ExecResult got_rt = exec::run_cascaded(loop, executor, rt_opt);
+        if (got_rt.digest != ref.digest || got_rt.rw_checksum != ref.rw_checksum) {
+          fail(run, "cascaded digest diverged from the sequential reference");
+        }
+      }
+    } catch (const std::exception& e) {
+      // Helper-site chaos must never abort a cascade; an escaped exception
+      // means the fail-soft protocol broke.
+      fail(run, std::string("cascade aborted: ") + e.what());
+    }
+    totals.absorb(executor.last_run_stats());
+    if ((run + 1) % 250 == 0) {
+      std::cout << "  ..." << (run + 1) << "/" << runs << " cascades, "
+                << report::fmt_count(totals.helper_faults) << " faults absorbed, "
+                << failures << " failures\n";
+    }
+  }
+
+  report::Table table({"Metric", "Total"});
+  table.set_title("chaos soak degradation (" + std::to_string(runs) +
+                  " cascades, seed " + std::to_string(seed) + ", " +
+                  std::to_string(executor.num_threads()) + " threads)");
+  table.add_row({"helper faults injected+absorbed",
+                 report::fmt_count(totals.helper_faults)});
+  table.add_row({"chunks reclaimed", report::fmt_count(totals.chunks_reclaimed)});
+  table.add_row({"helper retries", report::fmt_count(totals.helper_retries)});
+  table.add_row(
+      {"stagings invalidated", report::fmt_count(totals.stagings_invalidated)});
+  table.add_row(
+      {"workers quarantined", report::fmt_count(totals.workers_quarantined)});
+  table.add_row({"degraded runs", report::fmt_count(totals.degraded_runs)});
+  table.add_row({"demoted runs", report::fmt_count(totals.demoted_runs)});
+  table.add_row({"aborted/diverged runs", report::fmt_count(failures)});
+  table.print(std::cout);
+
+  if (failures != 0) {
+    std::cerr << "SOAK FAIL: " << failures << " of " << runs
+              << " cascades failed (first at run " << first_failed_run << ": "
+              << first_failure << ")\n";
+    return 1;
+  }
+  std::cout << "SOAK PASS: " << runs << "/" << runs
+            << " cascades degraded-but-correct\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> raw(argv + 1, argv + argc);
+  try {
+    const cli::Args args = cli::Args::parse(raw, kSpecs);
+    if (args.has("help")) {
+      std::cout << cli::Args::help("cascsoak",
+                                   "chaos soak harness for the fail-soft runtime",
+                                   kSpecs);
+      return 0;
+    }
+    return run_soak(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
