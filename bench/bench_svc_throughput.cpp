@@ -1,0 +1,198 @@
+// casc::svc end-to-end throughput: the same pipelined job stream pushed
+// through an in-process cascd twice — one shard, then four — with four
+// concurrent clients submitting over the Unix-socket wire protocol.
+//
+// The deterministic metrics are gates, not measurements: errors, digest
+// mismatches, and incomplete jobs all baseline at zero, so any nonzero value
+// blows the loose rt tolerance (rel delta = inf) and fails the diff.  The
+// jobs/sec and 4-vs-1 scaling numbers are host-dependent and ride the same
+// loose tolerance as the other real-runtime benches.
+#include <unistd.h>
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "casc/exec/bridge.hpp"
+#include "casc/exec/materialize.hpp"
+#include "casc/loopir/loop_spec.hpp"
+#include "casc/svc/client.hpp"
+#include "casc/svc/protocol.hpp"
+#include "casc/svc/server.hpp"
+#include "casc/telemetry/bench_reporter.hpp"
+
+namespace {
+
+using namespace casc;
+
+// Two specs so the per-shard LoopPools see key diversity (jobs alternate).
+constexpr const char* kSpecBig = R"(loop bench_big
+trip 8192
+compute 4 3
+layout conflicting
+array y 8 8192 rw
+array a 8 8192 ro
+array b 8 8192 ro
+access a read
+access b read
+access y write
+)";
+
+constexpr const char* kSpecSmall = R"(loop bench_small
+trip 2048
+compute 2 1
+array y 8 2048 rw
+array a 8 2048 ro
+access a read
+access y write
+)";
+
+struct CaseResult {
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t mismatches = 0;
+  std::uint64_t reused = 0;
+  double seconds = 0.0;
+};
+
+struct Expected {
+  std::uint64_t big_digest = 0;
+  std::uint64_t small_digest = 0;
+};
+
+/// One client: `jobs` pipelined submits (window-bounded), alternating specs,
+/// every reply digest-checked against the sequential reference.
+void client_main(const std::string& socket_path, unsigned id, unsigned jobs,
+                 unsigned window, const Expected& want, CaseResult& out) {
+  svc::SvcClient client;
+  if (!client.connect(socket_path)) {
+    out.errors += jobs;
+    return;
+  }
+  unsigned sent = 0;
+  unsigned outstanding = 0;
+  const auto absorb = [&] {
+    const svc::Reply reply = client.read_reply();
+    --outstanding;
+    if (reply.kind != svc::Reply::Kind::kResult) {
+      ++out.errors;
+      return;
+    }
+    ++out.completed;
+    if (reply.result.reused) ++out.reused;
+    const std::uint64_t expect =
+        reply.result.job % 2 ? want.big_digest : want.small_digest;
+    if (reply.result.digest != expect) ++out.mismatches;
+  };
+  while (sent < jobs) {
+    svc::SubmitRequest req;
+    req.tenant = "bench-" + std::to_string(id);
+    req.job = ++sent;
+    req.spec_text = sent % 2 ? kSpecBig : kSpecSmall;
+    if (!client.send_submit(req)) {
+      ++out.errors;
+      continue;
+    }
+    ++outstanding;
+    while (outstanding >= window) absorb();
+  }
+  while (outstanding > 0) absorb();
+}
+
+CaseResult run_case(unsigned shards, unsigned clients, unsigned jobs_per_client,
+                    unsigned window, const Expected& want) {
+  svc::SvcConfig cfg;
+  cfg.socket_path = "/tmp/casc-bench-svc-" + std::to_string(::getpid()) + "-" +
+                    std::to_string(shards) + ".sock";
+  cfg.num_shards = shards;
+  cfg.threads_per_shard = 2;
+  cfg.queue_cap = static_cast<std::size_t>(clients) * jobs_per_client * 2;
+  svc::SvcServer server(std::move(cfg));
+  server.start();
+
+  std::vector<CaseResult> per_client(clients);
+  common::Stopwatch sw;
+  {
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        client_main(server.socket_path(), c, jobs_per_client, window, want,
+                    per_client[c]);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  CaseResult total;
+  total.seconds = sw.elapsed_seconds();
+  for (const CaseResult& r : per_client) {
+    total.completed += r.completed;
+    total.errors += r.errors;
+    total.mismatches += r.mismatches;
+    total.reused += r.reused;
+  }
+  server.stop();
+  return total;
+}
+
+void report_case(telemetry::BenchReporter& rep, const std::string& key,
+                 const CaseResult& r, std::uint64_t jobs) {
+  rep.add_metric(key + ".errors", r.errors);
+  rep.add_metric(key + ".digest_mismatches", r.mismatches);
+  rep.add_metric(key + ".incomplete", jobs - std::min(jobs, r.completed));
+  rep.add_metric(key + ".jobs_per_sec",
+                 r.seconds > 0 ? static_cast<double>(r.completed) / r.seconds
+                               : 0.0);
+  rep.add_metric(key + ".pool_reuse_rate",
+                 r.completed > 0
+                     ? static_cast<double>(r.reused) /
+                           static_cast<double>(r.completed)
+                     : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_scale_banner();
+  const unsigned scale = bench::workload_scale();
+  const unsigned clients = 4;
+  const unsigned jobs_per_client = std::max(8u, 64u / scale);
+  const unsigned window = 16;
+  const std::uint64_t jobs =
+      static_cast<std::uint64_t>(clients) * jobs_per_client;
+
+  Expected want;
+  {
+    exec::MaterializedLoop big(loopir::LoopSpec::parse(kSpecBig));
+    exec::MaterializedLoop small(loopir::LoopSpec::parse(kSpecSmall));
+    want.big_digest = exec::run_reference(big).digest;
+    want.small_digest = exec::run_reference(small).digest;
+  }
+
+  telemetry::BenchReporter rep("svc_throughput");
+  rep.set_param("clients", static_cast<std::uint64_t>(clients));
+  rep.set_param("jobs_per_client", static_cast<std::uint64_t>(jobs_per_client));
+  rep.set_param("window", static_cast<std::uint64_t>(window));
+  rep.set_param("threads_per_shard", static_cast<std::uint64_t>(2));
+
+  bench::run_and_report(rep, [&] {
+    const CaseResult one = run_case(1, clients, jobs_per_client, window, want);
+    const CaseResult four = run_case(4, clients, jobs_per_client, window, want);
+    report_case(rep, "shards1", one, jobs);
+    report_case(rep, "shards4", four, jobs);
+    rep.add_metric("scaling_4v1",
+                   four.seconds > 0 ? one.seconds / four.seconds : 0.0);
+    std::cout << "svc throughput: " << jobs << " jobs/config, " << clients
+              << " clients\n"
+              << "  1 shard : " << one.completed << " completed in "
+              << one.seconds << " s (" << one.errors << " errors, "
+              << one.mismatches << " mismatches)\n"
+              << "  4 shards: " << four.completed << " completed in "
+              << four.seconds << " s (" << four.errors << " errors, "
+              << four.mismatches << " mismatches)\n";
+  });
+  return 0;
+}

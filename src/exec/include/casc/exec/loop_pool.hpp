@@ -1,0 +1,103 @@
+// A reuse pool for MaterializedLoops, keyed by the spec's canonical text.
+//
+// Materialization is the expensive step of executing a LoopSpec on the real
+// runtime: instantiating the nest, filling index arrays, and resolving the
+// whole dynamic reference stream (O(total refs)).  A service executing
+// thousands of small jobs that mostly repeat a handful of specs pays that
+// cost once per distinct spec instead of once per job: acquire() hands out
+// an EXCLUSIVE lease on an idle instance (run_* entry points reset() the
+// arrays, so a reused instance is indistinguishable from a fresh one) and
+// materializes only on a pool miss.
+//
+// Thread-safe.  A lease is move-only RAII: destruction returns the instance
+// to the pool (up to per-key and total caps; excess instances are simply
+// dropped, which keeps a burst of concurrent leases from pinning memory
+// forever).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "casc/exec/materialize.hpp"
+
+namespace casc::exec {
+
+class LoopPool;
+
+/// Exclusive ownership of one pooled MaterializedLoop.  Returns the loop to
+/// the pool on destruction; a default-constructed lease is empty.
+class LoopLease {
+ public:
+  LoopLease() = default;
+  LoopLease(LoopLease&& other) noexcept { *this = std::move(other); }
+  LoopLease& operator=(LoopLease&& other) noexcept;
+  LoopLease(const LoopLease&) = delete;
+  LoopLease& operator=(const LoopLease&) = delete;
+  ~LoopLease();
+
+  [[nodiscard]] bool valid() const noexcept { return loop_ != nullptr; }
+  [[nodiscard]] MaterializedLoop& loop() noexcept { return *loop_; }
+  [[nodiscard]] const MaterializedLoop& loop() const noexcept { return *loop_; }
+  /// True when acquire() found an idle instance (no materialization ran).
+  [[nodiscard]] bool reused() const noexcept { return reused_; }
+
+ private:
+  friend class LoopPool;
+  LoopLease(LoopPool* pool, std::string key,
+            std::unique_ptr<MaterializedLoop> loop, bool reused)
+      : pool_(pool), key_(std::move(key)), loop_(std::move(loop)), reused_(reused) {}
+
+  LoopPool* pool_ = nullptr;
+  std::string key_;
+  std::unique_ptr<MaterializedLoop> loop_;
+  bool reused_ = false;
+};
+
+struct LoopPoolStats {
+  std::uint64_t hits = 0;        ///< acquire() served from the pool
+  std::uint64_t misses = 0;      ///< acquire() had to materialize
+  std::uint64_t discarded = 0;   ///< releases dropped by the caps
+  std::uint64_t idle = 0;        ///< instances currently pooled
+  std::uint64_t distinct_keys = 0;
+};
+
+class LoopPool {
+ public:
+  /// `max_idle_per_key` / `max_idle_total` bound how many idle instances the
+  /// pool retains; both must be >= 1.
+  explicit LoopPool(std::size_t max_idle_per_key = 4,
+                    std::size_t max_idle_total = 64);
+
+  LoopPool(const LoopPool&) = delete;
+  LoopPool& operator=(const LoopPool&) = delete;
+
+  /// Leases an instance of `spec`.  `key` identifies the spec across calls —
+  /// callers that parsed from text pass the raw text (cheap, exact); callers
+  /// with programmatic specs can pass spec.to_text().  Materializes on a
+  /// miss, which may throw (CheckFailure on unmaterializable specs) — the
+  /// pool is unchanged in that case.
+  [[nodiscard]] LoopLease acquire(const loopir::LoopSpec& spec,
+                                  const std::string& key);
+
+  [[nodiscard]] LoopPoolStats stats() const;
+
+ private:
+  friend class LoopLease;
+  void release(const std::string& key, std::unique_ptr<MaterializedLoop> loop);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::vector<std::unique_ptr<MaterializedLoop>>>
+      idle_;
+  std::size_t max_idle_per_key_;
+  std::size_t max_idle_total_;
+  std::size_t idle_count_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t discarded_ = 0;
+};
+
+}  // namespace casc::exec

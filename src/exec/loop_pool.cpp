@@ -1,0 +1,80 @@
+#include "casc/exec/loop_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "casc/common/check.hpp"
+
+namespace casc::exec {
+
+LoopLease& LoopLease::operator=(LoopLease&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr && loop_ != nullptr) {
+      pool_->release(key_, std::move(loop_));
+    }
+    pool_ = std::exchange(other.pool_, nullptr);
+    key_ = std::move(other.key_);
+    loop_ = std::move(other.loop_);
+    reused_ = other.reused_;
+  }
+  return *this;
+}
+
+LoopLease::~LoopLease() {
+  if (pool_ != nullptr && loop_ != nullptr) {
+    pool_->release(key_, std::move(loop_));
+  }
+}
+
+LoopPool::LoopPool(std::size_t max_idle_per_key, std::size_t max_idle_total)
+    : max_idle_per_key_(max_idle_per_key), max_idle_total_(max_idle_total) {
+  CASC_CHECK(max_idle_per_key >= 1, "LoopPool: max_idle_per_key must be >= 1");
+  CASC_CHECK(max_idle_total >= 1, "LoopPool: max_idle_total must be >= 1");
+}
+
+LoopLease LoopPool::acquire(const loopir::LoopSpec& spec, const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = idle_.find(key);
+    if (it != idle_.end() && !it->second.empty()) {
+      std::unique_ptr<MaterializedLoop> loop = std::move(it->second.back());
+      it->second.pop_back();
+      --idle_count_;
+      ++hits_;
+      return LoopLease(this, key, std::move(loop), /*reused=*/true);
+    }
+  }
+  // Materialize outside the lock: it is the expensive path, and concurrent
+  // misses on different keys must not serialize on each other.
+  auto loop = std::make_unique<MaterializedLoop>(spec);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+  }
+  return LoopLease(this, key, std::move(loop), /*reused=*/false);
+}
+
+void LoopPool::release(const std::string& key,
+                       std::unique_ptr<MaterializedLoop> loop) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::unique_ptr<MaterializedLoop>>& bucket = idle_[key];
+  if (bucket.size() >= max_idle_per_key_ || idle_count_ >= max_idle_total_) {
+    ++discarded_;
+    return;  // `loop` is destroyed here, outside any hot path
+  }
+  bucket.push_back(std::move(loop));
+  ++idle_count_;
+}
+
+LoopPoolStats LoopPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LoopPoolStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.discarded = discarded_;
+  s.idle = idle_count_;
+  s.distinct_keys = idle_.size();
+  return s;
+}
+
+}  // namespace casc::exec

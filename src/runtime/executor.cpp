@@ -33,6 +33,7 @@ void try_pin_to_cpu(unsigned cpu) {
 CascadeExecutor::CascadeExecutor(ExecutorConfig config) {
   cores_ = std::max(1u, std::thread::hardware_concurrency());
   num_threads_ = config.num_threads != 0 ? config.num_threads : cores_;
+  name_ = std::move(config.name);
   wait_mode_ = config.wait_mode;
   log_ = config.event_log;
   watchdog_budget_ = config.watchdog;
@@ -40,11 +41,17 @@ CascadeExecutor::CascadeExecutor(ExecutorConfig config) {
   std::vector<common::CacheAligned<WorkerState>> slots(num_threads_);
   worker_state_ = std::move(slots);
   health_ = std::vector<common::CacheAligned<WorkerHealth>>(num_threads_);
-  if (config.pin_threads) try_pin_to_cpu(0);
+  // An explicit cpu list implies pinning; worker i goes to cpus[i % size] so
+  // several executors can partition one machine's cores between them.
+  const bool pin = config.pin_threads || !config.cpus.empty();
+  const auto cpu_for = [cpus = config.cpus](unsigned id) {
+    return cpus.empty() ? id : cpus[id % cpus.size()];
+  };
+  if (pin) try_pin_to_cpu(cpu_for(0));
   pool_.reserve(num_threads_ - 1);
   for (unsigned id = 1; id < num_threads_; ++id) {
-    pool_.emplace_back([this, id, pin = config.pin_threads] {
-      if (pin) try_pin_to_cpu(id);
+    pool_.emplace_back([this, id, pin, cpu_for] {
+      if (pin) try_pin_to_cpu(cpu_for(id));
       worker_main(id);
     });
   }
@@ -86,6 +93,7 @@ void CascadeExecutor::worker_main(unsigned id) {
 
 CascadeStateDump CascadeExecutor::snapshot() const {
   CascadeStateDump dump;
+  dump.name = name_;
   dump.run_active = active_.load(std::memory_order_relaxed);
   dump.aborted = token_.aborted();
   dump.watchdog_expired = watchdog_fired_.load(std::memory_order_relaxed);

@@ -143,6 +143,15 @@ struct ExecutorConfig {
   /// Best-effort: pin worker i to CPU i (Linux only; ignored elsewhere or on
   /// failure).
   bool pin_threads = false;
+  /// Explicit affinity list: worker i is pinned to cpus[i % cpus.size()]
+  /// (implies pinning when non-empty).  This is how a multi-executor host —
+  /// e.g. one casc::svc shard per core partition — keeps concurrent token
+  /// rings off each other's cores; empty keeps the historical
+  /// worker-i-to-CPU-i behaviour under pin_threads.
+  std::vector<unsigned> cpus;
+  /// Label for this executor in state dumps and diagnostics (e.g. a service
+  /// shard id).  Empty renders as the anonymous single-executor form.
+  std::string name;
   /// Per-run deadline; once exceeded the cascade is aborted and run() throws
   /// WatchdogExpired.  Zero (the default) disables the watchdog.
   std::chrono::milliseconds watchdog{0};
@@ -256,6 +265,9 @@ class CascadeExecutor {
   /// Number of workers (including the calling thread).
   [[nodiscard]] unsigned num_threads() const noexcept { return num_threads_; }
 
+  /// ExecutorConfig::name (empty for anonymous executors).
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
   [[nodiscard]] const RunStats& last_run_stats() const noexcept { return stats_; }
 
   /// Sets the soft wall-clock budgets for subsequent runs (persists until
@@ -368,6 +380,7 @@ class CascadeExecutor {
 
   unsigned num_threads_;
   unsigned cores_ = 1;  ///< hardware_concurrency, cached at construction
+  std::string name_;    ///< ExecutorConfig::name
   WaitMode wait_mode_ = WaitMode::kAuto;
   telemetry::EventLog* log_ = nullptr;  ///< ExecutorConfig::event_log
   std::vector<std::thread> pool_;

@@ -41,6 +41,10 @@ struct CascadeStateDump {
   /// How many trailing telemetry events snapshot() keeps per dump.
   static constexpr std::size_t kRecentEvents = 32;
 
+  /// ExecutorConfig::name of the dumped executor — tells concurrent
+  /// executors (e.g. service shards) apart in multi-dump output.  Empty for
+  /// anonymous executors.
+  std::string name;
   bool run_active = false;        ///< a run() was in flight when captured
   bool aborted = false;           ///< the token was poisoned
   bool watchdog_expired = false;  ///< the abort came from the watchdog

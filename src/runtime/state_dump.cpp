@@ -59,7 +59,9 @@ const char* to_string(WorkerPhase phase) noexcept {
 
 std::string render(const CascadeStateDump& dump) {
   std::ostringstream os;
-  os << "cascade state: token=" << dump.token << "/" << dump.num_chunks
+  os << "cascade state";
+  if (!dump.name.empty()) os << " [" << dump.name << "]";
+  os << ": token=" << dump.token << "/" << dump.num_chunks
      << " chunks, " << dump.total_iters << " iters"
      << (dump.run_active ? ", run active" : ", no run active")
      << (dump.aborted ? ", ABORTED" : "")

@@ -1,0 +1,139 @@
+#include "casc/svc/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace casc::svc {
+
+bool SvcClient::connect(const std::string& socket_path) {
+  close();
+  if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    last_error_ = "socket path too long for AF_UNIX";
+    return false;
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    last_error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    last_error_ = std::string("connect(") + socket_path +
+                  "): " + std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  last_error_.clear();
+  return true;
+}
+
+void SvcClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool SvcClient::send_submit(const SubmitRequest& req) {
+  if (fd_ < 0) {
+    last_error_ = "not connected";
+    return false;
+  }
+  const IoStatus status = write_frame(fd_, FrameType::kSubmit, encode_submit(req));
+  if (status != IoStatus::kOk) {
+    last_error_ = std::string("submit write failed: ") + to_string(status);
+    return false;
+  }
+  return true;
+}
+
+bool SvcClient::send_stat() {
+  if (fd_ < 0) {
+    last_error_ = "not connected";
+    return false;
+  }
+  const IoStatus status = write_frame(fd_, FrameType::kStat, "");
+  if (status != IoStatus::kOk) {
+    last_error_ = std::string("stat write failed: ") + to_string(status);
+    return false;
+  }
+  return true;
+}
+
+bool SvcClient::send_drain() {
+  if (fd_ < 0) {
+    last_error_ = "not connected";
+    return false;
+  }
+  const IoStatus status = write_frame(fd_, FrameType::kDrain, "");
+  if (status != IoStatus::kOk) {
+    last_error_ = std::string("drain write failed: ") + to_string(status);
+    return false;
+  }
+  return true;
+}
+
+Reply SvcClient::read_reply() {
+  Reply reply;
+  if (fd_ < 0) {
+    last_error_ = "not connected";
+    return reply;
+  }
+  Frame frame;
+  const IoStatus status = read_frame(fd_, frame);
+  if (status == IoStatus::kEof) {
+    reply.kind = Reply::Kind::kClosed;
+    return reply;
+  }
+  if (status != IoStatus::kOk) {
+    last_error_ = std::string("read failed: ") + to_string(status);
+    return reply;  // kProtocol
+  }
+  switch (frame.type) {
+    case FrameType::kResult:
+      if (parse_result(frame.payload, reply.result)) {
+        reply.kind = Reply::Kind::kResult;
+      } else {
+        last_error_ = "undecodable result payload";
+      }
+      return reply;
+    case FrameType::kError:
+      if (parse_error(frame.payload, reply.error)) {
+        reply.kind = Reply::Kind::kError;
+      } else {
+        last_error_ = "undecodable error payload";
+      }
+      return reply;
+    case FrameType::kStatReply:
+      if (parse_stats(frame.payload, reply.counters)) {
+        reply.kind = Reply::Kind::kStatReply;
+      } else {
+        last_error_ = "undecodable stat payload";
+      }
+      return reply;
+    case FrameType::kDrainAck: {
+      // Payload: "completed <u64>".
+      reply.drain_completed = 0;
+      const std::string& p = frame.payload;
+      const std::string key = "completed ";
+      if (p.rfind(key, 0) == 0) {
+        reply.drain_completed = std::strtoull(p.c_str() + key.size(), nullptr, 10);
+      }
+      reply.kind = Reply::Kind::kDrainAck;
+      return reply;
+    }
+    default:
+      last_error_ = "unexpected server frame type";
+      return reply;  // kProtocol
+  }
+}
+
+}  // namespace casc::svc

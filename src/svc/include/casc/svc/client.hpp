@@ -1,0 +1,73 @@
+// Blocking client for the casc::svc wire protocol — the engine behind
+// cascctl and the soak harness's --daemon tenants.
+//
+// One SvcClient is one connection.  Submission is pipelined: send any number
+// of kSubmit frames, then read replies as they arrive (the server may
+// reorder completions across jobs, so replies carry the job id).  Not
+// thread-safe; use one client per tenant thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "casc/svc/protocol.hpp"
+
+namespace casc::svc {
+
+/// One server->client frame, decoded.
+struct Reply {
+  enum class Kind : std::uint8_t {
+    kResult,    ///< result is valid
+    kError,     ///< error is valid
+    kStatReply, ///< counters is valid
+    kDrainAck,  ///< drain_completed is valid
+    kClosed,    ///< server closed the connection (EOF)
+    kProtocol,  ///< torn frame / undecodable payload — connection unusable
+  };
+  Kind kind = Kind::kProtocol;
+  ResultReply result;
+  ErrorReply error;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::uint64_t drain_completed = 0;
+};
+
+class SvcClient {
+ public:
+  SvcClient() = default;
+  ~SvcClient() { close(); }
+
+  SvcClient(const SvcClient&) = delete;
+  SvcClient& operator=(const SvcClient&) = delete;
+
+  /// Connects to the server's Unix-domain socket.  Returns false (with the
+  /// errno text in last_error()) on failure.
+  [[nodiscard]] bool connect(const std::string& socket_path);
+  void close();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Sends one submit frame (does not wait for the reply).
+  [[nodiscard]] bool send_submit(const SubmitRequest& req);
+  /// Sends a stat request frame.
+  [[nodiscard]] bool send_stat();
+  /// Sends a drain frame (server finishes queued jobs, acks, shuts down).
+  [[nodiscard]] bool send_drain();
+
+  /// Blocks for the next server frame.  kClosed / kProtocol leave the
+  /// connection unusable.
+  [[nodiscard]] Reply read_reply();
+
+  [[nodiscard]] const std::string& last_error() const noexcept {
+    return last_error_;
+  }
+
+  /// Raw fd, for tests that need to speak malformed bytes.
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string last_error_;
+};
+
+}  // namespace casc::svc

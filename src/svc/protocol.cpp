@@ -1,0 +1,376 @@
+#include "casc/svc/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace casc::svc {
+
+namespace {
+
+/// Reads exactly `len` bytes.  Returns kOk, kEof (0 bytes read), kTorn
+/// (short read), or kError.
+IoStatus read_exact(int fd, char* buf, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, buf + got, len - got);
+    if (n == 0) return got == 0 ? IoStatus::kEof : IoStatus::kTorn;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::kError;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return IoStatus::kOk;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    if (value > (~0ull - static_cast<std::uint64_t>(c - '0')) / 10) return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+/// Splits "key rest-of-line"; returns false on a line with no space.
+bool split_kv(const std::string& line, std::string& key, std::string& value) {
+  const auto space = line.find(' ');
+  if (space == std::string::npos || space == 0) return false;
+  key = line.substr(0, space);
+  value = line.substr(space + 1);
+  return true;
+}
+
+bool valid_tenant_name(const std::string& name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(IoStatus status) noexcept {
+  switch (status) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kEof: return "eof";
+    case IoStatus::kTorn: return "torn frame";
+    case IoStatus::kTooBig: return "frame too big";
+    case IoStatus::kBadType: return "bad frame type";
+    case IoStatus::kError: return "io error";
+  }
+  return "?";
+}
+
+const char* to_string(HelperMode mode) noexcept {
+  switch (mode) {
+    case HelperMode::kNone: return "none";
+    case HelperMode::kPrefetch: return "prefetch";
+    case HelperMode::kRestructure: return "restructure";
+  }
+  return "?";
+}
+
+IoStatus read_frame(int fd, Frame& frame) {
+  unsigned char header[5];
+  IoStatus status = read_exact(fd, reinterpret_cast<char*>(header), sizeof(header));
+  if (status != IoStatus::kOk) return status;
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            (static_cast<std::uint32_t>(header[1]) << 8) |
+                            (static_cast<std::uint32_t>(header[2]) << 16) |
+                            (static_cast<std::uint32_t>(header[3]) << 24);
+  const std::uint8_t type = header[4];
+  if (len > kMaxFramePayload) return IoStatus::kTooBig;
+  if (type < static_cast<std::uint8_t>(FrameType::kSubmit) ||
+      type > static_cast<std::uint8_t>(FrameType::kDrainAck)) {
+    return IoStatus::kBadType;
+  }
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.resize(len);
+  if (len != 0) {
+    status = read_exact(fd, frame.payload.data(), len);
+    if (status == IoStatus::kEof) return IoStatus::kTorn;  // header already read
+    if (status != IoStatus::kOk) return status;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus write_frame(int fd, FrameType type, const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) return IoStatus::kTooBig;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::string wire;
+  wire.reserve(5 + payload.size());
+  wire.push_back(static_cast<char>(len & 0xff));
+  wire.push_back(static_cast<char>((len >> 8) & 0xff));
+  wire.push_back(static_cast<char>((len >> 16) & 0xff));
+  wire.push_back(static_cast<char>((len >> 24) & 0xff));
+  wire.push_back(static_cast<char>(type));
+  wire += payload;
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::kError;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return IoStatus::kOk;
+}
+
+std::string encode_submit(const SubmitRequest& req) {
+  std::ostringstream os;
+  os << "tenant " << req.tenant << "\n";
+  os << "job " << req.job << "\n";
+  if (req.weight != 1) os << "weight " << req.weight << "\n";
+  if (req.helper != HelperMode::kRestructure) {
+    os << "helper " << to_string(req.helper) << "\n";
+  }
+  if (req.chunk_bytes != 0) os << "chunk " << req.chunk_bytes << "\n";
+  if (req.chaos_seed) os << "chaos " << *req.chaos_seed << "\n";
+  os << "\n" << req.spec_text;
+  return os.str();
+}
+
+bool parse_submit(const std::string& payload, SubmitRequest& req,
+                  common::DiagnosticList& diags) {
+  req = SubmitRequest{};
+  bool saw_tenant = false;
+  bool saw_job = false;
+  std::size_t pos = 0;
+  int line_no = 0;
+  bool header_done = false;
+  while (pos <= payload.size()) {
+    const auto nl = payload.find('\n', pos);
+    if (nl == std::string::npos) {
+      // Header never ended: there is no blank separator line.
+      break;
+    }
+    const std::string line = payload.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++line_no;
+    if (line.empty()) {
+      header_done = true;
+      break;
+    }
+    std::string key;
+    std::string value;
+    if (!split_kv(line, key, value)) {
+      diags.error("svc-bad-header",
+                  "malformed header line '" + line + "' (expected 'key value')",
+                  "", line_no);
+      return false;
+    }
+    if (key == "tenant") {
+      if (!valid_tenant_name(value)) {
+        diags.error("svc-bad-field",
+                    "invalid tenant name '" + value +
+                        "' (want [A-Za-z0-9_-]{1,64})",
+                    "tenant", line_no);
+        return false;
+      }
+      req.tenant = value;
+      saw_tenant = true;
+    } else if (key == "job") {
+      if (!parse_u64(value, req.job)) {
+        diags.error("svc-bad-field", "job id '" + value + "' is not a u64",
+                    "job", line_no);
+        return false;
+      }
+      saw_job = true;
+    } else if (key == "weight") {
+      std::uint64_t w = 0;
+      if (!parse_u64(value, w) || w == 0 || w > 1000) {
+        diags.error("svc-bad-field",
+                    "weight '" + value + "' out of range (want 1..1000)",
+                    "weight", line_no);
+        return false;
+      }
+      req.weight = static_cast<std::uint32_t>(w);
+    } else if (key == "helper") {
+      if (value == "none") {
+        req.helper = HelperMode::kNone;
+      } else if (value == "prefetch") {
+        req.helper = HelperMode::kPrefetch;
+      } else if (value == "restructure") {
+        req.helper = HelperMode::kRestructure;
+      } else {
+        diags.error("svc-bad-field",
+                    "unknown helper '" + value +
+                        "' (expected none, prefetch, or restructure)",
+                    "helper", line_no);
+        return false;
+      }
+    } else if (key == "chunk") {
+      if (!parse_u64(value, req.chunk_bytes)) {
+        diags.error("svc-bad-field", "chunk '" + value + "' is not a u64",
+                    "chunk", line_no);
+        return false;
+      }
+    } else if (key == "chaos") {
+      std::uint64_t seed = 0;
+      if (!parse_u64(value, seed)) {
+        diags.error("svc-bad-field", "chaos seed '" + value + "' is not a u64",
+                    "chaos", line_no);
+        return false;
+      }
+      req.chaos_seed = seed;
+    } else {
+      diags.error("svc-bad-header", "unknown header key '" + key + "'", key,
+                  line_no);
+      return false;
+    }
+  }
+  if (!header_done) {
+    diags.error("svc-bad-header",
+                "submit payload has no blank line terminating the job header");
+    return false;
+  }
+  if (!saw_tenant) {
+    diags.error("svc-missing-tenant", "job header does not name a tenant");
+  }
+  if (!saw_job) {
+    diags.error("svc-missing-job", "job header does not carry a job id");
+  }
+  req.spec_text = payload.substr(pos);
+  if (diags.ok() && req.spec_text.find_first_not_of(" \t\r\n") ==
+                        std::string::npos) {
+    diags.error("svc-empty-spec", "submit carries no LoopSpec text");
+  }
+  return diags.ok();
+}
+
+std::string encode_result(const ResultReply& reply) {
+  std::ostringstream os;
+  os << "job " << reply.job << "\n"
+     << "tenant " << reply.tenant << "\n"
+     << "shard " << reply.shard << "\n"
+     << "digest " << reply.digest << "\n"
+     << "rw_checksum " << reply.rw_checksum << "\n"
+     << "seconds " << reply.seconds << "\n"
+     << "reused " << (reply.reused ? 1 : 0) << "\n"
+     << "degraded " << (reply.degraded ? 1 : 0) << "\n"
+     << "helper_faults " << reply.helper_faults << "\n"
+     << "chunks_reclaimed " << reply.chunks_reclaimed << "\n"
+     << "demotion " << reply.demotion << "\n"
+     << "batch " << reply.batch << "\n";
+  return os.str();
+}
+
+bool parse_result(const std::string& payload, ResultReply& reply) {
+  reply = ResultReply{};
+  std::istringstream is(payload);
+  std::string line;
+  bool saw_job = false;
+  bool saw_digest = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::string key;
+    std::string value;
+    if (!split_kv(line, key, value)) return false;
+    std::uint64_t u = 0;
+    if (key == "tenant") {
+      reply.tenant = value;
+      continue;
+    }
+    if (key == "seconds") {
+      try {
+        reply.seconds = std::stod(value);
+      } catch (const std::exception&) {
+        return false;
+      }
+      continue;
+    }
+    if (!parse_u64(value, u)) return false;
+    if (key == "job") {
+      reply.job = u;
+      saw_job = true;
+    } else if (key == "shard") {
+      reply.shard = static_cast<unsigned>(u);
+    } else if (key == "digest") {
+      reply.digest = u;
+      saw_digest = true;
+    } else if (key == "rw_checksum") {
+      reply.rw_checksum = u;
+    } else if (key == "reused") {
+      reply.reused = u != 0;
+    } else if (key == "degraded") {
+      reply.degraded = u != 0;
+    } else if (key == "helper_faults") {
+      reply.helper_faults = u;
+    } else if (key == "chunks_reclaimed") {
+      reply.chunks_reclaimed = u;
+    } else if (key == "demotion") {
+      reply.demotion = static_cast<unsigned>(u);
+    } else if (key == "batch") {
+      reply.batch = u;
+    }  // unknown keys are forward-compatible: ignored
+  }
+  return saw_job && saw_digest;
+}
+
+std::string encode_error(const ErrorReply& reply) {
+  std::ostringstream os;
+  os << "job " << reply.job << "\n"
+     << "rule " << reply.rule << "\n"
+     << "message " << reply.message << "\n";
+  return os.str();
+}
+
+bool parse_error(const std::string& payload, ErrorReply& reply) {
+  reply = ErrorReply{};
+  std::istringstream is(payload);
+  std::string line;
+  bool saw_rule = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::string key;
+    std::string value;
+    if (!split_kv(line, key, value)) return false;
+    if (key == "job") {
+      if (!parse_u64(value, reply.job)) return false;
+    } else if (key == "rule") {
+      reply.rule = value;
+      saw_rule = true;
+    } else if (key == "message") {
+      reply.message = value;
+    }
+  }
+  return saw_rule;
+}
+
+std::string encode_stats(
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters) {
+  std::ostringstream os;
+  for (const auto& [key, value] : counters) os << key << " " << value << "\n";
+  return os.str();
+}
+
+bool parse_stats(const std::string& payload,
+                 std::vector<std::pair<std::string, std::uint64_t>>& counters) {
+  counters.clear();
+  std::istringstream is(payload);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::string key;
+    std::string value;
+    std::uint64_t u = 0;
+    if (!split_kv(line, key, value) || !parse_u64(value, u)) return false;
+    counters.emplace_back(key, u);
+  }
+  return true;
+}
+
+}  // namespace casc::svc

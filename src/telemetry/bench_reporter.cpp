@@ -56,6 +56,10 @@ void BenchReporter::add_metric(const std::string& key, double value) {
   upsert(metrics_, key, value);
 }
 
+void BenchReporter::add_metric(const std::string& key, std::uint64_t value) {
+  upsert(metrics_, key, static_cast<double>(value));
+}
+
 void BenchReporter::add_wall_ns(std::int64_t ns) { wall_ns_.push_back(ns); }
 
 void BenchReporter::set_counters(const CounterSample& sample, bool available,

@@ -53,6 +53,9 @@ class BenchReporter {
   /// Deterministic headline results; key on stable names (bench_diff
   /// compares these between runs).  Re-setting a key overwrites.
   void add_metric(const std::string& key, double value);
+  /// Counter convenience for integral metrics (per-tenant / per-shard
+  /// service counters land through this).
+  void add_metric(const std::string& key, std::uint64_t value);
 
   /// One wall-clock repetition sample.
   void add_wall_ns(std::int64_t ns);

@@ -1,0 +1,112 @@
+// LoopPool contract: leases are exclusive, reuse is keyed by spec text,
+// reused instances are indistinguishable from fresh ones (run_* entry points
+// reset arrays), and the idle caps bound retained memory.
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "casc/exec/bridge.hpp"
+#include "casc/exec/loop_pool.hpp"
+#include "casc/loopir/loop_spec.hpp"
+
+namespace {
+
+using namespace casc;
+
+constexpr const char* kSpec = R"(loop pool
+trip 512
+compute 2 1
+array y 8 512 rw
+array a 8 512 ro
+access a read
+access y write
+)";
+
+loopir::LoopSpec spec() { return loopir::LoopSpec::parse(kSpec); }
+
+TEST(LoopPool, MissThenHit) {
+  exec::LoopPool pool;
+  {
+    exec::LoopLease lease = pool.acquire(spec(), kSpec);
+    ASSERT_TRUE(lease.valid());
+    EXPECT_FALSE(lease.reused());
+  }
+  exec::LoopLease lease = pool.acquire(spec(), kSpec);
+  ASSERT_TRUE(lease.valid());
+  EXPECT_TRUE(lease.reused());
+  const exec::LoopPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(LoopPool, ConcurrentLeasesAreDistinctInstances) {
+  exec::LoopPool pool;
+  exec::LoopLease a = pool.acquire(spec(), kSpec);
+  exec::LoopLease b = pool.acquire(spec(), kSpec);
+  ASSERT_TRUE(a.valid());
+  ASSERT_TRUE(b.valid());
+  EXPECT_NE(&a.loop(), &b.loop());
+  EXPECT_FALSE(b.reused());  // a still holds the only pooled instance
+}
+
+TEST(LoopPool, ReusedInstanceProducesFreshResults) {
+  exec::LoopPool pool;
+  std::uint64_t first_digest = 0;
+  {
+    exec::LoopLease lease = pool.acquire(spec(), kSpec);
+    first_digest = exec::run_reference(lease.loop()).digest;
+  }
+  exec::LoopLease lease = pool.acquire(spec(), kSpec);
+  ASSERT_TRUE(lease.reused());
+  EXPECT_EQ(exec::run_reference(lease.loop()).digest, first_digest);
+}
+
+TEST(LoopPool, IdleCapsBoundRetention) {
+  exec::LoopPool pool(/*max_idle_per_key=*/2, /*max_idle_total=*/2);
+  {
+    std::vector<exec::LoopLease> leases;
+    for (int i = 0; i < 5; ++i) leases.push_back(pool.acquire(spec(), kSpec));
+  }  // all five released; only two may be retained
+  const exec::LoopPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.idle, 2u);
+  EXPECT_EQ(stats.discarded, 3u);
+}
+
+TEST(LoopPool, DistinctKeysDoNotAlias) {
+  const std::string other = std::string(kSpec) + "# variant\n";
+  exec::LoopPool pool;
+  { exec::LoopLease lease = pool.acquire(spec(), kSpec); }
+  {
+    // The kSpec instance is idle, but a different key must not reuse it.
+    exec::LoopLease lease = pool.acquire(spec(), other);
+    EXPECT_FALSE(lease.reused());
+  }
+  const exec::LoopPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.distinct_keys, 2u);
+  EXPECT_EQ(stats.idle, 2u);
+}
+
+TEST(LoopPool, ThreadedAcquireReleaseIsSafe) {
+  exec::LoopPool pool;
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        exec::LoopLease lease = pool.acquire(spec(), kSpec);
+        if (!lease.valid()) ++failures;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0u);
+  const exec::LoopPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 200u);
+  EXPECT_GE(stats.hits, 190u);  // 4 threads -> at most ~4 concurrent misses
+}
+
+}  // namespace

@@ -1,0 +1,279 @@
+// casc::svc wire-protocol contract: encode/parse roundtrips, the svc-*
+// diagnostic rules for every malformed submit header, and frame I/O edge
+// cases (EOF, torn frames, oversized declarations, unknown type bytes) over
+// a real socketpair.  The invariant mirrored from the cascsim CLI contract:
+// malformed input yields a structured status or diagnostic — never an
+// exception, never an abort.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "casc/common/diagnostic.hpp"
+#include "casc/svc/protocol.hpp"
+
+namespace {
+
+using namespace casc;
+
+constexpr const char* kSpec = R"(loop t
+trip 64
+compute 2 1
+array y 8 64 rw
+access y write
+)";
+
+// ---- submit encode/parse --------------------------------------------------
+
+TEST(SvcProtocol, SubmitRoundtripAllFields) {
+  svc::SubmitRequest req;
+  req.tenant = "tenant-A_1";
+  req.job = 42;
+  req.weight = 7;
+  req.helper = svc::HelperMode::kPrefetch;
+  req.chunk_bytes = 4096;
+  req.chaos_seed = 99;
+  req.spec_text = kSpec;
+
+  svc::SubmitRequest got;
+  common::DiagnosticList diags;
+  ASSERT_TRUE(svc::parse_submit(svc::encode_submit(req), got, diags))
+      << diags.render_text();
+  EXPECT_EQ(got.tenant, req.tenant);
+  EXPECT_EQ(got.job, req.job);
+  EXPECT_EQ(got.weight, req.weight);
+  EXPECT_EQ(got.helper, req.helper);
+  EXPECT_EQ(got.chunk_bytes, req.chunk_bytes);
+  ASSERT_TRUE(got.chaos_seed.has_value());
+  EXPECT_EQ(*got.chaos_seed, 99u);
+  EXPECT_EQ(got.spec_text, req.spec_text);
+}
+
+TEST(SvcProtocol, SubmitRoundtripDefaults) {
+  svc::SubmitRequest req;
+  req.tenant = "t";
+  req.job = 1;
+  req.spec_text = kSpec;
+
+  svc::SubmitRequest got;
+  common::DiagnosticList diags;
+  ASSERT_TRUE(svc::parse_submit(svc::encode_submit(req), got, diags));
+  EXPECT_EQ(got.weight, 1u);
+  EXPECT_EQ(got.helper, svc::HelperMode::kRestructure);
+  EXPECT_EQ(got.chunk_bytes, 0u);
+  EXPECT_FALSE(got.chaos_seed.has_value());
+}
+
+/// Expects parse_submit to fail with `rule` as the first error.
+void expect_submit_rule(const std::string& payload, const std::string& rule) {
+  svc::SubmitRequest req;
+  common::DiagnosticList diags;
+  EXPECT_FALSE(svc::parse_submit(payload, req, diags)) << payload;
+  ASSERT_NE(diags.first_error(), nullptr) << payload;
+  EXPECT_EQ(diags.first_error()->rule, rule) << payload;
+}
+
+TEST(SvcProtocol, SubmitHeaderRules) {
+  // "\n\n": one newline ends the last header line, the blank line ends the
+  // header section; the spec body follows.
+  const std::string spec = std::string("\n\n") + kSpec;
+  expect_submit_rule("job 1" + spec, "svc-missing-tenant");
+  expect_submit_rule("tenant t" + spec, "svc-missing-job");
+  expect_submit_rule("tenant t\njob 1\n" + std::string(kSpec),
+                     "svc-bad-header");  // no blank separator line
+  expect_submit_rule("tenant t\nnosuchvalue\n" + spec, "svc-bad-header");
+  expect_submit_rule("tenant t\nflavour vanilla\njob 1" + spec,
+                     "svc-bad-header");  // unknown key
+  expect_submit_rule("tenant bad name!\njob 1" + spec, "svc-bad-field");
+  expect_submit_rule("tenant t\njob -3" + spec, "svc-bad-field");
+  expect_submit_rule("tenant t\njob 99999999999999999999999" + spec,
+                     "svc-bad-field");  // u64 overflow
+  expect_submit_rule("tenant t\njob 1\nweight 0" + spec, "svc-bad-field");
+  expect_submit_rule("tenant t\njob 1\nweight 1001" + spec, "svc-bad-field");
+  expect_submit_rule("tenant t\njob 1\nhelper turbo" + spec, "svc-bad-field");
+  expect_submit_rule("tenant t\njob 1\nchunk lots" + spec, "svc-bad-field");
+  expect_submit_rule("tenant t\njob 1\nchaos maybe" + spec, "svc-bad-field");
+  expect_submit_rule("tenant t\njob 1\n\n \t\n", "svc-empty-spec");
+}
+
+TEST(SvcProtocol, TenantNameBounds) {
+  const std::string spec = std::string("\n\n") + kSpec;
+  svc::SubmitRequest req;
+  common::DiagnosticList ok_diags;
+  EXPECT_TRUE(svc::parse_submit(
+      "tenant " + std::string(64, 'a') + "\njob 1" + spec, req, ok_diags));
+  expect_submit_rule("tenant " + std::string(65, 'a') + "\njob 1" + spec,
+                     "svc-bad-field");
+}
+
+// ---- result / error / stats roundtrips ------------------------------------
+
+TEST(SvcProtocol, ResultRoundtrip) {
+  svc::ResultReply reply;
+  reply.job = 7;
+  reply.tenant = "t";
+  reply.shard = 3;
+  reply.digest = 0xDEADBEEFull;
+  reply.rw_checksum = 12345;
+  reply.seconds = 0.25;
+  reply.reused = true;
+  reply.degraded = true;
+  reply.helper_faults = 2;
+  reply.chunks_reclaimed = 1;
+  reply.demotion = 1;
+  reply.batch = 9;
+
+  svc::ResultReply got;
+  ASSERT_TRUE(svc::parse_result(svc::encode_result(reply), got));
+  EXPECT_EQ(got.job, reply.job);
+  EXPECT_EQ(got.tenant, reply.tenant);
+  EXPECT_EQ(got.shard, reply.shard);
+  EXPECT_EQ(got.digest, reply.digest);
+  EXPECT_EQ(got.rw_checksum, reply.rw_checksum);
+  EXPECT_DOUBLE_EQ(got.seconds, reply.seconds);
+  EXPECT_TRUE(got.reused);
+  EXPECT_TRUE(got.degraded);
+  EXPECT_EQ(got.helper_faults, 2u);
+  EXPECT_EQ(got.chunks_reclaimed, 1u);
+  EXPECT_EQ(got.demotion, 1u);
+  EXPECT_EQ(got.batch, 9u);
+}
+
+TEST(SvcProtocol, ResultRejectsMissingDigestButIgnoresUnknownKeys) {
+  svc::ResultReply got;
+  EXPECT_FALSE(svc::parse_result("job 1\n", got));
+  EXPECT_TRUE(svc::parse_result("job 1\ndigest 5\nfuture_key 9\n", got));
+  EXPECT_EQ(got.digest, 5u);
+}
+
+TEST(SvcProtocol, ErrorRoundtripAndRules) {
+  svc::ErrorReply reply{17, "svc-queue-full", "try again"};
+  svc::ErrorReply got;
+  ASSERT_TRUE(svc::parse_error(svc::encode_error(reply), got));
+  EXPECT_EQ(got.job, 17u);
+  EXPECT_EQ(got.rule, "svc-queue-full");
+  EXPECT_EQ(got.message, "try again");
+  EXPECT_FALSE(svc::parse_error("job 1\nmessage no rule\n", got));
+}
+
+TEST(SvcProtocol, StatsRoundtrip) {
+  const std::vector<std::pair<std::string, std::uint64_t>> counters = {
+      {"svc.queued", 3}, {"tenant.a.completed", 99}, {"shard.0.jobs", 7}};
+  std::vector<std::pair<std::string, std::uint64_t>> got;
+  ASSERT_TRUE(svc::parse_stats(svc::encode_stats(counters), got));
+  EXPECT_EQ(got, counters);
+  EXPECT_FALSE(svc::parse_stats("key notanumber\n", got));
+}
+
+// ---- frame I/O over a socketpair ------------------------------------------
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+TEST(SvcProtocol, FrameRoundtrip) {
+  SocketPair sp;
+  ASSERT_EQ(svc::write_frame(sp.a, svc::FrameType::kSubmit, "hello"),
+            svc::IoStatus::kOk);
+  ASSERT_EQ(svc::write_frame(sp.a, svc::FrameType::kStat, ""),
+            svc::IoStatus::kOk);
+  svc::Frame frame;
+  ASSERT_EQ(svc::read_frame(sp.b, frame), svc::IoStatus::kOk);
+  EXPECT_EQ(frame.type, svc::FrameType::kSubmit);
+  EXPECT_EQ(frame.payload, "hello");
+  ASSERT_EQ(svc::read_frame(sp.b, frame), svc::IoStatus::kOk);
+  EXPECT_EQ(frame.type, svc::FrameType::kStat);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(SvcProtocol, CleanCloseIsEof) {
+  SocketPair sp;
+  ::close(sp.a);
+  sp.a = -1;
+  svc::Frame frame;
+  EXPECT_EQ(svc::read_frame(sp.b, frame), svc::IoStatus::kEof);
+}
+
+TEST(SvcProtocol, MidHeaderDisconnectIsTorn) {
+  SocketPair sp;
+  const char partial[3] = {5, 0, 0};  // 3 of the 5 header bytes
+  ASSERT_EQ(::send(sp.a, partial, sizeof(partial), 0),
+            static_cast<ssize_t>(sizeof(partial)));
+  ::close(sp.a);
+  sp.a = -1;
+  svc::Frame frame;
+  EXPECT_EQ(svc::read_frame(sp.b, frame), svc::IoStatus::kTorn);
+}
+
+TEST(SvcProtocol, MidPayloadDisconnectIsTorn) {
+  SocketPair sp;
+  // Declares a 100-byte payload but delivers only 4 bytes.
+  const unsigned char header[5] = {100, 0, 0, 0,
+                                   static_cast<unsigned char>(1)};
+  ASSERT_EQ(::send(sp.a, header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  ASSERT_EQ(::send(sp.a, "abcd", 4, 0), 4);
+  ::close(sp.a);
+  sp.a = -1;
+  svc::Frame frame;
+  EXPECT_EQ(svc::read_frame(sp.b, frame), svc::IoStatus::kTorn);
+}
+
+TEST(SvcProtocol, OversizedDeclarationIsTooBig) {
+  SocketPair sp;
+  const std::uint32_t len = svc::kMaxFramePayload + 1;
+  const unsigned char header[5] = {
+      static_cast<unsigned char>(len & 0xff),
+      static_cast<unsigned char>((len >> 8) & 0xff),
+      static_cast<unsigned char>((len >> 16) & 0xff),
+      static_cast<unsigned char>((len >> 24) & 0xff),
+      static_cast<unsigned char>(1)};
+  ASSERT_EQ(::send(sp.a, header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  svc::Frame frame;
+  EXPECT_EQ(svc::read_frame(sp.b, frame), svc::IoStatus::kTooBig);
+}
+
+TEST(SvcProtocol, UnknownTypeByteIsBadType) {
+  SocketPair sp;
+  const unsigned char header[5] = {0, 0, 0, 0, 99};
+  ASSERT_EQ(::send(sp.a, header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  svc::Frame frame;
+  EXPECT_EQ(svc::read_frame(sp.b, frame), svc::IoStatus::kBadType);
+}
+
+TEST(SvcProtocol, WriteToClosedPeerIsErrorNotSignal) {
+  SocketPair sp;
+  ::close(sp.b);
+  sp.b = -1;
+  // First write may succeed into the buffer; a subsequent one must observe
+  // the broken pipe as a status (MSG_NOSIGNAL), not kill the process.
+  (void)svc::write_frame(sp.a, svc::FrameType::kResult, "x");
+  EXPECT_EQ(svc::write_frame(sp.a, svc::FrameType::kResult, "x"),
+            svc::IoStatus::kError);
+}
+
+TEST(SvcProtocol, OversizedWriteRefusedLocally) {
+  SocketPair sp;
+  const std::string huge(svc::kMaxFramePayload + 1, 'x');
+  EXPECT_EQ(svc::write_frame(sp.a, svc::FrameType::kSubmit, huge),
+            svc::IoStatus::kTooBig);
+}
+
+}  // namespace

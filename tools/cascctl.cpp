@@ -1,0 +1,270 @@
+// cascctl — client for the cascd cascade service.
+//
+// Subcommands (first positional argument):
+//   submit   pipeline jobs into the daemon and collect replies
+//   stat     print the daemon's counter snapshot
+//   drain    graceful shutdown: finish queued jobs, ack, exit
+//
+// Examples:
+//   cascctl submit --socket=/tmp/cascd.sock --spec=tests/specs/dense_sum.casc
+//       --tenant=alice --count=100 --verify-local
+//   cascctl submit --socket=/tmp/cascd.sock --spec=a.casc,b.casc --tenant=bob
+//       --weight=4 --chaos=42
+//   cascctl stat --socket=/tmp/cascd.sock
+//   cascctl drain --socket=/tmp/cascd.sock
+//
+// Exit codes (mirroring cascsim's diagnostic contract):
+//   0 every job completed; 1 the server rejected or failed jobs (each printed
+//   as error[rule] ...); 2 usage or connection errors; 4 --verify-local
+//   digest mismatch (result bits differ from the local sequential reference).
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "casc/cli/args.hpp"
+#include "casc/common/check.hpp"
+#include "casc/common/diagnostic.hpp"
+#include "casc/exec/bridge.hpp"
+#include "casc/exec/materialize.hpp"
+#include "casc/loopir/loop_spec.hpp"
+#include "casc/svc/client.hpp"
+#include "casc/svc/protocol.hpp"
+
+namespace {
+
+using namespace casc;  // NOLINT(build/namespaces)
+
+const std::vector<cli::OptionSpec> kSubmitSpecs = {
+    {"socket", "PATH", "daemon socket path", ""},
+    {"spec", "PATH[,PATH...]", ".casc spec files, cycled across jobs", ""},
+    {"tenant", "NAME", "tenant name ([A-Za-z0-9_-], <= 64 chars)", "default"},
+    {"count", "N", "jobs to submit (cycling over the spec list)", "1"},
+    {"job-base", "N", "first job id (ids are job-base..job-base+count-1)", "1"},
+    {"weight", "N", "tenant's WRR weight (1..1000)", "1"},
+    {"helper", "none|prefetch|restructure", "helper phase", "restructure"},
+    {"chunk", "BYTES", "chunk byte budget (0 = server default)", "0"},
+    {"chaos", "SEED", "arm a seeded helper-fault schedule on every job", ""},
+    {"verify-local", "", "check digests against a local sequential run", ""},
+    {"quiet", "", "suppress per-job lines", ""},
+    {"help", "", "show this help", ""},
+};
+
+const std::vector<cli::OptionSpec> kSocketOnlySpecs = {
+    {"socket", "PATH", "daemon socket path", ""},
+    {"help", "", "show this help", ""},
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  CASC_CHECK(in.good(), "cannot open spec file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream ss(csv);
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+svc::HelperMode parse_helper(const std::string& name) {
+  if (name == "none") return svc::HelperMode::kNone;
+  if (name == "prefetch") return svc::HelperMode::kPrefetch;
+  if (name == "restructure") return svc::HelperMode::kRestructure;
+  CASC_CHECK(false, "unknown --helper '" + name +
+                        "' (want none|prefetch|restructure)");
+  return svc::HelperMode::kRestructure;
+}
+
+int connect_or_die(svc::SvcClient& client, const cli::Args& args) {
+  const std::string path = args.get("socket");
+  CASC_CHECK(!path.empty(), "--socket is required");
+  if (!client.connect(path)) {
+    std::cerr << "error: " << client.last_error() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+int run_submit(const cli::Args& args) {
+  const std::vector<std::string> spec_paths = split_list(args.get("spec"));
+  CASC_CHECK(!spec_paths.empty(), "--spec is required (comma list of .casc files)");
+  const std::uint64_t count = std::max<std::uint64_t>(1, args.get_u64("count"));
+  const std::uint64_t job_base = args.get_u64("job-base");
+  const bool verify_local = args.has("verify-local");
+  const bool quiet = args.has("quiet");
+
+  // Load every spec once; compute local references only under --verify-local.
+  std::vector<std::string> spec_texts;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> local_ref;  // digest, rw
+  for (const std::string& path : spec_paths) {
+    spec_texts.push_back(read_file(path));
+    if (verify_local) {
+      common::DiagnosticList diags;
+      const loopir::LoopSpec spec = loopir::LoopSpec::parse(spec_texts.back(), diags);
+      CASC_CHECK(diags.ok(), "spec " + path + " does not parse:\n" + diags.render_text());
+      exec::MaterializedLoop loop(spec);
+      const exec::ExecResult ref = exec::run_reference(loop);
+      local_ref.emplace_back(ref.digest, ref.rw_checksum);
+    }
+  }
+
+  svc::SvcClient client;
+  if (const int rc = connect_or_die(client, args); rc != 0) return rc;
+
+  svc::SubmitRequest req;
+  req.tenant = args.get("tenant");
+  req.weight = static_cast<std::uint32_t>(args.get_u64("weight"));
+  req.helper = parse_helper(args.get("helper"));
+  req.chunk_bytes = args.get_bytes("chunk");
+  const bool chaos = args.has("chaos");
+  const std::uint64_t chaos_seed = chaos ? args.get_u64("chaos") : 0;
+
+  // Pipeline all submits, then collect all replies (results may interleave
+  // across jobs; the job id keys them back to their spec).
+  std::unordered_map<std::uint64_t, std::size_t> job_spec;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    req.job = job_base + i;
+    req.spec_text = spec_texts[i % spec_texts.size()];
+    if (chaos) req.chaos_seed = chaos_seed + i;
+    job_spec[req.job] = i % spec_texts.size();
+    if (!client.send_submit(req)) {
+      std::cerr << "error: " << client.last_error() << "\n";
+      return 2;
+    }
+  }
+
+  std::uint64_t completed = 0, errors = 0, reused = 0, degraded = 0,
+                mismatched = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const svc::Reply reply = client.read_reply();
+    if (reply.kind == svc::Reply::Kind::kResult) {
+      const svc::ResultReply& r = reply.result;
+      ++completed;
+      if (r.reused) ++reused;
+      if (r.degraded) ++degraded;
+      bool match = true;
+      if (verify_local) {
+        const auto& want = local_ref[job_spec[r.job]];
+        match = r.digest == want.first && r.rw_checksum == want.second;
+        if (!match) ++mismatched;
+      }
+      if (!quiet) {
+        std::cout << "job " << r.job << " shard " << r.shard << " digest "
+                  << r.digest << " seconds " << r.seconds
+                  << (r.reused ? " reused" : "")
+                  << (r.degraded ? " degraded" : "")
+                  << (verify_local ? (match ? " match" : " MISMATCH") : "")
+                  << "\n";
+      }
+    } else if (reply.kind == svc::Reply::Kind::kError) {
+      ++errors;
+      std::cerr << "error[" << reply.error.rule << "] job " << reply.error.job
+                << ": " << reply.error.message << "\n";
+    } else {
+      std::cerr << "error: connection lost after " << completed + errors
+                << " of " << count << " replies (" << client.last_error()
+                << ")\n";
+      return 2;
+    }
+  }
+
+  std::cout << "submitted " << count << ", completed " << completed
+            << ", errors " << errors << ", reused " << reused << ", degraded "
+            << degraded;
+  if (verify_local) std::cout << ", mismatched " << mismatched;
+  std::cout << "\n";
+  if (mismatched != 0) return 4;
+  return errors == 0 ? 0 : 1;
+}
+
+int run_stat(const cli::Args& args) {
+  svc::SvcClient client;
+  if (const int rc = connect_or_die(client, args); rc != 0) return rc;
+  if (!client.send_stat()) {
+    std::cerr << "error: " << client.last_error() << "\n";
+    return 2;
+  }
+  const svc::Reply reply = client.read_reply();
+  if (reply.kind != svc::Reply::Kind::kStatReply) {
+    std::cerr << "error: no stat reply (" << client.last_error() << ")\n";
+    return 2;
+  }
+  for (const auto& [key, value] : reply.counters) {
+    std::cout << key << " " << value << "\n";
+  }
+  return 0;
+}
+
+int run_drain(const cli::Args& args) {
+  svc::SvcClient client;
+  if (const int rc = connect_or_die(client, args); rc != 0) return rc;
+  if (!client.send_drain()) {
+    std::cerr << "error: " << client.last_error() << "\n";
+    return 2;
+  }
+  const svc::Reply reply = client.read_reply();
+  if (reply.kind != svc::Reply::Kind::kDrainAck) {
+    std::cerr << "error: no drain ack (" << client.last_error() << ")\n";
+    return 2;
+  }
+  std::cout << "drained: completed " << reply.drain_completed << "\n";
+  return 0;
+}
+
+void print_usage(std::ostream& os) {
+  os << "usage: cascctl <submit|stat|drain> [options]\n\n"
+     << cli::Args::help("cascctl submit", "pipeline jobs into cascd", kSubmitSpecs)
+     << "\n"
+     << cli::Args::help("cascctl stat|drain", "query or drain cascd",
+                        kSocketOnlySpecs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage(std::cerr);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  std::vector<std::string> raw(argv + 2, argv + argc);
+  try {
+    if (cmd == "submit") {
+      const cli::Args args = cli::Args::parse(raw, kSubmitSpecs);
+      if (args.has("help")) {
+        print_usage(std::cout);
+        return 0;
+      }
+      return run_submit(args);
+    }
+    if (cmd == "stat" || cmd == "drain") {
+      const cli::Args args = cli::Args::parse(raw, kSocketOnlySpecs);
+      if (args.has("help")) {
+        print_usage(std::cout);
+        return 0;
+      }
+      return cmd == "stat" ? run_stat(args) : run_drain(args);
+    }
+    if (cmd == "--help" || cmd == "help") {
+      print_usage(std::cout);
+      return 0;
+    }
+    std::cerr << "error: unknown subcommand '" << cmd << "'\n";
+    print_usage(std::cerr);
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::cerr << "run 'cascctl --help' for usage\n";
+    return 2;
+  }
+}

@@ -4,7 +4,8 @@
 The refactored dependency order is strictly one-directional:
 
     common -> {telemetry, sim, loopir} -> core -> trace -> analysis
-           -> {cascade (sim backend), runtime (rt backend)} -> exec -> tools
+           -> {cascade (sim backend), runtime (rt backend)} -> exec -> svc
+           -> tools
 
 The two backends share ONLY the core/analysis layers: src/cascade/ must not
 include casc/rt/ headers and src/runtime/ must not include casc/cascade/
@@ -24,24 +25,28 @@ import sys
 FORBIDDEN: dict[str, list[str]] = {
     "src/common/": ["casc/sim/", "casc/loopir/", "casc/core/", "casc/trace/",
                     "casc/analysis/", "casc/cascade/", "casc/rt/", "casc/exec/",
-                    "casc/telemetry/"],
+                    "casc/telemetry/", "casc/svc/"],
     "src/telemetry/": ["casc/loopir/", "casc/core/", "casc/trace/",
                        "casc/analysis/", "casc/cascade/", "casc/rt/",
-                       "casc/exec/"],
+                       "casc/exec/", "casc/svc/"],
     "src/sim/": ["casc/core/", "casc/trace/", "casc/analysis/",
-                 "casc/cascade/", "casc/rt/", "casc/exec/"],
+                 "casc/cascade/", "casc/rt/", "casc/exec/", "casc/svc/"],
     "src/loopir/": ["casc/core/", "casc/trace/", "casc/analysis/",
-                    "casc/cascade/", "casc/rt/", "casc/exec/"],
+                    "casc/cascade/", "casc/rt/", "casc/exec/", "casc/svc/"],
     "src/core/": ["casc/trace/", "casc/analysis/", "casc/cascade/",
-                  "casc/rt/", "casc/exec/"],
+                  "casc/rt/", "casc/exec/", "casc/svc/"],
     "src/trace/": ["casc/analysis/", "casc/cascade/", "casc/rt/",
-                   "casc/exec/"],
-    "src/analysis/": ["casc/cascade/", "casc/rt/", "casc/exec/"],
+                   "casc/exec/", "casc/svc/"],
+    "src/analysis/": ["casc/cascade/", "casc/rt/", "casc/exec/", "casc/svc/"],
     # The two backends: no cross-inclusion outside the shared core.
-    "src/cascade/": ["casc/rt/", "casc/exec/"],
+    "src/cascade/": ["casc/rt/", "casc/exec/", "casc/svc/"],
     "src/runtime/": ["casc/cascade/", "casc/analysis/", "casc/trace/",
-                     "casc/loopir/", "casc/sim/", "casc/exec/"],
-    "src/exec/": ["casc/cascade/", "casc/sim/"],
+                     "casc/loopir/", "casc/sim/", "casc/exec/", "casc/svc/"],
+    "src/exec/": ["casc/cascade/", "casc/sim/", "casc/svc/"],
+    # The service daemon sits on top of exec/runtime/telemetry; nothing in
+    # src/ may depend back on it (tools/ are the only consumers).
+    "src/svc/": ["casc/cascade/", "casc/sim/", "casc/analysis/",
+                 "casc/trace/", "casc/core/"],
 }
 
 # Documented bridging headers: header-only adapters meant for translation

@@ -15,12 +15,23 @@
 // via backoff / quarantine / chunk reclamation.  Degradation is expected and
 // reported; divergence or an escaped exception fails the soak.
 //
+// --daemon mode soaks the SERVICE path instead: an in-process cascd
+// (sharded SvcServer on a Unix socket) is flooded by N concurrent tenant
+// clients — one of them chaos-injected — and the gates become: zero server
+// aborts, every reply digest-identical to the local sequential reference,
+// and no tenant starved (bounded max/min completed-job ratio at the moment
+// the first tenant finishes).
+//
 // Exit code: 0 when all runs are degraded-but-correct, 1 otherwise.
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "casc/cli/args.hpp"
@@ -32,6 +43,8 @@
 #include "casc/rt/executor.hpp"
 #include "casc/rt/fault_injection.hpp"
 #include "casc/rt/restructured.hpp"
+#include "casc/svc/client.hpp"
+#include "casc/svc/server.hpp"
 
 namespace {
 
@@ -43,6 +56,14 @@ const std::vector<cli::OptionSpec> kSpecs = {
     {"threads", "N", "worker threads (0 = hardware)", "4"},
     {"fault-rate", "PCT", "per-chunk fault probability, percent", "15"},
     {"max-stall-ms", "N", "upper bound on injected helper stalls", "2"},
+    {"daemon", "", "soak the service path: in-process cascd + tenant clients", ""},
+    {"jobs", "N", "daemon mode: total jobs across all tenants", "4000"},
+    {"tenants", "N", "daemon mode: concurrent tenant clients (>= 2)", "8"},
+    {"shards", "N", "daemon mode: server shard count", "2"},
+    {"threads-per-shard", "N", "daemon mode: workers per shard", "2"},
+    {"window", "N", "daemon mode: per-tenant pipelined submits in flight", "32"},
+    {"fairness-ratio", "N", "daemon mode: max allowed max/min completed ratio", "8"},
+    {"socket", "PATH", "daemon mode: socket path (default under /tmp)", ""},
     {"help", "", "show this help", ""},
 };
 
@@ -243,6 +264,256 @@ int run_soak(const cli::Args& args) {
   return 0;
 }
 
+// A second, smaller spec so the daemon soak exercises pool-key diversity
+// (two distinct materializations per shard, interleaved by the batcher).
+constexpr const char* kSoakSpecSmall = R"(loop soak_small
+trip 4096
+compute 4 3
+layout staggered
+array y 8 4096 rw
+array a 8 4096 ro
+access a read
+access y write
+)";
+
+struct TenantOutcome {
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t mismatches = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t reused = 0;
+  std::string first_error;
+};
+
+/// One tenant: pipelines `jobs` submits through a private connection in
+/// windows of `window`, checking every reply against the local references.
+void tenant_main(const std::string& socket_path, unsigned tenant_id,
+                 std::uint64_t jobs, std::uint64_t window, bool chaos,
+                 std::uint64_t seed,
+                 const std::vector<std::string>& spec_texts,
+                 const std::vector<std::pair<std::uint64_t, std::uint64_t>>& refs,
+                 std::atomic<std::uint64_t>& live_completed,
+                 TenantOutcome& out) {
+  const auto fail = [&](const std::string& why) {
+    ++out.errors;
+    if (out.first_error.empty()) out.first_error = why;
+  };
+
+  svc::SvcClient client;
+  if (!client.connect(socket_path)) {
+    fail(client.last_error());
+    out.errors += jobs;
+    return;
+  }
+
+  svc::SubmitRequest req;
+  req.tenant = "tenant-" + std::to_string(tenant_id);
+  req.weight = 1 + tenant_id % 4;  // heterogeneous WRR weights
+
+  std::uint64_t sent = 0, answered = 0;
+  while (answered < jobs && out.errors == 0) {
+    while (sent < jobs && sent - answered < window) {
+      req.job = sent + 1;
+      req.spec_text = spec_texts[sent % spec_texts.size()];
+      if (chaos) req.chaos_seed = mix(seed, sent);
+      if (!client.send_submit(req)) {
+        fail("submit failed: " + client.last_error());
+        return;
+      }
+      ++sent;
+    }
+    const svc::Reply reply = client.read_reply();
+    if (reply.kind == svc::Reply::Kind::kResult) {
+      ++answered;
+      ++out.completed;
+      live_completed.fetch_add(1, std::memory_order_relaxed);
+      if (reply.result.reused) ++out.reused;
+      if (reply.result.degraded) ++out.degraded;
+      const auto& want = refs[(reply.result.job - 1) % refs.size()];
+      if (reply.result.digest != want.first ||
+          reply.result.rw_checksum != want.second) {
+        ++out.mismatches;
+        fail("job " + std::to_string(reply.result.job) +
+             " digest diverged from the sequential reference");
+      }
+    } else if (reply.kind == svc::Reply::Kind::kError) {
+      ++answered;
+      fail("server error[" + reply.error.rule + "] job " +
+           std::to_string(reply.error.job) + ": " + reply.error.message);
+    } else {
+      fail("connection lost: " + client.last_error());
+      return;
+    }
+  }
+}
+
+int run_daemon_soak(const cli::Args& args) {
+  const std::uint64_t total_jobs = std::max<std::uint64_t>(1, args.get_u64("jobs"));
+  const unsigned tenants =
+      static_cast<unsigned>(std::max<std::uint64_t>(2, args.get_u64("tenants")));
+  const std::uint64_t window = std::max<std::uint64_t>(1, args.get_u64("window"));
+  const std::uint64_t seed = args.get_u64("seed");
+  const std::uint64_t jobs_per_tenant = (total_jobs + tenants - 1) / tenants;
+  const double max_ratio =
+      static_cast<double>(std::max<std::uint64_t>(1, args.get_u64("fairness-ratio")));
+
+  const std::vector<std::string> spec_texts = {kSoakSpec, kSoakSpecSmall};
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> refs;
+  for (const std::string& text : spec_texts) {
+    common::DiagnosticList diags;
+    const loopir::LoopSpec spec = loopir::LoopSpec::parse(text, diags);
+    if (!diags.ok()) {
+      std::cerr << diags.render_text();
+      return 1;
+    }
+    exec::MaterializedLoop loop(spec);
+    const exec::ExecResult ref = exec::run_reference(loop);
+    refs.emplace_back(ref.digest, ref.rw_checksum);
+  }
+
+  svc::SvcConfig cfg;
+  cfg.socket_path = args.get("socket");
+  if (cfg.socket_path.empty()) {
+    cfg.socket_path = "/tmp/cascsoak-" + std::to_string(::getpid()) + ".sock";
+  }
+  cfg.num_shards = static_cast<unsigned>(std::max<std::uint64_t>(1, args.get_u64("shards")));
+  cfg.threads_per_shard = static_cast<unsigned>(
+      std::max<std::uint64_t>(1, args.get_u64("threads-per-shard")));
+  cfg.queue_cap = std::max<std::size_t>(64, tenants * window * 2);
+  svc::SvcServer server(std::move(cfg));
+  server.start();
+  std::cout << "daemon soak: " << total_jobs << " jobs, " << tenants
+            << " tenants (tenant-0 chaos-injected), "
+            << args.get_u64("shards") << " shard(s) on "
+            << server.socket_path() << "\n";
+
+  // Progress reporter: live completion count while the flood runs.
+  std::atomic<std::uint64_t> live_completed{0};
+  std::atomic<bool> flood_done{false};
+  std::thread progress([&] {
+    std::uint64_t last = 0;
+    while (!flood_done.load()) {
+      std::this_thread::sleep_for(std::chrono::seconds(2));
+      const std::uint64_t now = live_completed.load();
+      if (now != last && !flood_done.load()) {
+        std::cout << "  ..." << now << "/" << total_jobs << " jobs completed\n";
+        last = now;
+      }
+    }
+  });
+
+  // The flood: tenant-0 is the chaos tenant, everyone else runs clean.
+  // Fairness snapshot: the first tenant to finish records everyone's live
+  // completion counters; under WRR no tenant may be starved at that moment.
+  std::vector<TenantOutcome> outcomes(tenants);
+  std::vector<std::atomic<std::uint64_t>> per_tenant(tenants);
+  std::mutex snapshot_mutex;
+  std::vector<std::uint64_t> first_finish_snapshot;
+  std::vector<std::thread> threads;
+  threads.reserve(tenants);
+  for (unsigned t = 0; t < tenants; ++t) {
+    threads.emplace_back([&, t] {
+      tenant_main(server.socket_path(), t, jobs_per_tenant, window,
+                  /*chaos=*/t == 0, mix(seed, t), spec_texts, refs,
+                  per_tenant[t], outcomes[t]);
+      std::lock_guard<std::mutex> lock(snapshot_mutex);
+      if (first_finish_snapshot.empty()) {
+        first_finish_snapshot.reserve(tenants);
+        for (unsigned u = 0; u < tenants; ++u) {
+          first_finish_snapshot.push_back(per_tenant[u].load());
+        }
+      }
+    });
+  }
+  // Aggregate per-tenant counters into the progress total.
+  std::thread aggregator([&] {
+    while (!flood_done.load()) {
+      std::uint64_t sum = 0;
+      for (unsigned t = 0; t < tenants; ++t) sum += per_tenant[t].load();
+      live_completed.store(sum);
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  });
+  for (std::thread& th : threads) th.join();
+  flood_done.store(true);
+  progress.join();
+  aggregator.join();
+
+  // Graceful drain through the protocol, like an operator would.
+  bool drained = false;
+  std::uint64_t drain_completed = 0;
+  {
+    svc::SvcClient drain_client;
+    if (drain_client.connect(server.socket_path()) &&
+        drain_client.send_drain()) {
+      const svc::Reply ack = drain_client.read_reply();
+      if (ack.kind == svc::Reply::Kind::kDrainAck) {
+        drained = true;
+        drain_completed = ack.drain_completed;
+      }
+    }
+  }
+  server.wait();
+
+  TenantOutcome totals;
+  std::uint64_t min_done = ~0ull, max_done = 0;
+  for (unsigned t = 0; t < tenants; ++t) {
+    totals.completed += outcomes[t].completed;
+    totals.errors += outcomes[t].errors;
+    totals.mismatches += outcomes[t].mismatches;
+    totals.degraded += outcomes[t].degraded;
+    totals.reused += outcomes[t].reused;
+    if (totals.first_error.empty()) totals.first_error = outcomes[t].first_error;
+  }
+  // Fairness over the snapshot at first-finisher time: every tenant had the
+  // same per-tenant job count, so a starved tenant shows up as a tiny
+  // completion count the moment the fastest tenant is done.
+  for (const std::uint64_t done : first_finish_snapshot) {
+    min_done = std::min(min_done, done);
+    max_done = std::max(max_done, done);
+  }
+  const double ratio = min_done == 0
+                           ? static_cast<double>(max_done == 0 ? 1 : max_done)
+                           : static_cast<double>(max_done) /
+                                 static_cast<double>(min_done);
+  const bool fair = min_done > 0 && ratio <= max_ratio;
+
+  report::Table table({"Metric", "Total"});
+  table.set_title("daemon soak (" + std::to_string(tenants) + " tenants x " +
+                  std::to_string(jobs_per_tenant) + " jobs, seed " +
+                  std::to_string(seed) + ")");
+  table.add_row({"jobs completed", report::fmt_count(totals.completed)});
+  table.add_row({"pool reuses", report::fmt_count(totals.reused)});
+  table.add_row({"degraded (chaos absorbed)", report::fmt_count(totals.degraded)});
+  table.add_row({"digest mismatches", report::fmt_count(totals.mismatches)});
+  table.add_row({"errors", report::fmt_count(totals.errors)});
+  table.add_row({"fairness max/min at first finish",
+                 report::fmt_double(ratio) + " (cap " +
+                     report::fmt_double(max_ratio) + ")"});
+  table.add_row({"drain ack", drained ? "ok (" +
+                     std::to_string(drain_completed) + " jobs)" : "MISSING"});
+  table.print(std::cout);
+
+  const std::uint64_t expected = jobs_per_tenant * tenants;
+  if (totals.errors != 0 || totals.mismatches != 0 ||
+      totals.completed != expected || !fair || !drained) {
+    std::cerr << "SOAK FAIL (daemon): completed " << totals.completed << "/"
+              << expected << ", errors " << totals.errors << ", mismatches "
+              << totals.mismatches << ", fairness "
+              << (fair ? "ok" : "VIOLATED") << ", drain "
+              << (drained ? "ok" : "missing");
+    if (!totals.first_error.empty()) {
+      std::cerr << " (first error: " << totals.first_error << ")";
+    }
+    std::cerr << "\n";
+    return 1;
+  }
+  std::cout << "SOAK PASS (daemon): " << totals.completed << "/" << expected
+            << " jobs digest-identical across " << tenants
+            << " tenants, fairness ratio " << report::fmt_double(ratio) << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -255,6 +526,7 @@ int main(int argc, char** argv) {
                                    kSpecs);
       return 0;
     }
+    if (args.has("daemon")) return run_daemon_soak(args);
     return run_soak(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
