@@ -2,15 +2,20 @@
 # exit code against EXPECT_EXIT (0 = clean, 1 = findings), and byte-compares
 # the report to the committed GOLDEN.  Invoked by ctest via
 #   cmake -DCASCLINT=... -DSPEC=... -DOUT=... -DGOLDEN=... -DEXPECT_EXIT=N \
-#         -P run_casclint_golden.cmake
+#         [-DEXTRA_ARGS=--certify;--shadow-iters=N] -P run_casclint_golden.cmake
+# EXTRA_ARGS is an optional semicolon-separated list of additional casclint
+# flags (e.g. --certify, or a --shadow-iters cap to pin the truncation path).
 foreach(var CASCLINT SPEC OUT GOLDEN EXPECT_EXIT)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "run_casclint_golden.cmake: ${var} not set")
   endif()
 endforeach()
+if(NOT DEFINED EXTRA_ARGS)
+  set(EXTRA_ARGS "")
+endif()
 
 execute_process(
-  COMMAND ${CASCLINT} --format=json --spec=${SPEC} --out=${OUT}
+  COMMAND ${CASCLINT} --format=json --spec=${SPEC} --out=${OUT} ${EXTRA_ARGS}
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL ${EXPECT_EXIT})
   message(FATAL_ERROR

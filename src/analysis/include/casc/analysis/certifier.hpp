@@ -1,0 +1,153 @@
+// Schedule-independent race certifier for cascaded staging.
+//
+// The shadow checker (shadow.hpp) replays ONE schedule: the chunk plan the
+// engine would pick, with the helper-copy time approximated as "before the
+// staging chunk executes".  That is sound for the schedule it replays but
+// says nothing about other worker counts, and its verdict is a yes/no with
+// no model behind it.  The certifier replaces that with the happens-before
+// order the token ring actually guarantees (paper §2, executor.cpp):
+//
+//   * worker w owns chunks c ≡ w (mod P);
+//   * per chunk: helper phase, await token, exec phase, pass token;
+//   * edges: exec_{c-P} -> helper_c  (same-worker program order),
+//            helper_c   -> exec_c    (same-worker program order),
+//            exec_c     -> exec_{c+1} (token hand-off).
+//
+// For a chunk c in the first round (c < P) the helper is ordered only after
+// run start — it can race with EVERY earlier exec phase.  In general the
+// helper copy for chunk c is ordered after exec_{c-P} and nothing later, so
+// a write in chunk cw is visible to the staged copy of chunk cr iff
+// cw <= cr - P.  That yields a per-pair classification over the resolved
+// reference stream:
+//
+//   * ANTI     — staged read at iteration r, write at iteration i > r.
+//                chunk(i) >= chunk(r), so the write's exec phase is ordered
+//                after the copy in every schedule; the copy equals the
+//                sequential value.  Always safe.
+//   * STALE    — write at i, staged read at r > i, same chunk.  The copy is
+//                taken before the chunk executes, so it predates the write
+//                at EVERY worker count, including one.  Always a race.
+//   * FLOW(d)  — write at i, staged read at r > i, chunk distance
+//                d = chunk(r) - chunk(i) >= 1.  Safe iff P <= d; raced for
+//                P = d+1 (a concrete witness interleaving exists).
+//   * DISJOINT — no write ever overlaps a staged byte.  Safe at every P.
+//
+// The Certificate records every pair class, the minimum flow distance D
+// (max_safe_workers), and witness interleavings for the races.  The default
+// verdict assumes an UNBOUNDED adversary (any flow pair = raced);
+// certifies_staging(P) answers the bounded question for a concrete ring.
+//
+// Stage candidates are derived from the SPEC'S ORIGINAL claims (claims_for),
+// not the demoted nest — the certifier's job is precisely to overturn
+// textually-false read-only claims when the resolved addresses prove the
+// staged bytes and the written bytes never meet.
+//
+// Reduction operands (OperandClass::reduction()) are never staged, so they
+// do not race; they surface as a "requires-privatization" verdict carrying
+// the operand and merge operator for the future privatization runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "casc/analysis/shadow.hpp"
+#include "casc/common/diagnostic.hpp"
+#include "casc/loopir/loop_spec.hpp"
+#include "casc/trace/trace.hpp"
+
+namespace casc::analysis {
+
+struct CertifyOptions {
+  /// Chunk geometry to certify against (same default as the engine).
+  std::uint64_t chunk_bytes = 64 * 1024;
+  /// Iteration cap; beyond it the certificate is marked truncated and
+  /// certifies_staging() refuses (sound for the checked prefix only).
+  std::uint64_t max_iterations = std::uint64_t{1} << 20;
+  /// Cap on rendered witness interleavings per certificate.
+  std::uint64_t max_witnesses = 4;
+};
+
+/// A concrete interleaving that realizes one race.
+struct RaceWitness {
+  std::string array;
+  std::uint64_t write_iter = 0;
+  std::uint64_t read_iter = 0;
+  std::uint64_t write_chunk = 0;
+  std::uint64_t read_chunk = 0;
+  std::uint64_t address = 0;
+  /// Smallest ring that exhibits the race (chunk distance + 1); 0 for
+  /// same-chunk stale pairs, which race at every worker count.
+  std::uint64_t workers = 0;
+  /// Human-readable interleaving: which worker stages while which executes.
+  std::string schedule;
+};
+
+/// Per-operand slice of the certificate.
+struct OperandCertificate {
+  std::string name;
+  std::string klass;      ///< "index", "reduction", "ro", or "rw"
+  std::string reduce_op;  ///< merge operator for reductions, else empty
+  /// The restructuring helper would stage this operand (claimed read-only
+  /// by the ORIGINAL spec and read by the body, directly or as an index).
+  bool stage_candidate = false;
+  /// Stage candidate whose staged bytes no write ever overlaps: safe to
+  /// stage at every worker count.
+  bool certified = false;
+  std::uint64_t staged_bytes = 0;
+  std::uint64_t flow_pairs = 0;
+  std::uint64_t anti_pairs = 0;
+  std::uint64_t stale_pairs = 0;
+  /// Minimum chunk distance over this operand's flow pairs (0 = none).
+  std::uint64_t min_flow_chunk_distance = 0;
+};
+
+/// The machine-readable eligibility certificate casclint --certify emits.
+struct Certificate {
+  std::string loop;
+  /// "certified-disjoint" | "requires-privatization" | "raced" |
+  /// "unsupported".  The verdict is schedule-independent (unbounded
+  /// adversary); use certifies_staging() for a concrete ring.
+  std::string verdict;
+  std::uint64_t chunk_bytes = 0;
+  std::uint64_t chunk_iters = 0;
+  std::uint64_t num_chunks = 0;
+  std::uint64_t iterations = 0;  ///< iterations certified (after the cap)
+  std::uint64_t refs = 0;        ///< resolved references examined
+  bool truncated = false;        ///< max_iterations cap hit
+  /// Largest ring the flow pairs admit (min flow distance D); 0 = unlimited
+  /// (no flow pairs).  Stale pairs make every ring unsafe regardless.
+  std::uint64_t max_safe_workers = 0;
+  std::uint64_t flow_pairs = 0;
+  std::uint64_t anti_pairs = 0;
+  std::uint64_t stale_pairs = 0;
+  std::vector<OperandCertificate> operands;
+  std::vector<RaceWitness> witnesses;
+  common::DiagnosticList diags;
+
+  /// Whether staging every candidate is sequential-equivalent on a ring of
+  /// `workers`.  False when truncated (prefix-only evidence) or unsupported.
+  [[nodiscard]] bool certifies_staging(std::uint64_t workers) const;
+
+  /// Names of the stage candidates that are individually safe to stage on a
+  /// ring of `workers` (certified-disjoint ones at any count, flow-only ones
+  /// when workers <= their minimum flow distance).
+  [[nodiscard]] std::vector<std::string> certified_operands(
+      std::uint64_t workers) const;
+};
+
+/// Certifies the spec end-to-end: sanitized instantiation, trace capture,
+/// pair classification.  Never throws; uninstantiable specs come back with
+/// verdict "unsupported" and the failure as a diagnostic.
+[[nodiscard]] Certificate certify(const loopir::LoopSpec& spec,
+                                  const CertifyOptions& opt = {});
+
+/// Same, over a trace and claims the caller already holds (the verifier
+/// reuses its shadow-check trace; `claims` must come from claims_for on the
+/// nest the trace was captured from, so addresses line up).
+[[nodiscard]] Certificate certify(const loopir::LoopSpec& spec,
+                                  const trace::Trace& trace,
+                                  const std::vector<ArrayClaim>& claims,
+                                  const CertifyOptions& opt = {});
+
+}  // namespace casc::analysis

@@ -34,12 +34,33 @@ struct OperandClass {
   std::string name;
   bool is_index = false;    ///< declared as an index array (always read-only)
   bool claimed_ro = false;  ///< declared ro (or index)
-  bool read = false;        ///< named by at least one read access
-  bool written = false;     ///< named by at least one write access
+  bool read = false;        ///< named by at least one read access (incl. update)
+  bool written = false;     ///< named by at least one write access (incl. update)
   bool used_as_via = false; ///< drives an indirect access
+  bool updated = false;     ///< named by at least one commutative update access
+  bool plain_read = false;  ///< read outside update sites (or used as via)
+  bool plain_written = false;  ///< written outside update sites
+  /// Single combine operator of the operand's update accesses ("sum", "min",
+  /// "max"); empty when not updated or when the operators are mixed.
+  std::string reduce_op;
   /// The restructuring helper would stage this operand's values: it is
   /// claimed read-only and read by the loop body (directly or indirectly).
   [[nodiscard]] bool staged() const noexcept { return claimed_ro && read; }
+  /// A privatizable reduction: every access is a commutative update with one
+  /// combine operator, no plain read observes partial accumulation, and the
+  /// claim is honest (rw).  Helpers cannot stage it, but a privatization
+  /// runtime may stage per-worker partial accumulators and merge them on
+  /// token hand-off.
+  [[nodiscard]] bool reduction() const noexcept {
+    return updated && !plain_read && !plain_written && !claimed_ro &&
+           !reduce_op.empty();
+  }
+  /// Report label: "index", "reduction", "ro", or "rw".
+  [[nodiscard]] const char* kind() const noexcept {
+    if (is_index) return "index";
+    if (reduction()) return "reduction";
+    return claimed_ro ? "ro" : "rw";
+  }
 };
 
 /// Distinct-bytes bound for one static access site over one chunk.
@@ -82,7 +103,13 @@ struct AffineDependence {
 
 /// Classifies every declared array against its accesses.  Emits
 /// "classify-write-ro" errors for written claimed-read-only arrays,
-/// "unused-array" warnings, and "rw-never-written" notes.
+/// "unused-array" warnings, and "rw-never-written" notes.  Commutative
+/// update sites are recognized here: a pure single-operator update operand
+/// classifies as a reduction and draws a "requires-privatization" note
+/// naming the operand and its merge operator; mixed operators degrade to rw
+/// with a "reduce-mixed-op" warning, and plain reads/writes alongside
+/// updates degrade to rw with a "reduce-impure" note (token order still
+/// preserves them; they just cannot be privatized).
 [[nodiscard]] std::vector<OperandClass> classify_operands(
     const loopir::LoopSpec& spec, common::DiagnosticList& diags);
 

@@ -60,6 +60,15 @@ struct ShadowOptions {
   /// Static per-chunk distinct-bytes bound to validate against
   /// (StaticFootprint::per_chunk_bound); 0 skips the containment check.
   std::uint64_t static_chunk_bound = 0;
+  /// 0 checks against an unbounded adversary (any write before a staged
+  /// read of the same bytes is a hazard once they cross a chunk boundary).
+  /// P > 0 replays the concrete token ring instead: the helper for chunk c
+  /// copies only after chunk c-P retires, so a cross-chunk flow pair with
+  /// chunk distance d is a real race iff d < P and token-ordered otherwise
+  /// (a "shadow-ordered" note).  This is how certifier witnesses are
+  /// reproduced: running with the witness's worker count must re-derive the
+  /// hazard, and running with max_safe_workers must not.
+  std::uint64_t ring_workers = 0;
 };
 
 struct ShadowReport {
@@ -75,6 +84,10 @@ struct ShadowReport {
   std::uint64_t peak_chunk_bytes = 0;     ///< max distinct bytes in one chunk
   bool footprint_exceeded = false;        ///< peak exceeded the static bound
   std::uint64_t out_of_extent_refs = 0;   ///< refs outside every claim
+  std::uint64_t ring_workers = 0;         ///< echo of ShadowOptions
+  /// Ring mode only: flow pairs the token order of this ring preserves
+  /// (chunk distance >= ring_workers).
+  std::uint64_t ordered_pairs = 0;
   common::DiagnosticList diags;
 };
 

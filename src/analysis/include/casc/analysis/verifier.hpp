@@ -11,7 +11,13 @@
 //   3. optionally (AnalyzeOptions::run_shadow) the trace-backed shadow
 //      checker (shadow.hpp): the spec is instantiated with false claims
 //      demoted, its reference stream captured, and the static claims
-//      replayed against the dynamic ground truth.
+//      replayed against the dynamic ground truth;
+//   4. optionally (AnalyzeOptions::certify) the schedule-independent race
+//      certifier (certifier.hpp) over the same trace: every cross-chunk
+//      reference pair classified against the token ring's happens-before
+//      order, yielding a machine-readable staging certificate that can
+//      overturn a static refusal (indirect-but-provably-disjoint specs) or
+//      sharpen it (reductions get "requires-privatization").
 //
 // The result is an AnalysisReport: every finding as a Diagnostic plus the
 // machine-readable facts (footprints, dependences, shadow counters), with
@@ -20,10 +26,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "casc/analysis/certifier.hpp"
 #include "casc/analysis/passes.hpp"
 #include "casc/analysis/shadow.hpp"
 #include "casc/common/diagnostic.hpp"
@@ -40,6 +48,9 @@ struct AnalyzeOptions {
   bool run_shadow = true;
   /// Iteration cap for the shadow replay.
   std::uint64_t max_shadow_iterations = 1ull << 20;
+  /// Run the schedule-independent race certifier and attach its Certificate
+  /// to the report (casclint --certify).  Shares the shadow check's trace.
+  bool certify = false;
 };
 
 struct AnalysisReport {
@@ -53,6 +64,9 @@ struct AnalysisReport {
   bool restructure_eligible = false;
   bool shadow_ran = false;
   ShadowReport shadow;
+  /// Present when AnalyzeOptions::certify was set (and the spec reached the
+  /// certifier); its diagnostics are merged into `diags`.
+  std::optional<Certificate> certificate;
 
   /// Lint verdict: no errors (warnings and notes are advisory).
   [[nodiscard]] bool ok() const noexcept { return diags.ok(); }

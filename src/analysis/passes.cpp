@@ -55,6 +55,37 @@ std::string iter_range_str(std::int64_t lo, std::int64_t hi) {
   return "[" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
 }
 
+/// One read or write site.  Plain accesses are one site; a commutative
+/// update is a read site followed by a write site at the same element, which
+/// is exactly how instantiate() lowers it — the footprint and dependence
+/// passes reason about sites so both shapes of a[i] = f(a[i]) analyze
+/// identically.
+struct Site {
+  LoopSpec::AccessDecl acc;   ///< with is_write reflecting THIS site
+  std::size_t decl_index = 0; ///< position in LoopSpec::accesses
+};
+
+std::vector<Site> expand_sites(const LoopSpec& spec) {
+  std::vector<Site> sites;
+  sites.reserve(spec.accesses.size() + 4);
+  for (std::size_t i = 0; i < spec.accesses.size(); ++i) {
+    const LoopSpec::AccessDecl& acc = spec.accesses[i];
+    if (acc.update) {
+      LoopSpec::AccessDecl r = acc;
+      r.update.reset();
+      r.is_write = false;
+      sites.push_back({r, i});
+      LoopSpec::AccessDecl w = acc;
+      w.update.reset();
+      w.is_write = true;
+      sites.push_back({w, i});
+    } else {
+      sites.push_back({acc, i});
+    }
+  }
+  return sites;
+}
+
 }  // namespace
 
 std::vector<OperandClass> classify_operands(const LoopSpec& spec,
@@ -66,20 +97,44 @@ std::vector<OperandClass> classify_operands(const LoopSpec& spec,
     c.name = decl.name;
     c.is_index = decl.pattern.has_value();
     c.claimed_ro = claimed_read_only(decl);
+    bool mixed_ops = false;
     for (const auto& acc : spec.accesses) {
       if (acc.array == decl.name) {
-        (acc.is_write ? c.written : c.read) = true;
+        if (acc.reads()) c.read = true;
+        if (acc.writes()) c.written = true;
+        if (acc.update) {
+          c.updated = true;
+          const std::string op = loopir::to_string(*acc.update);
+          if (c.reduce_op.empty()) {
+            c.reduce_op = op;
+          } else if (c.reduce_op != op) {
+            mixed_ops = true;
+          }
+        } else {
+          (acc.is_write ? c.plain_written : c.plain_read) = true;
+        }
       }
       if (acc.index_via && *acc.index_via == decl.name) {
-        // The index array is loaded to resolve the target element.
+        // The index array is loaded to resolve the target element; a read of
+        // partially-accumulated values if the operand is also updated.
         c.used_as_via = true;
         c.read = true;
+        c.plain_read = true;
       }
+    }
+    if (mixed_ops) {
+      c.reduce_op.clear();
+      diags.warning("reduce-mixed-op",
+                    "array '" + decl.name +
+                        "' is updated with more than one combine operator; a "
+                        "per-worker partial accumulator has no single merge "
+                        "operator, so the operand degrades to plain rw",
+                    decl.name, decl.line);
     }
     if (c.written && c.claimed_ro) {
       int line = decl.line;
       for (const auto& acc : spec.accesses) {
-        if (acc.is_write && acc.array == decl.name) {
+        if (acc.writes() && acc.array == decl.name) {
           line = acc.line;
           break;
         }
@@ -106,6 +161,29 @@ std::vector<OperandClass> classify_operands(const LoopSpec& spec,
                      "' is declared rw but the loop never writes it; "
                      "declaring it ro would let the restructuring helper "
                      "stage its values",
+                 decl.name, decl.line);
+    }
+    if (c.updated && !mixed_ops && (c.plain_read || c.plain_written) &&
+        !c.claimed_ro) {
+      diags.note("reduce-impure",
+                 "array '" + decl.name +
+                     "' mixes commutative updates with plain " +
+                     (c.plain_read ? std::string("reads") : std::string("writes")) +
+                     "; a plain access observes partial accumulation, so the "
+                     "operand cannot be privatized (token order still "
+                     "preserves it as rw)",
+                 decl.name, decl.line);
+    }
+    if (c.reduction()) {
+      diags.note("requires-privatization",
+                 "operand '" + decl.name + "' is a " + c.reduce_op +
+                     "-reduction (every access is '" + c.reduce_op +
+                     "' update of one element); the restructuring helper "
+                     "cannot stage it, but a privatization runtime may stage "
+                     "per-worker partial accumulators and merge them with "
+                     "operator " + c.reduce_op +
+                     " on token hand-off — the eligibility certificate "
+                     "records the operand and operator",
                  decl.name, decl.line);
     }
     classes.push_back(c);
@@ -167,9 +245,13 @@ StaticFootprint compute_footprints(const LoopSpec& spec,
                                    std::uint64_t chunk_bytes) {
   StaticFootprint fp;
   const std::uint64_t iters = executed_iterations(spec);
+  // Sites, not declarations: an update lowers to a read and a write, and the
+  // nest counts both.
+  const std::vector<Site> sites = expand_sites(spec);
   // Mirror LoopNest::bytes_per_iteration: loop-invariant sites (stride 0)
   // stay cached and do not count toward chunk sizing.
-  for (const auto& acc : spec.accesses) {
+  for (const Site& site : sites) {
+    const auto& acc = site.acc;
     if (acc.stride == 0) continue;
     const LoopSpec::ArrayDecl* target = find_array(spec, acc.array);
     fp.bytes_per_iteration += target != nullptr ? target->elem_size : 4;
@@ -184,10 +266,10 @@ StaticFootprint compute_footprints(const LoopSpec& spec,
   fp.chunk_iters = plan.iters_per_chunk();
   fp.num_chunks = plan.num_chunks();
 
-  std::size_t index = 0;
-  for (const auto& acc : spec.accesses) {
+  for (const Site& site : sites) {
+    const auto& acc = site.acc;
     AccessFootprint af;
-    af.access_index = index++;
+    af.access_index = site.decl_index;
     af.array = acc.array;
     af.is_write = acc.is_write;
     af.indirect = acc.index_via.has_value();
@@ -262,12 +344,13 @@ std::vector<AffineDependence> check_dependences(
     return false;
   };
 
-  for (std::size_t wi = 0; wi < spec.accesses.size(); ++wi) {
-    const auto& w = spec.accesses[wi];
+  const std::vector<Site> sites = expand_sites(spec);
+  for (std::size_t wi = 0; wi < sites.size(); ++wi) {
+    const auto& w = sites[wi].acc;
     if (!w.is_write) continue;
-    for (std::size_t ri = 0; ri < spec.accesses.size(); ++ri) {
+    for (std::size_t ri = 0; ri < sites.size(); ++ri) {
       if (ri == wi) continue;
-      const auto& r = spec.accesses[ri];
+      const auto& r = sites[ri].acc;
       if (r.array != w.array) continue;
       if (r.is_write && ri < wi) continue;  // count each output pair once
       const bool indirect = w.index_via.has_value() || r.index_via.has_value();
@@ -331,8 +414,8 @@ std::vector<AffineDependence> check_dependences(
       }
       AffineDependence dep;
       dep.array = w.array;
-      dep.src_access = wi;
-      dep.dst_access = ri;
+      dep.src_access = sites[wi].decl_index;
+      dep.dst_access = sites[ri].decl_index;
       dep.dst_is_write = r.is_write;
       dep.distance = d;
       deps.push_back(dep);

@@ -29,6 +29,16 @@ struct StagedInterval {
   std::uint64_t max_iter = 0;
 };
 
+/// Per-address staging record.  `reads` (sorted, ring mode only) lists every
+/// iteration that stages these bytes, so the ring replay can find the FIRST
+/// read after a write — the one with the minimal (binding) chunk distance.
+struct StagedByte {
+  std::uint32_t size = 0;
+  std::uint64_t min_iter = 0;
+  std::uint64_t max_iter = 0;
+  std::vector<std::uint64_t> reads;
+};
+
 }  // namespace
 
 loopir::LoopNest sanitized_instantiate(const loopir::LoopSpec& spec,
@@ -40,7 +50,7 @@ loopir::LoopNest sanitized_instantiate(const loopir::LoopSpec& spec,
     bool written = false;
     bool used_as_via = false;
     for (const auto& acc : copy.accesses) {
-      if (acc.is_write && acc.array == decl.name) written = true;
+      if (acc.writes() && acc.array == decl.name) written = true;
       if (acc.index_via && *acc.index_via == decl.name) used_as_via = true;
     }
     if (!written) continue;
@@ -108,14 +118,11 @@ ShadowReport shadow_check(const trace::Trace& trace,
     return addr < it->base + it->bytes ? &*it : nullptr;
   };
 
+  report.ring_workers = opt.ring_workers;
+
   // Pass 1: staged footprint (every read of a claimed-read-only extent is a
   // byte range the restructuring helper would copy early) and per-chunk
   // distinct-bytes peaks.
-  struct StagedByte {
-    std::uint32_t size = 0;
-    std::uint64_t min_iter = 0;
-    std::uint64_t max_iter = 0;
-  };
   std::unordered_map<std::uint64_t, StagedByte> staged;
   std::unordered_set<std::uint64_t> chunk_addrs;
   std::uint64_t chunk_bytes_seen = 0;
@@ -145,12 +152,14 @@ ShadowReport shadow_check(const trace::Trace& trace,
       const bool is_write = ref.mem.type == sim::AccessType::kWrite;
       if (!is_write && claim->claimed_ro) {
         auto [slot, inserted] = staged.try_emplace(
-            ref.mem.addr, StagedByte{ref.mem.size, it, it});
+            ref.mem.addr, StagedByte{ref.mem.size, it, it, {}});
         if (!inserted) {
           slot->second.size = std::max(slot->second.size, ref.mem.size);
           slot->second.min_iter = std::min(slot->second.min_iter, it);
           slot->second.max_iter = std::max(slot->second.max_iter, it);
         }
+        // `it` is nondecreasing, so the list stays sorted.
+        if (opt.ring_workers > 0) slot->second.reads.push_back(it);
       }
     }
   }
@@ -187,6 +196,7 @@ ShadowReport shadow_check(const trace::Trace& trace,
   // and must not be crowded out by earlier same-chunk hits.
   std::uint64_t reported_cross = 0;
   std::uint64_t reported_plain = 0;
+  bool ring_race = false;  // ring mode: any stale pair or flow pair with d < P
   for (std::uint64_t it = 0; it < n && !merged.empty(); ++it) {
     refs.clear();
     trace.refs_for_iteration(it, refs);
@@ -209,10 +219,80 @@ ShadowReport shadow_check(const trace::Trace& trace,
         // interval: the interval's iteration span is the union over many
         // bytes, which would overstate when THESE bytes are re-read.
         std::uint64_t last_read = iv->max_iter;
-        if (auto exact = staged.find(lo); exact != staged.end()) {
-          last_read = exact->second.max_iter;
+        const StagedByte* exact = nullptr;
+        if (auto found = staged.find(lo); found != staged.end()) {
+          exact = &found->second;
+          last_read = exact->max_iter;
         }
         const std::uint64_t last_read_chunk = last_read / report.chunk_iters;
+        if (opt.ring_workers > 0) {
+          // Ring replay: classify against the FIRST staged read after the
+          // write; its chunk distance is minimal among later reads, so it
+          // alone decides whether THIS ring races on these bytes.
+          std::uint64_t first_later = last_read;
+          bool has_later = last_read > it;
+          if (exact != nullptr && !exact->reads.empty()) {
+            auto r = std::upper_bound(exact->reads.begin(),
+                                      exact->reads.end(), it);
+            has_later = r != exact->reads.end();
+            if (has_later) first_later = *r;
+          }
+          if (!has_later) {
+            if (reported_plain < opt.max_reported) {
+              ++reported_plain;
+              report.diags.warning(
+                  "shadow-write-ro",
+                  "iteration " + std::to_string(it) + " writes " + hex(lo) +
+                      " inside claimed-read-only '" + object +
+                      "'; every staged read of those bytes precedes the "
+                      "write, so the early copies match sequential values "
+                      "on this ring, but the read-only claim is false",
+                  object);
+            }
+            break;
+          }
+          const std::uint64_t rc = first_later / report.chunk_iters;
+          if (rc == writer_chunk) {
+            ring_race = true;
+            if (reported_plain < opt.max_reported) {
+              ++reported_plain;
+              report.diags.error(
+                  "shadow-write-ro",
+                  "trace records a write at iteration " + std::to_string(it) +
+                      " to " + hex(lo) + " inside claimed-read-only '" +
+                      object + "'; a staged read at iteration " +
+                      std::to_string(first_later) +
+                      " follows it in the same chunk, and the staged copy "
+                      "(taken before the chunk began) is stale at every "
+                      "worker count",
+                  object);
+            }
+          } else if (rc - writer_chunk < opt.ring_workers) {
+            ring_race = true;
+            ++report.cross_chunk_hazards;
+            if (reported_cross < opt.max_reported) {
+              ++reported_cross;
+              report.diags.error(
+                  "shadow-hazard-cross-chunk",
+                  "on a ring of " + std::to_string(opt.ring_workers) +
+                      " workers, the helper for chunk " + std::to_string(rc) +
+                      " copies " + hex(lo) + " of '" + object +
+                      "' as soon as chunk " +
+                      (rc >= opt.ring_workers
+                           ? std::to_string(rc - opt.ring_workers)
+                           : std::string("(run start)")) +
+                      " retires — before chunk " +
+                      std::to_string(writer_chunk) +
+                      " executes the write at iteration " +
+                      std::to_string(it) + "; the staged read at iteration " +
+                      std::to_string(first_later) + " observes a stale copy",
+                  object);
+            }
+          } else {
+            ++report.ordered_pairs;
+          }
+          break;  // one diagnostic per write ref is enough
+        }
         const bool crosses = last_read > it && last_read_chunk > writer_chunk;
         if (crosses) ++report.cross_chunk_hazards;
         std::uint64_t& reported = crosses ? reported_cross : reported_plain;
@@ -254,14 +334,27 @@ ShadowReport shadow_check(const trace::Trace& trace,
       }
     }
   }
-  if (report.violating_writes > reported_cross + reported_plain) {
+  if (report.violating_writes >
+      reported_cross + reported_plain + report.ordered_pairs) {
     report.diags.note(
         "shadow-write-ro",
         std::to_string(report.violating_writes - reported_cross -
-                       reported_plain) +
+                       reported_plain - report.ordered_pairs) +
             " further violating writes suppressed");
   }
-  report.restructure_safe = report.violating_writes == 0;
+  if (opt.ring_workers > 0) {
+    if (report.ordered_pairs > 0) {
+      report.diags.note(
+          "shadow-ordered",
+          std::to_string(report.ordered_pairs) +
+              " cross-chunk flow pair(s) have chunk distance >= " +
+              std::to_string(opt.ring_workers) +
+              "; token order preserves them on this ring");
+    }
+    report.restructure_safe = !ring_race;
+  } else {
+    report.restructure_safe = report.violating_writes == 0;
+  }
 
   if (report.out_of_extent_refs > 0) {
     report.diags.error(

@@ -1,5 +1,6 @@
 #include "casc/analysis/verifier.hpp"
 
+#include <cstdio>
 #include <exception>
 #include <optional>
 #include <sstream>
@@ -12,6 +13,13 @@
 namespace casc::analysis {
 
 namespace {
+
+std::string hex(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
 
 const char* dep_kind(const AffineDependence& dep) {
   if (dep.dst_is_write) return "output";
@@ -65,16 +73,34 @@ AnalysisReport analyze_with(const loopir::LoopSpec& spec,
     }
   }
 
-  if (opt.run_shadow && nest) {
-    trace::Trace trace = trace::Trace::capture(*nest);
-    ShadowOptions sopt;
-    sopt.chunk_bytes = opt.chunk_bytes;
-    sopt.max_iterations = opt.max_shadow_iterations;
-    sopt.static_chunk_bound = report.footprint.per_chunk_bound;
-    report.shadow = shadow_check(trace, claims_for(spec, *nest), sopt);
-    report.shadow_ran = true;
-    report.diags.merge(report.shadow.diags);
-    if (!report.shadow.restructure_safe) report.restructure_eligible = false;
+  if ((opt.run_shadow || opt.certify) && nest) {
+    const trace::Trace trace = trace::Trace::capture(*nest);
+    const std::vector<ArrayClaim> claims = claims_for(spec, *nest);
+    if (opt.run_shadow) {
+      ShadowOptions sopt;
+      sopt.chunk_bytes = opt.chunk_bytes;
+      sopt.max_iterations = opt.max_shadow_iterations;
+      sopt.static_chunk_bound = report.footprint.per_chunk_bound;
+      report.shadow = shadow_check(trace, claims, sopt);
+      report.shadow_ran = true;
+      report.diags.merge(report.shadow.diags);
+      if (!report.shadow.restructure_safe) report.restructure_eligible = false;
+    }
+    if (opt.certify) {
+      CertifyOptions copt;
+      copt.chunk_bytes = opt.chunk_bytes;
+      copt.max_iterations = opt.max_shadow_iterations;
+      report.certificate = certify(spec, trace, claims, copt);
+      report.diags.merge(report.certificate->diags);
+    }
+  } else if (opt.certify) {
+    // The certifier's standalone entry point reports uninstantiable specs
+    // as "unsupported" with the failure attached.
+    CertifyOptions copt;
+    copt.chunk_bytes = opt.chunk_bytes;
+    copt.max_iterations = opt.max_shadow_iterations;
+    report.certificate = certify(spec, copt);
+    report.diags.merge(report.certificate->diags);
   }
 
   report.diags.set_loop(spec.name);
@@ -101,8 +127,8 @@ std::string render_text(const AnalysisReport& report) {
      << report.diags.notes() << " notes)\n";
   os << "  operands:";
   for (const OperandClass& c : report.operands) {
-    os << ' ' << c.name << '['
-       << (c.is_index ? "index" : (c.claimed_ro ? "ro" : "rw"));
+    os << ' ' << c.name << '[' << c.kind();
+    if (!c.reduce_op.empty()) os << ':' << c.reduce_op;
     if (c.written) os << ",written";
     if (c.staged()) os << ",staged";
     os << ']';
@@ -127,7 +153,35 @@ std::string render_text(const AnalysisReport& report) {
        << " staged bytes, " << report.shadow.violating_writes
        << " violating writes (" << report.shadow.cross_chunk_hazards
        << " cross-chunk), peak chunk " << report.shadow.peak_chunk_bytes
-       << " bytes\n";
+       << " bytes" << (report.shadow.truncated ? " (truncated)" : "") << '\n';
+  }
+  if (report.certificate) {
+    const Certificate& cert = *report.certificate;
+    os << "  certificate: " << cert.verdict << ", " << cert.flow_pairs
+       << " flow / " << cert.anti_pairs << " anti / " << cert.stale_pairs
+       << " stale pairs, max safe workers ";
+    if (cert.stale_pairs > 0) {
+      os << "0";
+    } else if (cert.flow_pairs == 0) {
+      os << "unlimited";
+    } else {
+      os << cert.max_safe_workers;
+    }
+    if (cert.truncated) os << " (truncated)";
+    os << '\n';
+    for (const OperandCertificate& op : cert.operands) {
+      if (!op.stage_candidate) continue;
+      os << "    staged '" << op.name << "' [" << op.klass << "]: "
+         << op.staged_bytes << " bytes, "
+         << (op.certified
+                 ? std::string("certified disjoint")
+                 : (op.stale_pairs > 0
+                        ? std::string("stale at every worker count")
+                        : std::to_string(op.flow_pairs) +
+                              " flow pair(s), min chunk distance " +
+                              std::to_string(op.min_flow_chunk_distance)))
+         << '\n';
+    }
   }
   if (!report.diags.empty()) os << report.diags.render_text();
   return os.str();
@@ -140,7 +194,7 @@ void render_json(const AnalysisReport& report, std::ostream& os,
   w.key("tool");
   w.value("casclint");
   w.key("version");
-  w.value(std::uint64_t{1});
+  w.value(std::uint64_t{2});
   if (!source.empty()) {
     w.key("source");
     w.value(source);
@@ -165,7 +219,9 @@ void render_json(const AnalysisReport& report, std::ostream& os,
     w.key("name");
     w.value(c.name);
     w.key("kind");
-    w.value(c.is_index ? "index" : (c.claimed_ro ? "ro" : "rw"));
+    w.value(c.kind());
+    w.key("reduce_op");
+    w.value(c.reduce_op);
     w.key("read");
     w.value(c.read);
     w.key("written");
@@ -233,6 +289,87 @@ void render_json(const AnalysisReport& report, std::ostream& os,
     w.value(report.shadow.restructure_safe);
     w.key("truncated");
     w.value(report.shadow.truncated);
+  }
+  w.end_object();
+
+  w.key("certificate");
+  w.begin_object();
+  w.key("ran");
+  w.value(report.certificate.has_value());
+  if (report.certificate) {
+    const Certificate& cert = *report.certificate;
+    w.key("verdict");
+    w.value(cert.verdict);
+    w.key("chunk_bytes");
+    w.value(cert.chunk_bytes);
+    w.key("chunk_iters");
+    w.value(cert.chunk_iters);
+    w.key("num_chunks");
+    w.value(cert.num_chunks);
+    w.key("iterations");
+    w.value(cert.iterations);
+    w.key("refs");
+    w.value(cert.refs);
+    w.key("truncated");
+    w.value(cert.truncated);
+    w.key("max_safe_workers");
+    w.value(cert.max_safe_workers);
+    w.key("flow_pairs");
+    w.value(cert.flow_pairs);
+    w.key("anti_pairs");
+    w.value(cert.anti_pairs);
+    w.key("stale_pairs");
+    w.value(cert.stale_pairs);
+    w.key("operands");
+    w.begin_array();
+    for (const OperandCertificate& op : cert.operands) {
+      w.begin_object();
+      w.key("name");
+      w.value(op.name);
+      w.key("class");
+      w.value(op.klass);
+      w.key("reduce_op");
+      w.value(op.reduce_op);
+      w.key("stage_candidate");
+      w.value(op.stage_candidate);
+      w.key("certified");
+      w.value(op.certified);
+      w.key("staged_bytes");
+      w.value(op.staged_bytes);
+      w.key("flow_pairs");
+      w.value(op.flow_pairs);
+      w.key("anti_pairs");
+      w.value(op.anti_pairs);
+      w.key("stale_pairs");
+      w.value(op.stale_pairs);
+      w.key("min_flow_chunk_distance");
+      w.value(op.min_flow_chunk_distance);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("witnesses");
+    w.begin_array();
+    for (const RaceWitness& wit : cert.witnesses) {
+      w.begin_object();
+      w.key("array");
+      w.value(wit.array);
+      w.key("write_iter");
+      w.value(wit.write_iter);
+      w.key("read_iter");
+      w.value(wit.read_iter);
+      w.key("write_chunk");
+      w.value(wit.write_chunk);
+      w.key("read_chunk");
+      w.value(wit.read_chunk);
+      w.key("address");
+      w.value(hex(wit.address));
+      w.key("workers");
+      w.value(wit.workers);
+      w.key("schedule");
+      w.value(wit.schedule);
+      w.end_object();
+    }
+    w.end_array();
   }
   w.end_object();
 

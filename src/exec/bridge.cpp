@@ -67,6 +67,57 @@ rt::PreflightGate gate_for(const MaterializedLoop& loop, std::uint64_t chunk_byt
   return rt::PreflightGate::refused(std::move(reason));
 }
 
+rt::PreflightGate gate_for(const MaterializedLoop& loop,
+                           std::uint64_t chunk_bytes, std::uint64_t workers,
+                           std::vector<std::string>* certified) {
+  analysis::AnalyzeOptions opt;
+  opt.chunk_bytes = chunk_bytes;
+  const analysis::AnalysisReport report = analysis::analyze(loop.spec(), opt);
+  if (report.restructure_eligible) return rt::PreflightGate::proven();
+
+  // The certifier can only overturn staging-claim failures: the claims said
+  // read-only, the resolved addresses may prove the staged bytes write-free
+  // anyway.  Anything else (layout overlap, footprint escape, parse errors)
+  // is outside the certificate's scope and keeps the refusal.
+  auto staging_rule = [](const std::string& rule) {
+    return rule == "classify-write-ro" || rule == "hazard-cross-chunk" ||
+           rule == "shadow-write-ro" || rule == "shadow-hazard-cross-chunk";
+  };
+  common::Diagnostic reason{common::Severity::kError, "preflight-unproven",
+                            "the analysis verifier could not prove the spec "
+                            "restructure-eligible"};
+  bool have_reason = false;
+  bool only_staging = true;
+  for (const common::Diagnostic& diag : report.diags.items()) {
+    if (diag.severity != common::Severity::kError) continue;
+    if (!have_reason) {
+      reason = diag;
+      have_reason = true;
+    }
+    if (!staging_rule(diag.rule)) only_staging = false;
+  }
+  if (only_staging) {
+    analysis::CertifyOptions copt;
+    copt.chunk_bytes = chunk_bytes;
+    const analysis::Certificate cert = analysis::certify(loop.spec(), copt);
+    if (cert.certifies_staging(workers)) {
+      if (certified != nullptr) *certified = cert.certified_operands(workers);
+      return rt::PreflightGate::proven();
+    }
+  }
+  return rt::PreflightGate::refused(std::move(reason));
+}
+
+std::optional<ReductionOperand> find_reduction_operand(
+    const loopir::LoopSpec& spec) {
+  common::DiagnosticList diags;
+  for (const analysis::OperandClass& c :
+       analysis::classify_operands(spec, diags)) {
+    if (c.reduction()) return ReductionOperand{c.name, c.reduce_op, c.kind()};
+  }
+  return std::nullopt;
+}
+
 ExecResult run_reference(MaterializedLoop& loop) {
   loop.reset();
   ExecResult result;
@@ -111,9 +162,18 @@ ExecResult run_cascaded(MaterializedLoop& loop, rt::CascadeExecutor& executor,
   // Helper and execution phase of chunk c run on the same worker (c mod P),
   // so the staged flags need no synchronization.
   std::vector<char> chunk_staged(num_chunks, 0);
+  rt::PreflightGate gate = rt::PreflightGate::proven();
   rt::PerWorkerBuffers* buffers = nullptr;
   std::unique_ptr<rt::PerWorkerBuffers> buffers_owned;
   if (opt.helper == HelperMode::kRestructure) {
+    // Gate before sizing: a certificate can re-enable staging the claim
+    // demotion turned off (restage grows max_staged_per_iter), so the
+    // buffers must be sized after the gate has had its say.
+    std::vector<std::string> certified;
+    gate = gate_for(loop, opt.chunk_bytes, executor.num_threads(), &certified);
+    if (gate.allow_restructure() && !certified.empty()) {
+      loop.restage(certified);
+    }
     const std::uint64_t capacity =
         std::max<std::uint64_t>(64, loop.max_staged_per_iter() * ipc * 8);
     buffers_owned = std::make_unique<rt::PerWorkerBuffers>(
@@ -203,7 +263,6 @@ ExecResult run_cascaded(MaterializedLoop& loop, rt::CascadeExecutor& executor,
       }
       break;
     case HelperMode::kRestructure: {
-      const rt::PreflightGate gate = gate_for(loop, opt.chunk_bytes);
       if (chaos_on) {
         armed = opt.chaos->arm(restructure_helper);
         executor.run(total, ipc, exec, armed, gate);

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "casc/core/chunk.hpp"
@@ -91,6 +92,34 @@ struct ExecResult {
 /// though the sanitized nest no longer stages the offending operand).
 [[nodiscard]] rt::PreflightGate gate_for(const MaterializedLoop& loop,
                                          std::uint64_t chunk_bytes);
+
+/// Certificate-aware gate for a ring of `workers`.  When the strict verifier
+/// refuses and every error is a staging-claim failure, the race certifier
+/// gets the final word: a certificate proving the staged bytes write-free
+/// (or token-ordered at this worker count) flips the gate to proven, and
+/// `certified` (when non-null) receives the operand names whose staging the
+/// certificate re-enables — feed them to MaterializedLoop::restage so the
+/// helper stages what the demotion turned off.  Non-staging errors (layout,
+/// footprint, parse) always refuse.
+[[nodiscard]] rt::PreflightGate gate_for(const MaterializedLoop& loop,
+                                         std::uint64_t chunk_bytes,
+                                         std::uint64_t workers,
+                                         std::vector<std::string>* certified);
+
+/// A commutative-reduction operand as the analysis classifier reports it.
+struct ReductionOperand {
+  std::string name;       ///< operand (array) name
+  std::string reduce_op;  ///< merge operator: "sum", "min", or "max"
+  std::string klass;      ///< OperandClass::kind(), i.e. "reduction"
+};
+
+/// The first reduction operand of `spec` (classifier order), or nullopt when
+/// the spec has none.  Callers above the analysis layer (the service) use
+/// this to refuse reduction specs precisely — naming the operand and the
+/// merge operator a future privatization runtime would need — without
+/// depending on casc::analysis directly.
+[[nodiscard]] std::optional<ReductionOperand> find_reduction_operand(
+    const loopir::LoopSpec& spec);
 
 /// Sequential reference interpretation (arrays reset first): the ground
 /// truth every cascaded run must match bit for bit.

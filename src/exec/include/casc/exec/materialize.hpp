@@ -69,6 +69,14 @@ class MaterializedLoop {
   /// entry point calls this, so repeated runs are independent.
   void reset();
 
+  /// Re-enables staging for the named arrays: every non-write reference of
+  /// each is marked staged and the prefix sums rebuilt.  The preflight gate
+  /// calls this for operands whose read-only claim the sanitizer demoted but
+  /// whose staged bytes the race certifier proved write-free (or token-
+  /// ordered on the run's ring) — the certificate, not the claim, is the
+  /// safety argument.  Names not present in the nest are ignored.
+  void restage(const std::vector<std::string>& certified);
+
   /// FNV-1a over the bytes of every writable (non-read-only) array — the
   /// loop's observable output state.
   [[nodiscard]] std::uint64_t rw_checksum() const;

@@ -61,6 +61,34 @@ void MaterializedLoop::reset() {
   }
 }
 
+void MaterializedLoop::restage(const std::vector<std::string>& certified) {
+  std::vector<bool> wanted(nest_.num_arrays(), false);
+  bool any = false;
+  for (loopir::ArrayId id = 0; id < nest_.num_arrays(); ++id) {
+    for (const std::string& name : certified) {
+      if (nest_.array(id).name == name) {
+        wanted[id] = true;
+        any = true;
+      }
+    }
+  }
+  if (!any) return;
+  const std::uint64_t iters = num_iterations();
+  std::uint64_t staged_total = 0;
+  max_staged_per_iter_ = 0;
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    std::uint64_t staged_here = 0;
+    for (std::uint64_t r = iter_offsets_[it]; r < iter_offsets_[it + 1]; ++r) {
+      ResolvedRef& ref = refs_[r];
+      if (!ref.is_write && wanted[ref.array]) ref.staged = true;
+      if (ref.staged) ++staged_here;
+    }
+    staged_total += staged_here;
+    max_staged_per_iter_ = std::max(max_staged_per_iter_, staged_here);
+    staged_prefix_[it + 1] = staged_total;
+  }
+}
+
 void MaterializedLoop::resolve_stream() {
   // Base-address table for mapping the nest's simulated addresses back to
   // (array, offset); bases never overlap (finalize assigns disjoint regions).

@@ -13,6 +13,13 @@
 //   array <name> <elem_size> <num_elems> ro|rw
 //   index <name> <num_elems> identity|strided|perm|random|blocks [<seed>] [<param>]
 //   access <array> read|write [stride <s>] [offset <o>] [via <index>]
+//   access <array> update sum|min|max [stride <s>] [offset <o>] [via <index>]
+//
+// An `update` access is a commutative read-modify-write of one element —
+// the a[idx[k]] op= expr shape of histograms and reductions.  It names the
+// combine operator so the analysis layer can classify the operand as a
+// reduction; at instantiation it lowers to a read followed by a write of
+// the same site, which is exactly how both backends execute it.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +32,9 @@
 #include "casc/loopir/loop_nest.hpp"
 
 namespace casc::loopir {
+
+/// Combine operator of a commutative `update` access (a[i] op= expr).
+enum class ReduceOp { kSum, kMin, kMax };
 
 /// Declarative description of one loop nest.
 struct LoopSpec {
@@ -44,11 +54,21 @@ struct LoopSpec {
   struct AccessDecl {
     std::string array;
     bool is_write = false;
+    /// Set for `update` accesses (is_write stays false); the site both reads
+    /// and writes its element, combining with this operator.
+    std::optional<ReduceOp> update;
     std::int64_t stride = 1;
     std::int64_t offset = 0;
     std::optional<std::string> index_via;
     /// 1-based source line of the declaration (0 for specs built in code).
     int line = 0;
+
+    /// The site loads its element (plain read or update).
+    [[nodiscard]] bool reads() const noexcept { return !is_write; }
+    /// The site stores its element (plain write or update).
+    [[nodiscard]] bool writes() const noexcept {
+      return is_write || update.has_value();
+    }
   };
 
   std::string name = "loop";
@@ -83,5 +103,6 @@ struct LoopSpec {
 
 [[nodiscard]] std::string to_string(IndexPattern pattern);
 [[nodiscard]] std::string to_string(LayoutPolicy policy);
+[[nodiscard]] std::string to_string(ReduceOp op);
 
 }  // namespace casc::loopir

@@ -46,6 +46,13 @@ T parse_number(const std::string& token) {
   return value;
 }
 
+ReduceOp parse_reduce_op(const std::string& token) {
+  if (token == "sum") return ReduceOp::kSum;
+  if (token == "min") return ReduceOp::kMin;
+  if (token == "max") return ReduceOp::kMax;
+  throw ParseError{"unknown update operator '" + token + "' (sum|min|max)"};
+}
+
 IndexPattern parse_pattern(const std::string& token) {
   if (token == "identity") return IndexPattern::kIdentity;
   if (token == "strided") return IndexPattern::kStrided;
@@ -70,6 +77,15 @@ std::string to_string(IndexPattern pattern) {
 
 std::string to_string(LayoutPolicy policy) {
   return policy == LayoutPolicy::kConflicting ? "conflicting" : "staggered";
+}
+
+std::string to_string(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return "sum";
+    case ReduceOp::kMin: return "min";
+    case ReduceOp::kMax: return "max";
+  }
+  return "?";
 }
 
 LoopNest LoopSpec::instantiate() const {
@@ -98,6 +114,15 @@ LoopNest LoopSpec::instantiate() const {
                  "access via unknown index array '" + *acc.index_via + "'");
       spec.index_via = ids.at(*acc.index_via);
     }
+    if (acc.update) {
+      // A commutative update lowers to a read followed by a write of the
+      // same site — the execution order both backends interpret.
+      spec.is_write = false;
+      nest.add_access(spec);
+      spec.is_write = true;
+      nest.add_access(spec);
+      continue;
+    }
     nest.add_access(spec);
   }
   nest.set_trip(trip, step);
@@ -124,7 +149,12 @@ std::string LoopSpec::to_text() const {
     }
   }
   for (const AccessDecl& acc : accesses) {
-    os << "access " << acc.array << ' ' << (acc.is_write ? "write" : "read");
+    os << "access " << acc.array << ' ';
+    if (acc.update) {
+      os << "update " << to_string(*acc.update);
+    } else {
+      os << (acc.is_write ? "write" : "read");
+    }
     if (acc.stride != 1) os << " stride " << acc.stride;
     if (acc.offset != 0) os << " offset " << acc.offset;
     if (acc.index_via) os << " via " << *acc.index_via;
@@ -225,13 +255,20 @@ LoopSpec LoopSpec::parse(std::string_view text, common::DiagnosticList& diags) {
         decl.line = line_no;
         declare_array(std::move(decl));
       } else if (head == "access") {
-        require(2, 8);
+        require(2, 9);
         AccessDecl acc;
         acc.array = tok[1];
-        if (tok[2] != "read" && tok[2] != "write") throw ParseError{"expected read|write"};
-        acc.is_write = tok[2] == "write";
-        acc.line = line_no;
         std::size_t i = 3;
+        if (tok[2] == "update") {
+          if (tok.size() < 4) throw ParseError{"'update' needs an operator (sum|min|max)"};
+          acc.update = parse_reduce_op(tok[3]);
+          i = 4;
+        } else if (tok[2] == "read" || tok[2] == "write") {
+          acc.is_write = tok[2] == "write";
+        } else {
+          throw ParseError{"expected read|write|update"};
+        }
+        acc.line = line_no;
         while (i < tok.size()) {
           if (tok[i] == "stride" && i + 1 < tok.size()) {
             acc.stride = parse_number<std::int64_t>(tok[i + 1]);

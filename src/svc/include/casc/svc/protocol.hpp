@@ -34,9 +34,14 @@
 //                                svc-bad-header, svc-missing-tenant,
 //                                svc-missing-job, svc-bad-field,
 //                                svc-empty-spec, svc-spec-invalid,
-//                                svc-duplicate-job, svc-queue-full,
-//                                svc-draining, svc-job-too-large,
-//                                svc-job-failed
+//                                svc-spec-unsupported (the spec is valid but
+//                                needs a runtime capability the service
+//                                lacks — e.g. a reduction operand awaiting
+//                                privatization; the message names the
+//                                operand, its analysis class, and the merge
+//                                operator), svc-duplicate-job,
+//                                svc-queue-full, svc-draining,
+//                                svc-job-too-large, svc-job-failed
 //   kStat        client->server  empty payload
 //   kStatReply   server->client  "key value" counter lines (svc.*, tenant.*,
 //                                shard.*)

@@ -286,6 +286,19 @@ void SvcServer::handle_submit(const std::shared_ptr<Connection>& conn,
     reply_error(req.job, "svc-spec-invalid", e.what());
     return;
   }
+  // Reduction specs are analyzable (the classifier names the operand and
+  // merge operator) but not yet runnable: the service has no privatization
+  // runtime to stage per-worker partial accumulators.  Refuse precisely so
+  // the client knows what the spec needs rather than why it is "invalid".
+  if (const auto red = exec::find_reduction_operand(spec)) {
+    reply_error(req.job, "svc-spec-unsupported",
+                "operand '" + red->name + "' is a commutative '" +
+                    red->reduce_op + "' reduction (class " + red->klass +
+                    "); cascading it requires privatization (per-worker "
+                    "partial accumulators merged on token hand-off), which "
+                    "this service does not run yet");
+    return;
+  }
 
   JobTicket ticket;
   ticket.request = std::move(req);

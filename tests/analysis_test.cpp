@@ -160,6 +160,60 @@ TEST(AnalysisPasses, LoopCarriedRwDependenceIsANote) {
   EXPECT_TRUE(has_rule(dep_diags, "dep-loop-carried", Severity::kNote));
 }
 
+TEST(AnalysisPasses, ReductionOperandsAreClassifiedWithTheirOperator) {
+  DiagnosticList parse_diags;
+  const LoopSpec spec = LoopSpec::parse(
+      "loop hist\ntrip 4096\ncompute 5 4\n"
+      "array hist 8 256 rw\nindex bidx 4096 random 7\n"
+      "access hist update sum via bidx\n",
+      parse_diags);
+  ASSERT_TRUE(parse_diags.ok());
+  DiagnosticList diags;
+  const auto classes = casc::analysis::classify_operands(spec, diags);
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].name, "hist");
+  EXPECT_TRUE(classes[0].reduction());
+  EXPECT_EQ(classes[0].kind(), "reduction");
+  EXPECT_EQ(classes[0].reduce_op, "sum");
+  EXPECT_EQ(classes[1].kind(), "index");
+  EXPECT_TRUE(diags.ok());  // requires-privatization is a note, not an error
+  EXPECT_TRUE(has_rule(diags, "requires-privatization", Severity::kNote));
+}
+
+TEST(AnalysisPasses, MixedUpdateOperatorsDegradeToPlainRw) {
+  DiagnosticList parse_diags;
+  const LoopSpec spec = LoopSpec::parse(
+      "loop mix\ntrip 64\narray a 8 64 rw\n"
+      "access a update sum\naccess a update min\n",
+      parse_diags);
+  ASSERT_TRUE(parse_diags.ok());
+  DiagnosticList diags;
+  const auto classes = casc::analysis::classify_operands(spec, diags);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_FALSE(classes[0].reduction());
+  EXPECT_EQ(classes[0].kind(), "rw");
+  EXPECT_TRUE(classes[0].reduce_op.empty());
+  EXPECT_TRUE(has_rule(diags, "reduce-mixed-op", Severity::kWarning));
+  EXPECT_FALSE(has_rule(diags, "requires-privatization", Severity::kNote));
+}
+
+TEST(AnalysisPasses, PlainAccessBesideUpdateDefeatsPrivatization) {
+  // A plain read observes the partial accumulation, so the operand is not a
+  // privatizable reduction even though every write is an update.
+  DiagnosticList parse_diags;
+  const LoopSpec spec = LoopSpec::parse(
+      "loop impure\ntrip 64\narray a 8 64 rw\n"
+      "access a read offset -1\naccess a update sum\n",
+      parse_diags);
+  ASSERT_TRUE(parse_diags.ok());
+  DiagnosticList diags;
+  const auto classes = casc::analysis::classify_operands(spec, diags);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_FALSE(classes[0].reduction());
+  EXPECT_TRUE(has_rule(diags, "reduce-impure", Severity::kNote));
+  EXPECT_FALSE(has_rule(diags, "requires-privatization", Severity::kNote));
+}
+
 TEST(Shadow, SanitizedInstantiateDemotesFalseClaims) {
   DiagnosticList parse_diags;
   const LoopSpec spec = LoopSpec::parse(kUnsafeSpec, parse_diags);
@@ -262,6 +316,56 @@ TEST(Analyze, JsonReportIsValidAndCarriesTheVerdict) {
   EXPECT_TRUE(saw_hazard);
   EXPECT_TRUE(doc->at("shadow").at("ran").boolean);
   EXPECT_GT(doc->at("shadow").at("cross_chunk_hazards").number, 0);
+}
+
+TEST(Analyze, ShadowTruncationIsSurfacedInTextAndJson) {
+  // A replay cap below the trip count must be visible, not silent: the
+  // report carries truncated=true, the text report appends "(truncated)",
+  // and the JSON pins the flag for the goldens.
+  AnalyzeOptions opt;
+  opt.max_shadow_iterations = 1024;  // kUnsafeSpec trips 8192
+  const AnalysisReport report = analyze_text(kUnsafeSpec, opt);
+  ASSERT_TRUE(report.shadow_ran);
+  EXPECT_TRUE(report.shadow.truncated);
+  EXPECT_EQ(report.shadow.iterations_checked, 1024u);
+  const std::string text = casc::analysis::render_text(report);
+  EXPECT_NE(text.find("(truncated)"), std::string::npos) << text;
+  std::ostringstream os;
+  casc::analysis::render_json(report, os, "t.casc");
+  const auto doc = casc::testjson::Parser(os.str()).parse();
+  EXPECT_TRUE(doc->at("shadow").at("truncated").boolean);
+  // Truncated evidence covers only a prefix, so the certificate (when
+  // requested) must refuse to certify staging at any worker count.
+  AnalyzeOptions copt = opt;
+  copt.certify = true;
+  const AnalysisReport certified = analyze_text(kUnsafeSpec, copt);
+  ASSERT_TRUE(certified.certificate.has_value());
+  EXPECT_TRUE(certified.certificate->truncated);
+  EXPECT_FALSE(certified.certificate->certifies_staging(1));
+}
+
+TEST(Analyze, CertificateAppearsInJsonWhenRequested) {
+  AnalyzeOptions opt;
+  opt.certify = true;
+  std::ostringstream os;
+  casc::analysis::render_json(analyze_text(kUnsafeSpec, opt), os, "u.casc");
+  const auto doc = casc::testjson::Parser(os.str()).parse();
+  EXPECT_EQ(doc->at("version").number, 2);
+  ASSERT_TRUE(doc->at("certificate").is_object());
+  EXPECT_TRUE(doc->at("certificate").at("ran").boolean);
+  EXPECT_EQ(doc->at("certificate").at("verdict").string, "raced");
+  EXPECT_GT(doc->at("certificate").at("stale_pairs").number, 0);
+  ASSERT_TRUE(doc->at("certificate").at("witnesses").is_array());
+  EXPECT_FALSE(doc->at("certificate").at("witnesses").array.empty());
+  ASSERT_TRUE(doc->at("certificate").at("operands").is_array());
+  bool saw_coef = false;
+  for (const auto& op : doc->at("certificate").at("operands").array) {
+    if (op->at("name").string == "coef") {
+      saw_coef = true;
+      EXPECT_TRUE(op->at("certified").boolean);
+    }
+  }
+  EXPECT_TRUE(saw_coef);
 }
 
 TEST(Analyze, JsonReportIsDeterministic) {

@@ -1,0 +1,86 @@
+// ThreadSanitizer acceptance for certified staging: a spec the certifier
+// proves disjoint must run restructured on the real threaded runtime with
+// no data race (TSan-clean) and bit-identical results, while a raced spec
+// must be refused and fall back to the token-ordered (also race-free) path.
+//
+// This binary is part of the TSan CI build, so it deliberately avoids the
+// prefetch helper: force_load() issues real volatile loads into lines the
+// executing worker may be writing — benign for the cascade (the value is
+// discarded) but a true race by TSan's definition.  Restructure helpers
+// copy only bytes the certificate proved no write overlaps, which is
+// exactly the property under test.
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "casc/exec/bridge.hpp"
+#include "casc/exec/materialize.hpp"
+#include "casc/loopir/loop_spec.hpp"
+#include "casc/rt/executor.hpp"
+
+namespace {
+
+using namespace casc;
+
+loopir::LoopSpec load_spec(const std::string& file) {
+  const std::string path = std::string(CASC_TEST_SPEC_DIR) + "/" + file;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return loopir::LoopSpec::parse(buffer.str());
+}
+
+TEST(CertifyRt, CertifiedGatherIsRaceFreeUnderStaging) {
+  exec::MaterializedLoop loop(load_spec("gather_split.casc"));
+  const exec::ExecResult ref = exec::run_reference(loop);
+  for (const unsigned threads : {2u, 4u}) {
+    rt::ExecutorConfig cfg;
+    cfg.num_threads = threads;
+    rt::CascadeExecutor executor(cfg);
+    exec::RtOptions opt;
+    opt.helper = exec::HelperMode::kRestructure;
+    const exec::ExecResult got = exec::run_cascaded(loop, executor, opt);
+    EXPECT_FALSE(got.preflight_refused) << got.preflight_diag;
+    EXPECT_GT(got.staged_chunks, 0u) << "threads=" << threads;
+    EXPECT_EQ(got.digest, ref.digest) << "threads=" << threads;
+    EXPECT_EQ(got.rw_checksum, ref.rw_checksum) << "threads=" << threads;
+  }
+}
+
+TEST(CertifyRt, RacedSpecIsRefusedAndFallsBackRaceFree) {
+  exec::MaterializedLoop loop(load_spec("unsafe_seeded.casc"));
+  const exec::ExecResult ref = exec::run_reference(loop);
+  rt::ExecutorConfig cfg;
+  cfg.num_threads = 4;
+  rt::CascadeExecutor executor(cfg);
+  exec::RtOptions opt;
+  opt.helper = exec::HelperMode::kRestructure;
+  const exec::ExecResult got = exec::run_cascaded(loop, executor, opt);
+  EXPECT_TRUE(got.preflight_refused);
+  EXPECT_EQ(got.staged_chunks, 0u);
+  EXPECT_EQ(got.digest, ref.digest);
+  EXPECT_EQ(got.rw_checksum, ref.rw_checksum);
+}
+
+TEST(CertifyRt, ReductionSpecStaysTokenOrderedAndRaceFree) {
+  exec::MaterializedLoop loop(load_spec("histogram.casc"));
+  const exec::ExecResult ref = exec::run_reference(loop);
+  rt::ExecutorConfig cfg;
+  cfg.num_threads = 4;
+  rt::CascadeExecutor executor(cfg);
+  for (const exec::HelperMode mode :
+       {exec::HelperMode::kNone, exec::HelperMode::kRestructure}) {
+    exec::RtOptions opt;
+    opt.helper = mode;
+    const exec::ExecResult got = exec::run_cascaded(loop, executor, opt);
+    EXPECT_EQ(got.digest, ref.digest) << static_cast<int>(mode);
+    EXPECT_EQ(got.rw_checksum, ref.rw_checksum) << static_cast<int>(mode);
+  }
+}
+
+}  // namespace

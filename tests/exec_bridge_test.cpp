@@ -5,6 +5,7 @@
 // the chunk-plan parity contract: sim and rt derive their chunk geometry
 // from the same core::ChunkPlan call, so identical options yield identical
 // plans.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -35,8 +36,10 @@ loopir::LoopSpec load_spec(const std::string& file) {
   return loopir::LoopSpec::parse(buffer.str());
 }
 
-const std::vector<std::string> kSpecs = {"dense_sum.casc", "spmv_small.casc",
-                                         "unsafe_seeded.casc"};
+const std::vector<std::string> kSpecs = {
+    "dense_sum.casc",  "spmv_small.casc",        "unsafe_seeded.casc",
+    "histogram.casc",  "dot_product.casc",       "sparse_accumulate.casc",
+    "gather_split.casc"};
 
 TEST(ExecBridge, ReferenceRunsAreDeterministic) {
   for (const std::string& file : kSpecs) {
@@ -100,6 +103,56 @@ TEST(ExecBridge, SafeSpecStagesAndRunsGated) {
   const exec::ExecResult got = exec::run_cascaded(loop, executor, opt);
   EXPECT_FALSE(got.preflight_refused);
   EXPECT_GT(got.staged_chunks, 0u);
+}
+
+TEST(ExecBridge, CertifiedDisjointGatherStagesDespiteFalseClaim) {
+  // The acceptance spec for the race certifier: 't' is claimed read-only but
+  // written, so the strict verifier refuses — yet the resolved addresses
+  // prove staged reads (lower half) and writes (upper half) never meet.  The
+  // certificate overturns the refusal and the loop runs restructured with
+  // bit-identical results.
+  exec::MaterializedLoop loop(load_spec("gather_split.casc"));
+  EXPECT_EQ(loop.demoted_claims(), std::vector<std::string>{"t"});
+  // The strict gate (claims only) refuses...
+  EXPECT_FALSE(exec::gate_for(loop, 64 * 1024).is_proven());
+  // ...but the certificate-aware gate proves it for any ring.
+  std::vector<std::string> certified;
+  EXPECT_TRUE(exec::gate_for(loop, 64 * 1024, 4, &certified).is_proven());
+  EXPECT_NE(std::find(certified.begin(), certified.end(), "t"),
+            certified.end());
+
+  const exec::ExecResult ref = exec::run_reference(loop);
+  for (const unsigned threads : {2u, 4u}) {
+    rt::ExecutorConfig cfg;
+    cfg.num_threads = threads;
+    rt::CascadeExecutor executor(cfg);
+    exec::RtOptions opt;
+    opt.helper = exec::HelperMode::kRestructure;
+    const exec::ExecResult got = exec::run_cascaded(loop, executor, opt);
+    EXPECT_FALSE(got.preflight_refused) << got.preflight_diag;
+    EXPECT_GT(got.staged_chunks, 0u) << "threads=" << threads;
+    EXPECT_EQ(got.digest, ref.digest) << "threads=" << threads;
+    EXPECT_EQ(got.rw_checksum, ref.rw_checksum) << "threads=" << threads;
+  }
+}
+
+TEST(ExecBridge, ReductionSpecsRunCorrectlyButDoNotStage) {
+  // update-sum accumulators are never stage candidates; the runs stay
+  // token-ordered (and therefore bit-identical) with no staged chunks from
+  // the accumulator side.
+  for (const std::string& file :
+       {std::string("histogram.casc"), std::string("sparse_accumulate.casc")}) {
+    exec::MaterializedLoop loop(load_spec(file));
+    const exec::ExecResult ref = exec::run_reference(loop);
+    rt::ExecutorConfig cfg;
+    cfg.num_threads = 2;
+    rt::CascadeExecutor executor(cfg);
+    exec::RtOptions opt;
+    opt.helper = exec::HelperMode::kRestructure;
+    const exec::ExecResult got = exec::run_cascaded(loop, executor, opt);
+    EXPECT_EQ(got.digest, ref.digest) << file;
+    EXPECT_EQ(got.rw_checksum, ref.rw_checksum) << file;
+  }
 }
 
 TEST(ExecBridge, UnsafeSpecRefusesRestructureButStaysCorrect) {

@@ -101,6 +101,81 @@ access A read stride 2 offset -1
   EXPECT_EQ(again.step, 4u);
 }
 
+TEST(LoopSpec, UpdateAccessParsesAndRoundTrips) {
+  const char* text = R"(
+loop hist
+trip 256
+array H 8 64 rw
+index B 256 random 3
+access H update sum via B
+)";
+  const LoopSpec spec = LoopSpec::parse(text);
+  ASSERT_EQ(spec.accesses.size(), 1u);
+  ASSERT_TRUE(spec.accesses[0].update.has_value());
+  EXPECT_EQ(*spec.accesses[0].update, casc::loopir::ReduceOp::kSum);
+  // An update is a read-modify-write: it reads AND writes its element.
+  EXPECT_TRUE(spec.accesses[0].reads());
+  EXPECT_TRUE(spec.accesses[0].writes());
+  const LoopSpec again = LoopSpec::parse(spec.to_text());
+  ASSERT_EQ(again.accesses.size(), 1u);
+  ASSERT_TRUE(again.accesses[0].update.has_value());
+  EXPECT_EQ(*again.accesses[0].update, casc::loopir::ReduceOp::kSum);
+  ASSERT_TRUE(again.accesses[0].index_via.has_value());
+  EXPECT_EQ(*again.accesses[0].index_via, "B");
+}
+
+TEST(LoopSpec, UpdateLowersToReadThenWritePair) {
+  // `update` must instantiate exactly like an explicit read followed by a
+  // write of the same element, so the digest semantics of a reduction loop
+  // are pinned by the existing read/write rules.
+  const char* updated = R"(
+loop u
+trip 128
+array H 8 32 rw
+index B 128 random 9
+access H update sum via B
+)";
+  const char* lowered = R"(
+loop u
+trip 128
+array H 8 32 rw
+index B 128 random 9
+access H read via B
+access H write via B
+)";
+  const auto a = LoopSpec::parse(updated).instantiate().all_refs();
+  const auto b = LoopSpec::parse(lowered).instantiate().all_refs();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].mem.addr, b[i].mem.addr);
+    EXPECT_EQ(a[i].mem.type, b[i].mem.type);
+  }
+}
+
+TEST(LoopSpec, MinAndMaxUpdateOperatorsParse) {
+  const LoopSpec spec = LoopSpec::parse(
+      "loop mm\ntrip 16\narray A 8 16 rw\narray Z 8 16 rw\n"
+      "access A update min\naccess Z update max\n");
+  ASSERT_EQ(spec.accesses.size(), 2u);
+  EXPECT_EQ(*spec.accesses[0].update, casc::loopir::ReduceOp::kMin);
+  EXPECT_EQ(*spec.accesses[1].update, casc::loopir::ReduceOp::kMax);
+  // to_string round-trips the operator names.
+  const std::string text = spec.to_text();
+  EXPECT_NE(text.find("update min"), std::string::npos);
+  EXPECT_NE(text.find("update max"), std::string::npos);
+}
+
+TEST(LoopSpec, UnknownUpdateOperatorRejected) {
+  try {
+    LoopSpec::parse("loop x\ntrip 4\narray A 8 4 rw\naccess A update xor\n");
+    FAIL() << "unknown update operator must be rejected at parse time";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown update operator"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(LoopSpec, CommentsAndBlankLinesIgnored) {
   const char* text = R"(
 # leading comment

@@ -158,6 +158,20 @@ TEST(SvcProtocol, ErrorRoundtripAndRules) {
   EXPECT_EQ(got.rule, "svc-queue-full");
   EXPECT_EQ(got.message, "try again");
   EXPECT_FALSE(svc::parse_error("job 1\nmessage no rule\n", got));
+
+  // svc-spec-unsupported carries the analysis classification: the operand
+  // name, its class, and the merge operator must survive the codec intact so
+  // clients can report exactly what the spec needs.
+  svc::ErrorReply unsupported{
+      42, "svc-spec-unsupported",
+      "operand 'hist' is a commutative 'sum' reduction (class reduction); "
+      "cascading it requires privatization"};
+  ASSERT_TRUE(svc::parse_error(svc::encode_error(unsupported), got));
+  EXPECT_EQ(got.job, 42u);
+  EXPECT_EQ(got.rule, "svc-spec-unsupported");
+  EXPECT_NE(got.message.find("'hist'"), std::string::npos);
+  EXPECT_NE(got.message.find("'sum'"), std::string::npos);
+  EXPECT_NE(got.message.find("reduction"), std::string::npos);
 }
 
 TEST(SvcProtocol, StatsRoundtrip) {

@@ -263,6 +263,47 @@ TEST(SvcServer, MalformedInputsDrawErrorsNeverAborts) {
   server.stop();
 }
 
+// A valid reduction spec is refused with the precise capability diagnostic
+// (svc-spec-unsupported naming the operand, class, and merge operator), not
+// a generic invalid-spec error — and the server keeps serving afterwards.
+TEST(SvcServer, ReductionSpecDrawsPreciseUnsupportedError) {
+  svc::SvcConfig cfg;
+  cfg.socket_path = test_socket("reduction");
+  svc::SvcServer server(std::move(cfg));
+  server.start();
+
+  constexpr const char* kHistogram = R"(loop svc_hist
+trip 4096
+compute 2 2
+array hist 8 256 rw
+index bidx 4096 random 7
+access hist update sum via bidx
+)";
+  {
+    svc::SvcClient client;
+    ASSERT_TRUE(client.connect(server.socket_path()));
+    ASSERT_TRUE(client.send_submit(submit_for("alice", 1, kHistogram)));
+    const svc::Reply reply = client.read_reply();
+    ASSERT_EQ(reply.kind, svc::Reply::Kind::kError);
+    EXPECT_EQ(reply.error.rule, "svc-spec-unsupported");
+    EXPECT_EQ(reply.error.job, 1u);
+    EXPECT_NE(reply.error.message.find("'hist'"), std::string::npos);
+    EXPECT_NE(reply.error.message.find("'sum'"), std::string::npos);
+    EXPECT_NE(reply.error.message.find("privatization"), std::string::npos);
+  }
+  // Plain specs still run after the refusal.
+  {
+    const auto ref_b = reference_for(kSpecB);
+    svc::SvcClient client;
+    ASSERT_TRUE(client.connect(server.socket_path()));
+    ASSERT_TRUE(client.send_submit(submit_for("alice", 2, kSpecB)));
+    const svc::Reply reply = client.read_reply();
+    ASSERT_EQ(reply.kind, svc::Reply::Kind::kResult);
+    EXPECT_EQ(reply.result.digest, ref_b.first);
+  }
+  server.stop();
+}
+
 TEST(SvcServer, BackpressureRepliesWhenQueueIsFull) {
   // A gate in before_execute wedges the only shard so the bounded queue
   // fills deterministically.

@@ -8,6 +8,14 @@
 //   casclint --spec=examples/specs/spmv.casc
 //   casclint --spec=a.casc,b.casc --format=json --out=lint.json
 //   casclint --spec=loop.casc --chunk=128K --no-shadow --strict
+//   casclint --spec=loop.casc --certify --format=json
+//
+// --certify additionally runs the schedule-independent race certifier
+// (docs/ANALYSIS.md): every cross-chunk reference pair is classified
+// against the token ring's happens-before order, and the exit status
+// follows the certificate verdict instead of the strict lint — a spec the
+// affine passes refuse can still pass when its staged bytes are provably
+// write-free at every worker count.
 //
 // Exit status: 0 = all specs clean (no errors; with --strict, no warnings
 // either), 1 = at least one diagnostic at the failing severity, 2 = usage or
@@ -31,6 +39,10 @@ const std::vector<OptionSpec> kSpecs = {
     {"format", "text|json", "report format", "text"},
     {"chunk", "bytes", "chunk size the analysis reasons about", "64K"},
     {"no-shadow", "", "skip the trace-backed shadow checker", ""},
+    {"certify", "",
+     "run the schedule-independent race certifier; the exit status follows "
+     "the certificate verdict (certified/requires-privatization pass)",
+     ""},
     {"shadow-iters", "n", "iteration cap for the shadow replay", "1048576"},
     {"strict", "", "treat warnings as errors for the exit status", ""},
     {"out", "path", "write the report here instead of stdout", ""},
@@ -89,6 +101,7 @@ int main(int argc, char** argv) {
   try {
     opt.chunk_bytes = args.get_bytes("chunk");
     opt.run_shadow = !args.has("no-shadow");
+    opt.certify = args.has("certify");
     opt.max_shadow_iterations = args.get_u64("shadow-iters");
   } catch (const std::exception& e) {
     std::cerr << "casclint: " << e.what() << '\n';
@@ -112,8 +125,17 @@ int main(int argc, char** argv) {
       std::cerr << "casclint: " << path << ": " << e.what() << '\n';
       return 2;
     }
-    const bool failed =
-        !report.ok() || (args.has("strict") && report.diags.warnings() > 0);
+    // With --certify the exit status follows the certificate: a spec whose
+    // staged bytes are provably write-free (or whose only obstacle is a
+    // privatizable reduction) passes even when the strict lint refuses it.
+    bool failed;
+    if (opt.certify && report.certificate) {
+      const std::string& v = report.certificate->verdict;
+      failed = v != "certified-disjoint" && v != "requires-privatization";
+    } else {
+      failed =
+          !report.ok() || (args.has("strict") && report.diags.warnings() > 0);
+    }
     if (failed) exit_code = 1;
     if (format == "text") {
       out << path << ":\n" << casc::analysis::render_text(report) << '\n';

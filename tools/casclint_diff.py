@@ -1,11 +1,18 @@
 #!/usr/bin/env python3
 """Compare casclint JSON reports against committed goldens.
 
-casclint's --format=json output is byte-deterministic (fixed key order, no
-timestamps, basenamed source paths), so goldens are compared exactly: any
-difference — a new diagnostic, a changed verdict, a reordered key — is a
-baseline-invalidating event that must land together with a regenerated
-golden (casclint --format=json --out=goldens/casclint/<name>.json ...).
+casclint's --format=json output is deterministic (fixed key order, no
+timestamps, basenamed source paths), so goldens pin every value they record:
+a changed verdict, diagnostic, or count is a baseline-invalidating event that
+must land together with a regenerated golden (casclint --format=json
+--out=goldens/casclint/<name>.json ...).
+
+The comparison is STRUCTURAL, not byte-exact: every key present in the golden
+must be present in the current report with an equal value, but keys the
+current report has and the golden lacks are tolerated (a newer casclint may
+add report sections — e.g. the certificate — without invalidating every
+committed golden at once).  Arrays still compare element-wise with equal
+length: diagnostics appearing or disappearing is a real change.
 
 Usage:
   casclint_diff.py GOLDEN CURRENT [--verbose]
@@ -15,11 +22,10 @@ directories, files are matched by name.  Golden files with no counterpart in
 CURRENT are an error; extra CURRENT files are reported but allowed (new specs
 should land with new goldens).
 
-Exit status: 0 = identical, 1 = mismatch/IO error, 2 = usage error.
+Exit status: 0 = match, 1 = mismatch/IO error, 2 = usage error.
 """
 
 import argparse
-import difflib
 import json
 import os
 import sys
@@ -39,7 +45,40 @@ def load(path):
         if doc.get("tool") != "casclint":
             raise SystemExit(
                 f"error: {path}: tool {doc.get('tool')!r}, expected 'casclint'")
-    return text
+    return docs
+
+
+def structural_diff(golden, current, path, out):
+    """Appends a line to `out` for every golden value `current` contradicts.
+
+    Objects: every golden key must exist in current with an equal value;
+    extra current keys pass.  Arrays: element-wise, equal length.  Scalars:
+    equality.
+    """
+    if isinstance(golden, dict):
+        if not isinstance(current, dict):
+            out.append(f"{path}: golden is an object, current is "
+                       f"{type(current).__name__}")
+            return
+        for key, gval in golden.items():
+            if key not in current:
+                out.append(f"{path}.{key}: present in golden, missing from "
+                           f"current")
+                continue
+            structural_diff(gval, current[key], f"{path}.{key}", out)
+    elif isinstance(golden, list):
+        if not isinstance(current, list):
+            out.append(f"{path}: golden is an array, current is "
+                       f"{type(current).__name__}")
+            return
+        if len(golden) != len(current):
+            out.append(f"{path}: golden has {len(golden)} element(s), "
+                       f"current has {len(current)}")
+            return
+        for i, (gval, cval) in enumerate(zip(golden, current)):
+            structural_diff(gval, cval, f"{path}[{i}]", out)
+    elif golden != current:
+        out.append(f"{path}: golden {golden!r} != current {current!r}")
 
 
 def compare_file(golden_path, cur_path, verbose):
@@ -47,14 +86,16 @@ def compare_file(golden_path, cur_path, verbose):
     golden = load(golden_path)
     cur = load(cur_path)
     name = os.path.basename(golden_path)
-    if golden == cur:
+    mismatches = []
+    structural_diff(golden, cur, "$", mismatches)
+    if not mismatches:
         if verbose:
-            print(f"  {name}: identical")
+            print(f"  {name}: matches")
         return []
-    diff = difflib.unified_diff(
-        golden.splitlines(keepends=True), cur.splitlines(keepends=True),
-        fromfile=f"golden/{name}", tofile=f"current/{name}")
-    return [f"{name}: reports differ\n" + "".join(diff)]
+    detail = "\n".join(f"    {m}" for m in mismatches[:40])
+    if len(mismatches) > 40:
+        detail += f"\n    ... and {len(mismatches) - 40} more"
+    return [f"{name}: {len(mismatches)} mismatch(es)\n{detail}"]
 
 
 def main():
@@ -91,7 +132,7 @@ def main():
         for f in failures:
             print(f, file=sys.stderr)
         return 1
-    print("casclint goldens: all identical")
+    print("casclint goldens: all match")
     return 0
 
 
