@@ -113,6 +113,32 @@ void BM_CascadedGatherRestructure(benchmark::State& state) {
 }
 BENCHMARK(BM_CascadedGatherRestructure)->Arg(2)->Arg(4);
 
+// The SIMD staged path: the same loop with the gather declared as
+// IndexedGather (block staging through the runtime-dispatched gather
+// kernels) and the drain as a span consumer (one call per chunk over the
+// contiguous staged values).  Against BM_CascadedGatherRestructure this
+// isolates what the explicit SIMD kernels buy over the scalar
+// gather-one-push-one staging loop.
+void BM_CascadedGatherRestructureSimd(benchmark::State& state) {
+  Workload& w = workload();
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  CascadeExecutor ex(ExecutorConfig{threads, false});
+  RestructuredLoop<double> loop(ex, kChunkIters);
+  const auto gather = casc::rt::indexed_gather(w.a.data(), kN, w.ij.data());
+  for (auto _ : state) {
+    loop.run(kN, gather,
+             [&](std::uint64_t b, std::uint64_t e, const double* vals) {
+               for (std::uint64_t i = b; i < e; ++i) w.x[i] = vals[i - b] + 1.0;
+             });
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+  state.counters["staged_fraction"] = loop.last_run_stats().staged_fraction();
+  state.counters["simd_tier"] = static_cast<double>(
+      static_cast<int>(casc::common::simd::active_tier()));
+}
+BENCHMARK(BM_CascadedGatherRestructureSimd)->Arg(2)->Arg(4);
+
 // Look-ahead ablation at a fixed 4 threads: L buffers per worker let an idle
 // helper stage its next L chunks instead of waiting out the token.
 void BM_CascadedGatherLookahead(benchmark::State& state) {

@@ -1,0 +1,46 @@
+#include "casc/common/aligned_alloc.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace casc::common {
+
+namespace {
+
+std::atomic<std::uint64_t> g_thp_failures{0};
+std::atomic<bool> g_thp_note_emitted{false};
+
+}  // namespace
+
+bool advise_huge_pages(void* p, std::size_t bytes) noexcept {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  if (::madvise(p, bytes, MADV_HUGEPAGE) == 0) return true;
+  const int err = errno;
+  g_thp_failures.fetch_add(1, std::memory_order_relaxed);
+  // One telemetry note per process, not one per buffer: the condition is a
+  // host configuration, so repeating it is noise.
+  if (!g_thp_note_emitted.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "casc: note: madvise(MADV_HUGEPAGE) failed (%s); large "
+                 "staging buffers fall back to 4 KB pages — see casc-setup\n",
+                 std::strerror(err));
+  }
+  return false;
+#else
+  (void)p;
+  (void)bytes;
+  return true;  // nothing to advise: not a degradation
+#endif
+}
+
+std::uint64_t thp_advise_failures() noexcept {
+  return g_thp_failures.load(std::memory_order_relaxed);
+}
+
+}  // namespace casc::common

@@ -13,6 +13,17 @@ namespace casc::common {
 /// (and is an ABI hazard in headers), so we pin the conventional x86 value.
 inline constexpr std::size_t kCacheLineSize = 64;
 
+/// Transparent-huge-page granularity (x86-64 2 MB).  The single source of
+/// truth for every allocation tier decision: buffers at or above this size
+/// are huge-page aligned and madvise(MADV_HUGEPAGE)d so a large staging area
+/// costs one TLB entry instead of hundreds (see aligned_alloc.hpp).
+inline constexpr std::size_t kHugePageSize = std::size_t{2} << 20;
+
+/// Allocation size at or above which the huge-page tier kicks in.  Kept as a
+/// named constant (rather than reusing kHugePageSize inline) so the policy
+/// reads as a policy at call sites.
+inline constexpr std::size_t kHugePageThreshold = kHugePageSize;
+
 /// Wraps a value so that it occupies its own cache line(s).  Used for
 /// per-processor state (token slots, counters) that must not false-share.
 template <typename T>

@@ -1,11 +1,13 @@
 #include "casc/exec/bridge.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
 #include <vector>
 
 #include "casc/analysis/verifier.hpp"
 #include "casc/common/check.hpp"
+#include "casc/common/simd.hpp"
 #include "casc/common/stopwatch.hpp"
 #include "casc/rt/fault_injection.hpp"
 #include "casc/rt/helpers.hpp"
@@ -14,12 +16,22 @@ namespace casc::exec {
 
 namespace {
 
-/// Interprets iterations [begin, end) against real storage, continuing from
-/// `acc`.  `staged` non-null: drain proven-read-only operand values from the
-/// cursor instead of gathering them from the arrays.
-std::uint64_t interpret_span(MaterializedLoop& loop, std::uint64_t begin,
-                             std::uint64_t end, std::uint64_t acc,
-                             rt::SequentialBuffer::ReadCursor<std::uint64_t>* staged) {
+// ---- interpretation kernels ------------------------------------------------
+//
+// One generic interpreter plus kernels fused per operand-class shape.  The
+// generic form re-branches on every ResolvedRef (is it a write? is it
+// staged?); for the common uniform bodies the classification already lives in
+// MaterializedLoop::body_shape(), so the dispatch happens ONCE per span and
+// the inner loops below touch only what their shape needs — the all-staged
+// kernel never reads the ResolvedRef table at all.  Every kernel implements
+// the same semantics (see materialize.hpp), so digests are bit-identical
+// across kernels, helper modes, and SIMD tiers.
+
+/// Generic reference interpreter.  `staged` non-null: consume the next staged
+/// value for each staged read (the helper gathered them in stream order).
+std::uint64_t interpret_generic(MaterializedLoop& loop, std::uint64_t begin,
+                                std::uint64_t end, std::uint64_t acc,
+                                const std::uint64_t* staged) {
   for (std::uint64_t it = begin; it < end; ++it) {
     for (const ResolvedRef* ref = loop.refs_begin(it); ref != loop.refs_end(it);
          ++ref) {
@@ -30,8 +42,7 @@ std::uint64_t interpret_span(MaterializedLoop& loop, std::uint64_t begin,
       } else {
         std::uint64_t v;
         if (staged != nullptr && ref->staged) {
-          staged->prefetch(8);
-          v = staged->next();
+          v = *staged++;
         } else {
           v = loop.load(*ref);
         }
@@ -40,6 +51,96 @@ std::uint64_t interpret_span(MaterializedLoop& loop, std::uint64_t begin,
     }
   }
   return acc;
+}
+
+/// Fused: every reference is a staged read.  Pure mix-fold over the dense
+/// staged span — no ResolvedRef traffic, no branches, the exact loop the
+/// hardware stream prefetcher is built for.
+std::uint64_t interpret_reads_only(std::uint64_t begin, std::uint64_t end,
+                                   std::uint64_t acc,
+                                   const std::uint64_t* staged,
+                                   std::uint32_t refs_per_iter) {
+  const std::uint64_t n = (end - begin) * refs_per_iter;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    acc = MaterializedLoop::mix(acc, staged[k]);
+  }
+  return acc;
+}
+
+/// Fused: R staged reads then exactly one trailing write per iteration (the
+/// dense_sum / gather_split shape).  Only the write slot's ResolvedRef is
+/// touched.
+std::uint64_t interpret_reads_then_write(MaterializedLoop& loop,
+                                         std::uint64_t begin, std::uint64_t end,
+                                         std::uint64_t acc,
+                                         const std::uint64_t* staged,
+                                         std::uint32_t reads) {
+  for (std::uint64_t it = begin; it < end; ++it) {
+    for (std::uint32_t r = 0; r < reads; ++r) {
+      acc = MaterializedLoop::mix(acc, *staged++);
+    }
+    const ResolvedRef& w = *(loop.refs_end(it) - 1);
+    const std::uint64_t wv = MaterializedLoop::mix(acc, it);
+    loop.store(w, wv);
+    acc = wv;
+  }
+  return acc;
+}
+
+/// Fused: arbitrary uniform slot sequence, driven from the precomputed shape
+/// table instead of per-ref flag bytes (the spmv shape: staged reads mixed
+/// with plain reads and writes).
+std::uint64_t interpret_uniform(MaterializedLoop& loop, std::uint64_t begin,
+                                std::uint64_t end, std::uint64_t acc,
+                                const std::uint64_t* staged,
+                                const std::vector<SlotKind>& slots) {
+  for (std::uint64_t it = begin; it < end; ++it) {
+    const ResolvedRef* ref = loop.refs_begin(it);
+    for (const SlotKind kind : slots) {
+      switch (kind) {
+        case SlotKind::kStagedRead:
+          acc = MaterializedLoop::mix(acc, *staged++);
+          break;
+        case SlotKind::kPlainRead:
+          acc = MaterializedLoop::mix(acc, loop.load(*ref));
+          break;
+        case SlotKind::kWrite: {
+          const std::uint64_t w = MaterializedLoop::mix(acc, it);
+          loop.store(*ref, w);
+          acc = w;
+          break;
+        }
+      }
+      ++ref;
+    }
+  }
+  return acc;
+}
+
+/// Interprets iterations [begin, end) against real storage, continuing from
+/// `acc`.  `staged` non-null: the chunk's staged operand values, gathered by
+/// the helper in stream order.  Dispatches once to the best kernel the body
+/// shape admits.
+std::uint64_t interpret_span(MaterializedLoop& loop, std::uint64_t begin,
+                             std::uint64_t end, std::uint64_t acc,
+                             const std::uint64_t* staged) {
+  if (staged != nullptr) {
+    const BodyShape& shape = loop.body_shape();
+    if (shape.uniform && shape.plain_reads == 0) {
+      if (shape.writes == 0) {
+        return interpret_reads_only(begin, end, acc, staged,
+                                    shape.staged_reads);
+      }
+      if (shape.writes == 1 && shape.slots.back() == SlotKind::kWrite) {
+        return interpret_reads_then_write(loop, begin, end, acc, staged,
+                                          shape.staged_reads);
+      }
+    }
+    if (shape.uniform) {
+      return interpret_uniform(loop, begin, end, acc, staged, shape.slots);
+    }
+  }
+  return interpret_generic(loop, begin, end, acc, staged);
 }
 
 }  // namespace
@@ -192,7 +293,7 @@ ExecResult run_cascaded(MaterializedLoop& loop, rt::CascadeExecutor& executor,
         chunk_staged[c] != 0) {
       auto cursor = buffers->for_chunk_index(c).read_cursor<std::uint64_t>(
           staged_in(begin, end));
-      acc = interpret_span(loop, begin, end, acc, &cursor);
+      acc = interpret_span(loop, begin, end, acc, cursor.data());
     } else {
       acc = interpret_span(loop, begin, end, acc, nullptr);
     }
@@ -215,14 +316,39 @@ ExecResult run_cascaded(MaterializedLoop& loop, rt::CascadeExecutor& executor,
     const std::uint64_t c = begin / ipc;
     rt::SequentialBuffer& buf = buffers->for_chunk_index(c);
     buf.reset();
-    auto cursor = buf.write_cursor<std::uint64_t>(staged_in(begin, end));
-    for (std::uint64_t it = begin; it < end; ++it) {
+    // Walk the SoA staged stream for this chunk instead of the interleaved
+    // ResolvedRef records: runs of same-array full-word references become one
+    // SIMD gather call each, with the byte offsets as the index vector.
+    const std::uint64_t p1 = loop.staged_refs_before(end);
+    std::uint64_t p = loop.staged_refs_before(begin);
+    auto cursor = buf.write_cursor<std::uint64_t>(p1 - p);
+    const std::uint64_t* offs = loop.staged_offsets();
+    const std::uint32_t* arrs = loop.staged_arrays();
+    const std::uint8_t* sizes = loop.staged_sizes();
+    constexpr std::uint64_t kPoll = 1024;  // staged refs between token polls
+    while (p < p1) {
       // Abandoning the uncommitted cursor discards the partial staging; the
       // execution phase falls back to gathering from the arrays.
-      if ((it & 0x3f) == 0 && watch.signalled()) return false;
-      for (const ResolvedRef* ref = loop.refs_begin(it); ref != loop.refs_end(it);
-           ++ref) {
-        if (ref->staged) cursor.push(loop.load(*ref));
+      if (watch.signalled()) return false;
+      const std::uint64_t block_end = std::min(p1, p + kPoll);
+      while (p < block_end) {
+        const std::uint32_t a = arrs[p];
+        if (sizes[p] == 8) {
+          std::uint64_t q = p + 1;
+          while (q < block_end && arrs[q] == a && sizes[q] == 8) ++q;
+          common::simd::gather_offsets_u64(loop.array_data(a), offs + p, q - p,
+                                           cursor.reserve_span(q - p));
+          cursor.advance(q - p);
+          p = q;
+        } else {
+          // Narrow element: zero-extended little-endian load, exactly
+          // MaterializedLoop::load()'s semantics.
+          std::uint64_t v = 0;
+          std::memcpy(&v, loop.array_data(a) + offs[p],
+                      std::min<std::size_t>(sizes[p], 8));
+          cursor.push(v);
+          ++p;
+        }
       }
     }
     cursor.commit();

@@ -23,10 +23,12 @@
 // coincidence.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "casc/common/aligned_alloc.hpp"
 #include "casc/loopir/loop_nest.hpp"
 #include "casc/loopir/loop_spec.hpp"
 
@@ -42,6 +44,26 @@ struct ResolvedRef {
   /// Read of a proven-read-only operand (including index loads): the
   /// restructuring helper may stage its value ahead of execution.
   bool staged = false;
+};
+
+/// Operand class of one reference slot of a uniform loop body, in body order.
+enum class SlotKind : std::uint8_t {
+  kStagedRead = 0,  ///< proven-read-only load; the helper may stage it
+  kPlainRead = 1,   ///< load that must hit the arrays at execution time
+  kWrite = 2,       ///< store (always executed in place)
+};
+
+/// Operand-class shape of the loop body, computed once from the resolved
+/// stream.  When `uniform` every iteration issues the same slot sequence, so
+/// the interpreter can dispatch ONCE per span to a kernel fused for that
+/// sequence instead of re-branching on every ResolvedRef (bridge.cpp).  The
+/// classification is re-derived whenever staging flags change (restage()).
+struct BodyShape {
+  bool uniform = false;             ///< every iteration has the same slots
+  std::vector<SlotKind> slots;      ///< the per-iteration sequence (if uniform)
+  std::uint32_t staged_reads = 0;   ///< slot counts by kind (if uniform)
+  std::uint32_t plain_reads = 0;
+  std::uint32_t writes = 0;
 };
 
 /// A spec with real backing arrays and a pre-resolved reference stream.
@@ -99,10 +121,42 @@ class MaterializedLoop {
     return max_staged_per_iter_;
   }
 
+  /// Operand-class shape of the body (see BodyShape).
+  [[nodiscard]] const BodyShape& body_shape() const noexcept { return shape_; }
+
+  // ---- staged operand stream (SoA) ----------------------------------------
+  //
+  // The staged references of the whole loop, in stream order, as parallel
+  // arrays.  The restructuring helper walks these instead of the interleaved
+  // ResolvedRef records: runs of same-array 8-byte entries feed the SIMD
+  // gather kernels (common/simd.hpp) directly, offsets as the gather index
+  // vector.  Entry p covers the p'th staged reference; iteration `it` owns
+  // entries [staged_refs_before(it), staged_refs_before(it + 1)).
+
+  [[nodiscard]] const std::uint64_t* staged_offsets() const noexcept {
+    return staged_offsets_.data();
+  }
+  [[nodiscard]] const std::uint32_t* staged_arrays() const noexcept {
+    return staged_arrays_.data();
+  }
+  [[nodiscard]] const std::uint8_t* staged_sizes() const noexcept {
+    return staged_sizes_.data();
+  }
+  [[nodiscard]] std::uint64_t staged_refs_total() const noexcept {
+    return staged_offsets_.size();
+  }
+
   // ---- interpreter building blocks ---------------------------------------
 
   [[nodiscard]] const std::byte* addr(const ResolvedRef& ref) const noexcept {
     return storage_[ref.array].data() + ref.offset;
+  }
+
+  /// Base pointer of one array's backing storage (cache-line or huge-page
+  /// aligned per the common allocation policy) — the SIMD gather kernels'
+  /// base operand.
+  [[nodiscard]] const std::byte* array_data(loopir::ArrayId id) const noexcept {
+    return storage_[id].data();
   }
 
   /// Little-endian load of min(size, 8) bytes, zero-extended.
@@ -119,17 +173,29 @@ class MaterializedLoop {
   static constexpr std::uint64_t kAccSeed = 0x9e3779b97f4a7c15ull;
 
  private:
+  /// Backing bytes of one array, on the unified aligned-allocation policy:
+  /// cache-line aligned, huge-page aligned + advised at >= 2 MB.
+  using ArrayBytes = std::vector<std::byte, common::AlignedAllocator<std::byte>>;
+
   void fill_arrays();
   void resolve_stream();
+  /// Rebuilds everything derived from the staged flags: the per-iteration
+  /// prefix sums, the SoA staged stream, and the body shape.  Called after
+  /// resolve_stream() and after every restage().
+  void rebuild_staged_stream();
 
   loopir::LoopSpec spec_;
   std::vector<std::string> demoted_;
   loopir::LoopNest nest_;
-  std::vector<std::vector<std::byte>> storage_;  // one vector per array
+  std::vector<ArrayBytes> storage_;              // one vector per array
   std::vector<ResolvedRef> refs_;                // flat, iteration-major
   std::vector<std::uint64_t> iter_offsets_;      // num_iterations + 1
   std::vector<std::uint64_t> staged_prefix_;     // num_iterations + 1
   std::uint64_t max_staged_per_iter_ = 0;
+  std::vector<std::uint64_t> staged_offsets_;    // SoA staged stream
+  std::vector<std::uint32_t> staged_arrays_;
+  std::vector<std::uint8_t> staged_sizes_;
+  BodyShape shape_;
 };
 
 }  // namespace casc::exec

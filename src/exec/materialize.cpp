@@ -36,7 +36,7 @@ void MaterializedLoop::fill_arrays() {
 void MaterializedLoop::reset() {
   for (loopir::ArrayId id = 0; id < nest_.num_arrays(); ++id) {
     const loopir::ArraySpec& spec = nest_.array(id);
-    std::vector<std::byte>& bytes = storage_[id];
+    ArrayBytes& bytes = storage_[id];
     const std::vector<std::uint32_t>& index_values = nest_.index_values(id);
     if (!index_values.empty()) {
       // Index array: real storage holds exactly the values the nest
@@ -73,20 +73,10 @@ void MaterializedLoop::restage(const std::vector<std::string>& certified) {
     }
   }
   if (!any) return;
-  const std::uint64_t iters = num_iterations();
-  std::uint64_t staged_total = 0;
-  max_staged_per_iter_ = 0;
-  for (std::uint64_t it = 0; it < iters; ++it) {
-    std::uint64_t staged_here = 0;
-    for (std::uint64_t r = iter_offsets_[it]; r < iter_offsets_[it + 1]; ++r) {
-      ResolvedRef& ref = refs_[r];
-      if (!ref.is_write && wanted[ref.array]) ref.staged = true;
-      if (ref.staged) ++staged_here;
-    }
-    staged_total += staged_here;
-    max_staged_per_iter_ = std::max(max_staged_per_iter_, staged_here);
-    staged_prefix_[it + 1] = staged_total;
+  for (ResolvedRef& ref : refs_) {
+    if (!ref.is_write && wanted[ref.array]) ref.staged = true;
   }
+  rebuild_staged_stream();
 }
 
 void MaterializedLoop::resolve_stream() {
@@ -118,17 +108,13 @@ void MaterializedLoop::resolve_stream() {
 
   const std::uint64_t iters = nest_.num_iterations();
   iter_offsets_.reserve(iters + 1);
-  staged_prefix_.reserve(iters + 1);
   iter_offsets_.push_back(0);
-  staged_prefix_.push_back(0);
-  std::uint64_t staged_total = 0;
   std::vector<loopir::Ref> scratch;
   for (std::uint64_t it = 0; it < iters; ++it) {
     scratch.clear();
     nest_.refs_for_iteration(it, scratch);
     CASC_CHECK(refs_.size() + scratch.size() <= kMaxResolvedRefs,
                "loop too large to materialize for the real runtime");
-    std::uint64_t staged_here = 0;
     for (const loopir::Ref& ref : scratch) {
       const Region& region = resolve(ref.mem.addr);
       ResolvedRef resolved;
@@ -140,13 +126,59 @@ void MaterializedLoop::resolve_stream() {
                         (ref.read_only_operand || ref.is_index_load);
       CASC_CHECK(resolved.offset + resolved.size <= region.size,
                  "reference straddles an array extent");
-      if (resolved.staged) ++staged_here;
       refs_.push_back(resolved);
     }
-    staged_total += staged_here;
-    max_staged_per_iter_ = std::max(max_staged_per_iter_, staged_here);
     iter_offsets_.push_back(refs_.size());
-    staged_prefix_.push_back(staged_total);
+  }
+  rebuild_staged_stream();
+}
+
+void MaterializedLoop::rebuild_staged_stream() {
+  const std::uint64_t iters = num_iterations();
+  staged_prefix_.assign(iters + 1, 0);
+  staged_offsets_.clear();
+  staged_arrays_.clear();
+  staged_sizes_.clear();
+  max_staged_per_iter_ = 0;
+  shape_ = BodyShape{};
+  shape_.uniform = iters > 0;
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    std::uint64_t staged_here = 0;
+    const std::uint64_t body_len = iter_offsets_[it + 1] - iter_offsets_[it];
+    if (shape_.uniform && it > 0 && body_len != shape_.slots.size()) {
+      shape_.uniform = false;
+    }
+    for (std::uint64_t r = iter_offsets_[it]; r < iter_offsets_[it + 1]; ++r) {
+      const ResolvedRef& ref = refs_[r];
+      if (ref.staged) {
+        staged_offsets_.push_back(ref.offset);
+        staged_arrays_.push_back(ref.array);
+        staged_sizes_.push_back(ref.size);
+        ++staged_here;
+      }
+      const SlotKind kind = ref.is_write  ? SlotKind::kWrite
+                            : ref.staged  ? SlotKind::kStagedRead
+                                          : SlotKind::kPlainRead;
+      if (it == 0) {
+        shape_.slots.push_back(kind);
+      } else if (shape_.uniform &&
+                 shape_.slots[r - iter_offsets_[it]] != kind) {
+        shape_.uniform = false;
+      }
+    }
+    max_staged_per_iter_ = std::max(max_staged_per_iter_, staged_here);
+    staged_prefix_[it + 1] = staged_prefix_[it] + staged_here;
+  }
+  if (!shape_.uniform) {
+    shape_.slots.clear();
+    return;
+  }
+  for (const SlotKind kind : shape_.slots) {
+    switch (kind) {
+      case SlotKind::kStagedRead: ++shape_.staged_reads; break;
+      case SlotKind::kPlainRead: ++shape_.plain_reads; break;
+      case SlotKind::kWrite: ++shape_.writes; break;
+    }
   }
 }
 

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "casc/common/check.hpp"
+#include "casc/common/simd.hpp"
 #include "casc/common/stopwatch.hpp"
 #include "casc/rt/adaptive.hpp"
 #include "casc/rt/executor.hpp"
@@ -45,6 +46,74 @@
 #include "casc/rt/seq_buffer.hpp"
 
 namespace casc::rt {
+
+/// A gather expressible as `base[idx[i]]` — the cascade's canonical
+/// scattered-operand shape.  Declaring the structure (instead of hiding it
+/// inside an opaque lambda) lets the staging helper run the runtime-
+/// dispatched SIMD gather kernels (common/simd.hpp) over whole blocks of
+/// indices; the jump-out fallback and the refused-gate path call
+/// operator() exactly like any other gather, so results stay bit-identical
+/// on every path.
+template <typename T, typename I>
+struct IndexedGather {
+  const T* base = nullptr;
+  const I* idx = nullptr;
+  /// Element count of `base`.  Gates the 32-bit-lane SIMD kernels: every
+  /// index is < base_len, so base_len <= 2^31 proves the kernels' signed-
+  /// lane contract.  Larger bases silently take the scalar path.
+  std::uint64_t base_len = 0;
+
+  [[nodiscard]] T operator()(std::uint64_t i) const noexcept {
+    return base[idx[i]];
+  }
+};
+
+/// Deduction helper: `indexed_gather(a.data(), a.size(), ij.data())`.
+template <typename T, typename I>
+[[nodiscard]] IndexedGather<T, I> indexed_gather(const T* base,
+                                                 std::uint64_t base_len,
+                                                 const I* idx) noexcept {
+  return IndexedGather<T, I>{base, idx, base_len};
+}
+
+namespace detail {
+
+template <typename G>
+struct is_indexed_gather : std::false_type {};
+template <typename T, typename I>
+struct is_indexed_gather<IndexedGather<T, I>> : std::true_type {};
+template <typename G>
+inline constexpr bool is_indexed_gather_v =
+    is_indexed_gather<std::remove_cv_t<std::remove_reference_t<G>>>::value;
+
+/// Consume callable that accepts a whole staged span `(begin, end, values)`
+/// instead of one `(i, value)` at a time — the drain side's vector form.
+template <typename C, typename V>
+inline constexpr bool is_span_consume_v =
+    std::is_invocable_v<C&, std::uint64_t, std::uint64_t, const V*>;
+
+/// Gathers values[idx[begin..begin+len)] into `out` with the best kernel the
+/// type combination and index range admit; the scalar path is the semantic
+/// reference, so every path is bit-identical.
+template <typename T, typename I>
+void gather_block(const IndexedGather<T, I>& g, std::uint64_t begin,
+                  std::uint64_t len, T* out) noexcept {
+  if constexpr (std::is_same_v<T, double> && std::is_same_v<I, std::uint32_t>) {
+    if (g.base_len <= (std::uint64_t{1} << 31)) {
+      common::simd::gather_index_f64(g.base, g.idx + begin, len, out);
+      return;
+    }
+  } else if constexpr (std::is_same_v<T, std::uint64_t> &&
+                       std::is_same_v<I, std::uint32_t>) {
+    if (g.base_len <= (std::uint64_t{1} << 31)) {
+      common::simd::gather_index_u64(g.base, g.idx + begin, len, out);
+      return;
+    }
+  }
+  for (std::uint64_t k = 0; k < len; ++k) out[k] = g(begin + k);
+}
+
+}  // namespace detail
 
 /// Tuning knobs for a RestructuredLoop (defaults reproduce the pre-lookahead
 /// behaviour: one buffer per worker, fixed chunk size).
@@ -198,9 +267,23 @@ class RestructuredLoop {
       SequentialBuffer& buf = buffers_.for_chunk_index(c);
       buf.reset();
       auto cursor = buf.template write_cursor<V>(e - b);
-      for (std::uint64_t i = b; i < e; ++i) {
-        if ((i & 0x3f) == 0 && watch.signalled()) return false;  // jump out
-        cursor.push(gather(i));
+      if constexpr (detail::is_indexed_gather_v<Gather>) {
+        // SIMD fast path: gather whole blocks straight into the cursor's
+        // reserved span, polling the token between blocks.  A jump-out
+        // abandons the cursor exactly like the scalar path.
+        constexpr std::uint64_t kBlock = 1024;
+        for (std::uint64_t i = b; i < e;) {
+          if (watch.signalled()) return false;  // jump out
+          const std::uint64_t len = std::min(kBlock, e - i);
+          detail::gather_block(gather, i, len, cursor.reserve_span(len));
+          cursor.advance(len);
+          i += len;
+        }
+      } else {
+        for (std::uint64_t i = b; i < e; ++i) {
+          if ((i & 0x3f) == 0 && watch.signalled()) return false;  // jump out
+          cursor.push(gather(i));
+        }
       }
       cursor.commit();
       // Written and later read by the same worker: chunk c's helper and
@@ -221,11 +304,34 @@ class RestructuredLoop {
       if (!ctx.reclaimed && !ctx.staging_invalid && staged_[chunk] != 0) {
         SequentialBuffer& buf = buffers_.for_chunk_index(chunk);
         auto cursor = buf.template read_cursor<V>(end - begin);
-        for (std::uint64_t i = begin; i < end; ++i) {
-          if (prefetch_dist != 0) cursor.prefetch(prefetch_dist);
-          consume(i, cursor.next());
+        if constexpr (detail::is_span_consume_v<Consume, V>) {
+          // Vector drain: one call over the contiguous staged span; the
+          // dense sequential walk is what the hardware stream prefetcher
+          // (and the consumer's own vectorization) is built for.
+          consume(begin, end, cursor.data());
+        } else {
+          for (std::uint64_t i = begin; i < end; ++i) {
+            if (prefetch_dist != 0) cursor.prefetch(prefetch_dist);
+            consume(i, cursor.next());
+          }
         }
         ++stats_local_staged_;
+      } else if constexpr (detail::is_span_consume_v<Consume, V>) {
+        // Fallback for a span consumer: materialize block-wise into a stack
+        // staging area (SIMD-gathered when the gather is indexed), then hand
+        // out the same spans the staged path would.
+        constexpr std::uint64_t kBlock = 1024;
+        alignas(common::kCacheLineSize) V tmp[kBlock];
+        for (std::uint64_t i = begin; i < end;) {
+          const std::uint64_t len = std::min(kBlock, end - i);
+          if constexpr (detail::is_indexed_gather_v<Gather>) {
+            detail::gather_block(gather, i, len, tmp);
+          } else {
+            for (std::uint64_t k = 0; k < len; ++k) tmp[k] = gather(i + k);
+          }
+          consume(i, i + len, static_cast<const V*>(tmp));
+          i += len;
+        }
       } else {
         for (std::uint64_t i = begin; i < end; ++i) {
           consume(i, gather(i));

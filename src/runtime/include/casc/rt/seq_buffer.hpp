@@ -15,9 +15,12 @@
 //                              nothing until commit() — a jump-out that
 //                              abandons the cursor leaves the buffer unchanged.
 //
-// Buffers of >= 2 MB are aligned to the transparent-huge-page boundary and
-// madvise(MADV_HUGEPAGE)d, so a large operand staging area costs one TLB
-// entry instead of hundreds.
+// Storage sits on the unified casc::common aligned-allocation policy
+// (common/aligned_alloc.hpp): buffers of >= 2 MB are huge-page aligned and
+// madvise(MADV_HUGEPAGE)d — with the return value checked and counted — so a
+// large operand staging area costs one TLB entry instead of hundreds, and
+// smaller buffers are cache-line aligned so the SIMD gather/pack kernels
+// (common/simd.hpp) always write to known alignments.
 #pragma once
 
 #include <cstddef>
@@ -28,11 +31,9 @@
 #include <type_traits>
 
 #include "casc/common/align.hpp"
+#include "casc/common/aligned_alloc.hpp"
 #include "casc/common/check.hpp"
-
-#if defined(__linux__)
-#include <sys/mman.h>
-#endif
+#include "casc/common/simd.hpp"
 
 namespace casc::rt {
 
@@ -44,25 +45,15 @@ namespace casc::rt {
 class SequentialBuffer {
  public:
   /// Capacity at or above which the backing store is huge-page aligned and
-  /// advised (Linux THP; a no-op elsewhere).
-  static constexpr std::size_t kHugePageSize = std::size_t{2} << 20;
+  /// advised (Linux THP; a no-op elsewhere).  Alias of the hoisted
+  /// common::kHugePageSize — the policy now lives in common/align.hpp.
+  static constexpr std::size_t kHugePageSize = common::kHugePageSize;
 
   explicit SequentialBuffer(std::size_t capacity_bytes)
-      // Validation happens inside checked_alignment(), i.e. BEFORE the
-      // allocation below it in initialization order.
-      : align_(checked_alignment(capacity_bytes)),
-        capacity_(common::round_up(capacity_bytes, align_)),
-        storage_(static_cast<std::byte*>(
-            ::operator new[](capacity_, std::align_val_t{align_}))) {
-#if defined(__linux__) && defined(MADV_HUGEPAGE)
-    // Best-effort: THP may be disabled system-wide; the buffer works either way.
-    if (align_ >= kHugePageSize) (void)::madvise(storage_, capacity_, MADV_HUGEPAGE);
-#endif
-  }
-
-  ~SequentialBuffer() {
-    ::operator delete[](storage_, std::align_val_t{align_});
-  }
+      // AlignedStorage validates the capacity, picks the alignment tier,
+      // rounds the capacity up to it, and madvises huge-page tiers (with the
+      // madvise result checked and counted; see common/aligned_alloc.hpp).
+      : storage_(capacity_bytes) {}
 
   SequentialBuffer(const SequentialBuffer&) = delete;
   SequentialBuffer& operator=(const SequentialBuffer&) = delete;
@@ -77,8 +68,8 @@ class SequentialBuffer {
   template <typename T>
   void push(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    CASC_DCHECK(write_pos_ + sizeof(T) <= capacity_, "sequential buffer overflow");
-    std::memcpy(storage_ + write_pos_, &value, sizeof(T));
+    CASC_DCHECK(write_pos_ + sizeof(T) <= storage_.size(), "sequential buffer overflow");
+    std::memcpy(storage_.data() + write_pos_, &value, sizeof(T));
     write_pos_ += sizeof(T);
   }
 
@@ -89,7 +80,7 @@ class SequentialBuffer {
     static_assert(std::is_trivially_copyable_v<T>);
     CASC_DCHECK(read_pos_ + sizeof(T) <= write_pos_, "sequential buffer underflow");
     T value;
-    std::memcpy(&value, storage_ + read_pos_, sizeof(T));
+    std::memcpy(&value, storage_.data() + read_pos_, sizeof(T));
     read_pos_ += sizeof(T);
     return value;
   }
@@ -99,8 +90,8 @@ class SequentialBuffer {
   void push_span(const T* values, std::size_t count) {
     static_assert(std::is_trivially_copyable_v<T>);
     const std::size_t bytes = count * sizeof(T);
-    CASC_CHECK(write_pos_ + bytes <= capacity_, "sequential buffer overflow");
-    std::memcpy(storage_ + write_pos_, values, bytes);
+    CASC_CHECK(write_pos_ + bytes <= storage_.size(), "sequential buffer overflow");
+    std::memcpy(storage_.data() + write_pos_, values, bytes);
     write_pos_ += bytes;
   }
 
@@ -110,7 +101,7 @@ class SequentialBuffer {
     static_assert(std::is_trivially_copyable_v<T>);
     const std::size_t bytes = count * sizeof(T);
     CASC_CHECK(read_pos_ + bytes <= write_pos_, "sequential buffer underflow");
-    std::memcpy(out, storage_ + read_pos_, bytes);
+    std::memcpy(out, storage_.data() + read_pos_, bytes);
     read_pos_ += bytes;
   }
 
@@ -136,6 +127,30 @@ class SequentialBuffer {
       CASC_DCHECK(count_ < max_count_, "write cursor overflow");
       std::memcpy(base_ + count_ * sizeof(T), &value, sizeof(T));
       ++count_;
+    }
+
+    /// Appends `count` contiguous values with one DCHECK and one pack copy
+    /// (the vectorized stream_copy kernel).
+    void push_n(const T* values, std::size_t count) noexcept {
+      CASC_DCHECK(count_ + count <= max_count_, "write cursor overflow");
+      common::simd::stream_copy(base_ + count_ * sizeof(T), values,
+                                count * sizeof(T));
+      count_ += count;
+    }
+
+    /// Raw destination for the next `count` values — the SIMD gather kernels
+    /// write through this directly, then the caller advance()s.  Nothing is
+    /// published until commit(), exactly like push().
+    [[nodiscard]] T* reserve_span(std::size_t count) noexcept {
+      CASC_DCHECK(count_ + count <= max_count_, "write cursor overflow");
+      (void)count;
+      return reinterpret_cast<T*>(base_ + count_ * sizeof(T));
+    }
+
+    /// Declares `count` values written through the last reserve_span().
+    void advance(std::size_t count) noexcept {
+      CASC_DCHECK(count_ + count <= max_count_, "write cursor overflow");
+      count_ += count;
     }
 
     [[nodiscard]] std::size_t count() const noexcept { return count_; }
@@ -193,6 +208,14 @@ class SequentialBuffer {
 
     [[nodiscard]] std::size_t remaining() const noexcept { return count_ - index_; }
 
+    /// Contiguous view of the whole span (already consumed from the buffer
+    /// at acquisition).  The fused drain kernels walk this directly instead
+    /// of paying a next() call per value; the pointer is aligned to the
+    /// buffer's allocation tier when the cursor starts at offset zero.
+    [[nodiscard]] const T* data() const noexcept {
+      return reinterpret_cast<const T*>(base_);
+    }
+
    private:
     friend class SequentialBuffer;
     ReadCursor(const std::byte* base, std::size_t count) noexcept
@@ -208,9 +231,9 @@ class SequentialBuffer {
   template <typename T>
   [[nodiscard]] WriteCursor<T> write_cursor(std::size_t max_count) {
     static_assert(std::is_trivially_copyable_v<T>);
-    CASC_CHECK(write_pos_ + max_count * sizeof(T) <= capacity_,
+    CASC_CHECK(write_pos_ + max_count * sizeof(T) <= storage_.size(),
                "sequential buffer overflow");
-    return WriteCursor<T>(this, storage_ + write_pos_, max_count);
+    return WriteCursor<T>(this, storage_.data() + write_pos_, max_count);
   }
 
   /// Acquires a read cursor over the next `count` staged values of T after
@@ -220,29 +243,20 @@ class SequentialBuffer {
     static_assert(std::is_trivially_copyable_v<T>);
     const std::size_t bytes = count * sizeof(T);
     CASC_CHECK(read_pos_ + bytes <= write_pos_, "sequential buffer underflow");
-    const std::byte* base = storage_ + read_pos_;
+    const std::byte* base = storage_.data() + read_pos_;
     read_pos_ += bytes;
     return ReadCursor<T>(base, count);
   }
 
   [[nodiscard]] std::size_t bytes_written() const noexcept { return write_pos_; }
   [[nodiscard]] std::size_t bytes_read() const noexcept { return read_pos_; }
-  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return storage_.size(); }
   /// True when every staged value has been consumed — a useful invariant to
   /// assert at the end of a restructured chunk.
   [[nodiscard]] bool drained() const noexcept { return read_pos_ == write_pos_; }
 
  private:
-  /// Validates the requested capacity and picks the storage alignment:
-  /// huge-page for large buffers, cache-line otherwise.
-  static std::size_t checked_alignment(std::size_t capacity_bytes) {
-    CASC_CHECK(capacity_bytes > 0, "buffer capacity must be positive");
-    return capacity_bytes >= kHugePageSize ? kHugePageSize : common::kCacheLineSize;
-  }
-
-  std::size_t align_;
-  std::size_t capacity_;
-  std::byte* storage_;
+  common::AlignedStorage storage_;
   std::size_t write_pos_ = 0;
   std::size_t read_pos_ = 0;
 };

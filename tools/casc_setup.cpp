@@ -8,9 +8,9 @@
 // remediation command — so a CI runner or a fresh box can be qualified
 // before trusting bench numbers.
 //
-// Checks: CPU count vs a requested shard plan, transparent hugepages,
-// kernel.perf_event_paranoid, core isolation (isolcpus/nohz_full), cpufreq
-// governor, and SMT.
+// Checks: CPU count vs a requested shard plan, SIMD gather-kernel tier,
+// transparent hugepages, kernel.perf_event_paranoid, core isolation
+// (isolcpus/nohz_full), cpufreq governor, and SMT.
 //
 // Exit code: 0 always by default (diagnosis, not policy); --strict exits 1
 // when any check warns.
@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "casc/cli/args.hpp"
+#include "casc/common/simd.hpp"
 
 namespace {
 
@@ -67,6 +68,27 @@ void check_cores(unsigned shards, unsigned threads_per_shard) {
   }
 }
 
+void check_simd() {
+  namespace simd = common::simd;
+  const simd::Tier detected = simd::detected_tier();
+  const simd::Tier active = simd::active_tier();
+  if (simd::no_simd_env() && detected != simd::Tier::kScalar) {
+    warn(std::string("SIMD gather kernels forced to scalar by CASC_NO_SIMD "
+                     "(host supports ") +
+             simd::tier_name(detected) + ")",
+         "unset CASC_NO_SIMD unless you are debugging the fallback tier");
+    return;
+  }
+  if (detected == simd::Tier::kScalar) {
+    warn("SIMD gather kernels: scalar only — this host has neither AVX2 nor "
+         "AVX-512, so the restructure helper stages one word at a time",
+         "benchmark on an AVX2-capable box for representative numbers");
+    return;
+  }
+  ok(std::string("SIMD gather kernels: ") + simd::tier_name(active) +
+     " tier active");
+}
+
 void check_thp() {
   const std::string path = "/sys/kernel/mm/transparent_hugepage/enabled";
   const std::string line = read_line(path);
@@ -78,6 +100,11 @@ void check_thp() {
   if (line.find("[always]") != std::string::npos) {
     warn("transparent hugepages set to 'always' — khugepaged can stall "
          "helpers mid-chunk and skew bench variance",
+         "echo madvise | sudo tee " + path);
+  } else if (line.find("[never]") != std::string::npos) {
+    warn("transparent hugepages set to 'never' — the aligned allocator's "
+         "madvise(MADV_HUGEPAGE) is a no-op, so large staged buffers pay a "
+         "TLB entry per 4 KB page",
          "echo madvise | sudo tee " + path);
   } else {
     ok("transparent hugepages: " + line);
@@ -163,6 +190,7 @@ int run(const cli::Args& args) {
   std::cout << "casc-setup: qualifying this host for cascade benchmarks\n";
   check_cores(static_cast<unsigned>(args.get_u64("shards")),
               static_cast<unsigned>(args.get_u64("threads-per-shard")));
+  check_simd();
   check_thp();
   check_perf_paranoid();
   check_isolation();
