@@ -219,8 +219,12 @@ std::optional<ReductionOperand> find_reduction_operand(
   return std::nullopt;
 }
 
-ExecResult run_reference(MaterializedLoop& loop) {
-  loop.reset();
+namespace {
+
+/// Sequential interpretation against the arrays' CURRENT contents — the
+/// pipeline paths sequence resets at chain level, so the per-loop entry
+/// point's reset is split out.
+ExecResult reference_no_reset(MaterializedLoop& loop) {
   ExecResult result;
   result.total_iters = loop.num_iterations();
   result.iters_per_chunk = result.total_iters;
@@ -232,9 +236,21 @@ ExecResult run_reference(MaterializedLoop& loop) {
   return result;
 }
 
-ExecResult run_cascaded(MaterializedLoop& loop, rt::CascadeExecutor& executor,
-                        const RtOptions& opt) {
+}  // namespace
+
+ExecResult run_reference(MaterializedLoop& loop) {
   loop.reset();
+  return reference_no_reset(loop);
+}
+
+namespace {
+
+/// One cascaded run against the arrays' CURRENT contents (see
+/// reference_no_reset): the body of the per-loop run_cascaded entry point,
+/// also the per-stage engine of run_pipeline_independent.
+ExecResult cascaded_no_reset(MaterializedLoop& loop,
+                             rt::CascadeExecutor& executor,
+                             const RtOptions& opt) {
   const std::uint64_t total = loop.num_iterations();
   std::uint64_t ipc = opt.iters_per_chunk;
   if (ipc == 0) ipc = plan_for(loop, opt.chunk_bytes).iters_per_chunk();
@@ -418,6 +434,285 @@ ExecResult run_cascaded(MaterializedLoop& loop, rt::CascadeExecutor& executor,
   result.digest = acc;
   result.rw_checksum = loop.rw_checksum();
   return result;
+}
+
+}  // namespace
+
+ExecResult run_cascaded(MaterializedLoop& loop, rt::CascadeExecutor& executor,
+                        const RtOptions& opt) {
+  loop.reset();
+  return cascaded_no_reset(loop, executor, opt);
+}
+
+// ---- pipelines -------------------------------------------------------------
+
+namespace {
+
+/// Staging state of one arena region, carried from the stage that gathered
+/// it to the stages the plan lets replay it.  The executor's run() return is
+/// the happens-before edge: by the time a later stage consults these, every
+/// helper write of the gather stage is visible.
+struct RegionState {
+  std::vector<char> chunk_staged;  ///< per-chunk commit flags (gather stage)
+  std::uint64_t ipc = 0;           ///< the gather stage's chunk geometry
+  /// The gather ran clean: staging committed under a proven gate with no
+  /// helper faults, reclaimed chunks, or invalidated stagings.  Anything
+  /// less and successor stages fall back to full re-staging — reuse is
+  /// health-gated on top of the plan's proof.
+  bool trustworthy = false;
+};
+
+/// Runs one pipeline stage on `executor` against the chain's CURRENT array
+/// state, staging through the stage's arena `region` (flat layout: staged
+/// reference p of the loop lives at region + 8p, so chunk geometry never
+/// shifts the bytes).  With `reuse` the stage gathers nothing and executes
+/// against the staged stream `rs` describes; otherwise it stages into the
+/// region itself and rewrites `rs` for its successors.
+ExecResult run_stage_arena(MaterializedLoop& loop,
+                           rt::CascadeExecutor& executor, const RtOptions& opt,
+                           std::byte* region, RegionState& rs, bool reuse) {
+  const std::uint64_t total = loop.num_iterations();
+  std::uint64_t ipc = opt.iters_per_chunk;
+  if (ipc == 0 && reuse) ipc = rs.ipc;  // align chunks with the gather's flags
+  if (ipc == 0) ipc = plan_for(loop, opt.chunk_bytes).iters_per_chunk();
+  CASC_CHECK(ipc > 0, "iters_per_chunk must be positive");
+  const std::uint64_t num_chunks = total == 0 ? 0 : (total + ipc - 1) / ipc;
+
+  ExecResult result;
+  result.total_iters = total;
+  result.iters_per_chunk = ipc;
+  result.num_chunks = std::max<std::uint64_t>(1, num_chunks);
+  if (total == 0) {
+    result.digest = MaterializedLoop::kAccSeed;
+    result.rw_checksum = loop.rw_checksum();
+    return result;
+  }
+
+  if (reuse && (rs.ipc != ipc || rs.chunk_staged.size() != num_chunks)) {
+    // Geometry drifted from the gather stage; the commit flags no longer
+    // map chunk-for-chunk, so fall back to gathering afresh.  Unreachable
+    // under the pipeline runner (full_reuse implies the same trip/step and
+    // a reuse stage adopts the gather's ipc), but cheap to keep honest.
+    reuse = false;
+  }
+  const bool staging = opt.helper == HelperMode::kRestructure &&
+                       region != nullptr && !reuse;
+
+  std::uint64_t acc = MaterializedLoop::kAccSeed;
+  std::vector<char> chunk_staged(num_chunks, 0);
+  std::uint64_t* const staged_base = reinterpret_cast<std::uint64_t*>(region);
+
+  rt::PreflightGate gate = rt::PreflightGate::proven();
+  if (staging) {
+    // Stage specs carry derived (hence honest) read-only claims, so the
+    // strict verifier is the whole story here: no demotions exist for the
+    // certificate to overturn, and the staged stream always matches the
+    // plan's signature — which is what sized the region.
+    gate = gate_for(loop, opt.chunk_bytes);
+  }
+
+  auto exec = [&](std::uint64_t begin, std::uint64_t end) {
+    const std::uint64_t c = begin / ipc;
+    const rt::ExecContext& ctx = executor.current_exec_context();
+    const std::uint64_t* staged = nullptr;
+    if (!ctx.reclaimed && !ctx.staging_invalid) {
+      if (reuse && rs.chunk_staged[c] != 0) {
+        staged = staged_base + loop.staged_refs_before(begin);
+      } else if (staging && chunk_staged[c] != 0) {
+        staged = staged_base + loop.staged_refs_before(begin);
+      }
+    }
+    acc = interpret_span(loop, begin, end, acc, staged);
+  };
+
+  auto prefetch_helper = [&](std::uint64_t begin, std::uint64_t end,
+                             const rt::TokenWatch& watch) -> bool {
+    for (std::uint64_t it = begin; it < end; ++it) {
+      if ((it & 0x3f) == 0 && watch.signalled()) return false;
+      for (const ResolvedRef* ref = loop.refs_begin(it); ref != loop.refs_end(it);
+           ++ref) {
+        rt::force_load(loop.addr(*ref));
+      }
+    }
+    return true;
+  };
+
+  auto arena_helper = [&](std::uint64_t begin, std::uint64_t end,
+                          const rt::TokenWatch& watch) -> bool {
+    const std::uint64_t c = begin / ipc;
+    const std::uint64_t p1 = loop.staged_refs_before(end);
+    std::uint64_t p = loop.staged_refs_before(begin);
+    const std::uint64_t* offs = loop.staged_offsets();
+    const std::uint32_t* arrs = loop.staged_arrays();
+    const std::uint8_t* sizes = loop.staged_sizes();
+    constexpr std::uint64_t kPoll = 1024;  // staged refs between token polls
+    while (p < p1) {
+      // A jump-out abandons the partially gathered chunk; its commit flag
+      // stays clear and execution falls back to direct array loads.
+      if (watch.signalled()) return false;
+      const std::uint64_t block_end = std::min(p1, p + kPoll);
+      while (p < block_end) {
+        const std::uint32_t a = arrs[p];
+        if (sizes[p] == 8) {
+          std::uint64_t q = p + 1;
+          while (q < block_end && arrs[q] == a && sizes[q] == 8) ++q;
+          common::simd::gather_offsets_u64(loop.array_data(a), offs + p, q - p,
+                                           staged_base + p);
+          p = q;
+        } else {
+          std::uint64_t v = 0;
+          std::memcpy(&v, loop.array_data(a) + offs[p],
+                      std::min<std::size_t>(sizes[p], 8));
+          staged_base[p] = v;
+          ++p;
+        }
+      }
+    }
+    chunk_staged[c] = 1;
+    return true;
+  };
+
+  if (opt.soft_budget_factor > 0.0 && opt.estimated_seq_seconds > 0.0) {
+    const auto demote_ms = std::chrono::milliseconds(std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(opt.soft_budget_factor *
+                                     opt.estimated_seq_seconds * 1e3)));
+    executor.set_soft_budget(demote_ms, 2 * demote_ms);
+  }
+
+  const bool chaos_on = opt.chaos != nullptr && !opt.chaos->empty();
+  rt::HelperFn armed;
+
+  common::Stopwatch watch;
+  if (staging) {
+    if (chaos_on) {
+      armed = opt.chaos->arm(arena_helper);
+      executor.run(total, ipc, exec, armed, gate);
+    } else {
+      executor.run(total, ipc, exec, arena_helper, gate);
+    }
+  } else if (opt.helper == HelperMode::kPrefetch && !reuse) {
+    if (chaos_on) {
+      armed = opt.chaos->arm(prefetch_helper);
+      executor.run(total, ipc, exec, armed);
+    } else {
+      executor.run(total, ipc, exec, prefetch_helper);
+    }
+  } else {
+    // No helper phase: a reuse stage has nothing to gather, and a none-mode
+    // (or stage-nothing) run executes straight from the arrays.
+    if (chaos_on) {
+      armed = opt.chaos->arm(nullptr);
+      executor.run(total, ipc, exec, armed);
+    } else {
+      executor.run(total, ipc, exec);
+    }
+  }
+  result.seconds = watch.elapsed_seconds();
+
+  const rt::RunStats& stats = executor.last_run_stats();
+  result.transfers = stats.transfers;
+  result.helpers_completed = stats.helpers_completed;
+  result.helpers_jumped_out = stats.helpers_jumped_out;
+  result.preflight_refused = stats.preflight_refused;
+  result.preflight_diag = stats.preflight_diag;
+  result.helper_faults = stats.helper_faults;
+  result.chunks_reclaimed = stats.chunks_reclaimed;
+  result.helper_retries = stats.helper_retries;
+  result.stagings_invalidated = stats.stagings_invalidated;
+  result.workers_quarantined = stats.workers_quarantined;
+  result.demotion_level = stats.demotion_level;
+  result.degraded = stats.degraded();
+  result.staged_chunks = static_cast<std::uint64_t>(std::count(
+      reuse ? rs.chunk_staged.begin() : chunk_staged.begin(),
+      reuse ? rs.chunk_staged.end() : chunk_staged.end(), char{1}));
+  result.digest = acc;
+  result.rw_checksum = loop.rw_checksum();
+
+  if (!reuse) {
+    rs.chunk_staged = std::move(chunk_staged);
+    rs.ipc = ipc;
+    rs.trustworthy = staging && !stats.preflight_refused &&
+                     stats.helper_faults == 0 && stats.chunks_reclaimed == 0 &&
+                     stats.stagings_invalidated == 0;
+  }
+  return result;
+}
+
+std::uint64_t fold_chain(std::uint64_t chain, std::uint64_t digest) {
+  return MaterializedLoop::mix(chain, digest);
+}
+
+}  // namespace
+
+PipelineResult run_pipeline_reference(MaterializedPipeline& pipe) {
+  pipe.reset();
+  PipelineResult out;
+  std::uint64_t chain = MaterializedLoop::kAccSeed;
+  common::Stopwatch watch;
+  for (std::size_t k = 0; k < pipe.num_stages(); ++k) {
+    PipelineStageResult stage;
+    stage.name = pipe.spec().stages[k].name;
+    stage.result = reference_no_reset(pipe.stage(k));
+    chain = fold_chain(chain, stage.result.digest);
+    out.stages.push_back(std::move(stage));
+  }
+  out.seconds = watch.elapsed_seconds();
+  out.chain_digest = chain;
+  out.rw_checksum = pipe.rw_checksum();
+  return out;
+}
+
+PipelineResult run_pipeline_cascaded(MaterializedPipeline& pipe,
+                                     rt::CascadeExecutor& executor,
+                                     const RtOptions& opt) {
+  pipe.reset();
+  PipelineResult out;
+  std::uint64_t chain = MaterializedLoop::kAccSeed;
+  RegionState rs;
+  common::Stopwatch watch;
+  for (std::size_t k = 0; k < pipe.num_stages(); ++k) {
+    const analysis::StagePlan& sp = pipe.plan().stages[k];
+    if (sp.region_of == k) rs = RegionState{};  // entering a fresh region
+    const bool reuse = opt.helper == HelperMode::kRestructure &&
+                       pipe.reuses_previous(k) && rs.trustworthy;
+    PipelineStageResult stage;
+    stage.name = pipe.spec().stages[k].name;
+    stage.result =
+        run_stage_arena(pipe.stage(k), executor, opt, pipe.region(k), rs, reuse);
+    stage.reused_staging = reuse;
+    if (reuse) ++out.stages_reused;
+    chain = fold_chain(chain, stage.result.digest);
+    out.stages.push_back(std::move(stage));
+  }
+  out.seconds = watch.elapsed_seconds();
+  out.chain_digest = chain;
+  out.rw_checksum = pipe.rw_checksum();
+  return out;
+}
+
+PipelineResult run_pipeline_independent(MaterializedPipeline& pipe,
+                                        unsigned num_threads,
+                                        const RtOptions& opt) {
+  pipe.reset();
+  PipelineResult out;
+  std::uint64_t chain = MaterializedLoop::kAccSeed;
+  common::Stopwatch watch;
+  for (std::size_t k = 0; k < pipe.num_stages(); ++k) {
+    // A fresh executor per loop: the token ring is built up and torn down
+    // every stage, exactly the per-loop cost the pipeline amortizes away.
+    rt::ExecutorConfig cfg;
+    cfg.num_threads = num_threads;
+    rt::CascadeExecutor executor(cfg);
+    PipelineStageResult stage;
+    stage.name = pipe.spec().stages[k].name;
+    stage.result = cascaded_no_reset(pipe.stage(k), executor, opt);
+    chain = fold_chain(chain, stage.result.digest);
+    out.stages.push_back(std::move(stage));
+  }
+  out.seconds = watch.elapsed_seconds();
+  out.chain_digest = chain;
+  out.rw_checksum = pipe.rw_checksum();
+  return out;
 }
 
 }  // namespace casc::exec

@@ -26,6 +26,7 @@
 
 #include "casc/core/chunk.hpp"
 #include "casc/exec/materialize.hpp"
+#include "casc/exec/pipeline.hpp"
 #include "casc/rt/executor.hpp"
 
 namespace casc::rt {
@@ -128,5 +129,61 @@ ExecResult run_reference(MaterializedLoop& loop);
 /// Cascaded execution on the real threaded runtime (arrays reset first).
 ExecResult run_cascaded(MaterializedLoop& loop, rt::CascadeExecutor& executor,
                         const RtOptions& opt = {});
+
+// ---- pipelines -------------------------------------------------------------
+
+/// Outcome of one stage within a pipeline run.
+struct PipelineStageResult {
+  std::string name;  ///< stage name (without the pipeline prefix)
+  /// The stage executed against its predecessor's staged stream instead of
+  /// re-gathering (plan-proven AND the predecessor's staging ran clean).
+  bool reused_staging = false;
+  ExecResult result;
+};
+
+/// Outcome of one whole-chain run.  The chain digest folds every stage
+/// digest, and the checksum covers the pipeline's shared arrays, so the
+/// three execution paths (reference / pipelined cascade / independent
+/// cascades) are comparable bit for bit.
+struct PipelineResult {
+  std::uint64_t chain_digest = 0;
+  std::uint64_t rw_checksum = 0;
+  double seconds = 0.0;  ///< whole-chain wall time
+  std::uint64_t stages_reused = 0;
+  std::vector<PipelineStageResult> stages;
+
+  [[nodiscard]] bool degraded() const noexcept {
+    for (const PipelineStageResult& s : stages) {
+      if (s.result.degraded) return true;
+    }
+    return false;
+  }
+};
+
+/// Sequential reference for the whole chain: shared arrays reset ONCE, then
+/// every stage interpreted in order (stage k's writes are stage k+1's
+/// inputs).  The ground truth both cascaded paths must match bit for bit.
+PipelineResult run_pipeline_reference(MaterializedPipeline& pipe);
+
+/// The pipelined cascade: every stage runs on the SAME executor — the token
+/// ring never tears down between loops — staging goes through the pipeline's
+/// plan-placed arena, and a stage the survival pass certified replays its
+/// predecessor's staged stream instead of re-gathering.  Reuse is proof- AND
+/// health-gated: an uncertified pair, a refused gate, or a degraded
+/// predecessor (faults, reclaims, invalidated stagings) falls back to full
+/// re-staging; chunks whose staging never committed fall back to direct
+/// array loads.  Digests are unconditionally bit-identical to the reference.
+PipelineResult run_pipeline_cascaded(MaterializedPipeline& pipe,
+                                     rt::CascadeExecutor& executor,
+                                     const RtOptions& opt = {});
+
+/// The baseline the pipeline is measured against: the same chain over the
+/// same shared arrays, but each stage as an INDEPENDENT cascade — a fresh
+/// executor (ring built up and torn down per loop), per-stage staging
+/// buffers, full re-gathering every stage.  Digest-identical to the other
+/// two paths by construction.
+PipelineResult run_pipeline_independent(MaterializedPipeline& pipe,
+                                        unsigned num_threads,
+                                        const RtOptions& opt = {});
 
 }  // namespace casc::exec

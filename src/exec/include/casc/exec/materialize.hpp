@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,13 @@ struct BodyShape {
   std::uint32_t writes = 0;
 };
 
+/// Resolves an array name to externally owned backing storage of (at least)
+/// `bytes` bytes.  Returning nullptr keeps the array loop-owned; a non-null
+/// pointer must stay valid for the loop's lifetime.  MaterializedPipeline
+/// uses this to share one allocation per pipeline array across every stage.
+using StorageBinder =
+    std::function<std::byte*(const std::string& name, std::uint64_t bytes)>;
+
 /// A spec with real backing arrays and a pre-resolved reference stream.
 class MaterializedLoop {
  public:
@@ -74,6 +82,12 @@ class MaterializedLoop {
   /// recorded and also make the restructure gate refuse).  Throws
   /// CheckFailure on unrepairable specs or loops too large to materialize.
   explicit MaterializedLoop(const loopir::LoopSpec& spec);
+
+  /// As above, but arrays the binder resolves use EXTERNAL storage: the loop
+  /// neither fills nor resets them (their owner sequences that), while
+  /// loop-owned arrays keep the deterministic fill.  The resolved stream and
+  /// interpretation semantics are unchanged — only where the bytes live.
+  MaterializedLoop(const loopir::LoopSpec& spec, const StorageBinder& bind);
 
   [[nodiscard]] const loopir::LoopSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] const loopir::LoopNest& nest() const noexcept { return nest_; }
@@ -87,8 +101,10 @@ class MaterializedLoop {
     return iter_offsets_.size() - 1;
   }
 
-  /// Restores every array to its deterministic initial contents.  Each run_*
-  /// entry point calls this, so repeated runs are independent.
+  /// Restores every LOOP-OWNED array to its deterministic initial contents.
+  /// Each per-loop run_* entry point calls this, so repeated runs are
+  /// independent.  Externally bound arrays are untouched: their owner (the
+  /// pipeline) decides when the chain's state restarts.
   void reset();
 
   /// Re-enables staging for the named arrays: every non-write reference of
@@ -149,14 +165,14 @@ class MaterializedLoop {
   // ---- interpreter building blocks ---------------------------------------
 
   [[nodiscard]] const std::byte* addr(const ResolvedRef& ref) const noexcept {
-    return storage_[ref.array].data() + ref.offset;
+    return data_[ref.array] + ref.offset;
   }
 
   /// Base pointer of one array's backing storage (cache-line or huge-page
   /// aligned per the common allocation policy) — the SIMD gather kernels'
-  /// base operand.
+  /// base operand.  Loop-owned or externally bound, transparently.
   [[nodiscard]] const std::byte* array_data(loopir::ArrayId id) const noexcept {
-    return storage_[id].data();
+    return data_[id];
   }
 
   /// Little-endian load of min(size, 8) bytes, zero-extended.
@@ -177,7 +193,6 @@ class MaterializedLoop {
   /// cache-line aligned, huge-page aligned + advised at >= 2 MB.
   using ArrayBytes = std::vector<std::byte, common::AlignedAllocator<std::byte>>;
 
-  void fill_arrays();
   void resolve_stream();
   /// Rebuilds everything derived from the staged flags: the per-iteration
   /// prefix sums, the SoA staged stream, and the body shape.  Called after
@@ -187,7 +202,9 @@ class MaterializedLoop {
   loopir::LoopSpec spec_;
   std::vector<std::string> demoted_;
   loopir::LoopNest nest_;
-  std::vector<ArrayBytes> storage_;              // one vector per array
+  std::vector<ArrayBytes> storage_;   // loop-owned backing (empty when bound)
+  std::vector<std::byte*> data_;      // per-array base, owned or bound
+  std::vector<bool> bound_;           // array uses external storage
   std::vector<ResolvedRef> refs_;                // flat, iteration-major
   std::vector<std::uint64_t> iter_offsets_;      // num_iterations + 1
   std::vector<std::uint64_t> staged_prefix_;     // num_iterations + 1

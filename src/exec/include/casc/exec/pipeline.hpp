@@ -1,0 +1,81 @@
+// Materialization of a whole loop CHAIN for the real runtime.
+//
+// MaterializedPipeline owns the pipeline's array namespace ONCE — one
+// aligned allocation per declared array, shared by every stage through
+// MaterializedLoop's storage binder — so stage k's writes are stage k+1's
+// operand values, exactly like consecutive loops of a real program over the
+// same arrays.  It also owns the chain's single staging ARENA, sized and
+// laid out by the analysis placement pass (analysis::plan_pipeline):
+// a run of stages the survival pass proved reuse-equivalent shares one
+// region (the first stage gathers, the rest replay), and regions with
+// disjoint live ranges share arena bytes.
+//
+// Interpretation semantics are per-stage MaterializedLoop semantics; the
+// chain-level digest is the FNV fold of the stage digests plus the final
+// shared-array checksum, so any stage diverging on any path diverges the
+// chain.  bridge.hpp's run_pipeline_* entry points execute it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "casc/analysis/pipeline_plan.hpp"
+#include "casc/common/aligned_alloc.hpp"
+#include "casc/exec/materialize.hpp"
+#include "casc/loopir/pipeline_spec.hpp"
+
+namespace casc::exec {
+
+/// A pipeline spec with shared real backing arrays, per-stage resolved
+/// streams, and the plan-placed staging arena.
+class MaterializedPipeline {
+ public:
+  /// Materializes every stage against shared storage.  Throws CheckFailure
+  /// on invalid specs (no stages, stage instantiation failures) or chains
+  /// too large to materialize.
+  explicit MaterializedPipeline(const loopir::PipelineSpec& spec);
+
+  [[nodiscard]] const loopir::PipelineSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const analysis::PipelinePlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] std::size_t num_stages() const noexcept { return stages_.size(); }
+  [[nodiscard]] MaterializedLoop& stage(std::size_t k) { return *stages_[k]; }
+  [[nodiscard]] const MaterializedLoop& stage(std::size_t k) const {
+    return *stages_[k];
+  }
+
+  /// Restores every shared array to its deterministic initial contents — the
+  /// chain's defined starting state.  Every pipeline run_* entry point calls
+  /// this ONCE per run; stages never reset shared arrays themselves.
+  void reset();
+
+  /// FNV-1a over the bytes of every shared array some stage writes — the
+  /// chain's observable output state.
+  [[nodiscard]] std::uint64_t rw_checksum() const;
+
+  /// Stage k's staging region inside the shared arena, or nullptr when the
+  /// stage stages nothing.  A full-reuse run of stages returns the SAME
+  /// pointer — that aliasing is the buffer reuse.
+  [[nodiscard]] std::byte* region(std::size_t k) noexcept {
+    const analysis::StagePlan& sp = plan_.stages[k];
+    if (sp.region_bytes == 0) return nullptr;
+    return arena_.data() + sp.region_offset;
+  }
+
+  /// True when the plan proved stage k may replay stage k-1's staged stream.
+  [[nodiscard]] bool reuses_previous(std::size_t k) const noexcept {
+    return k > 0 && plan_.pairs[k - 1].full_reuse;
+  }
+
+ private:
+  void fill_shared_arrays();
+
+  loopir::PipelineSpec spec_;
+  analysis::PipelinePlan plan_;
+  std::vector<common::AlignedStorage> shared_;  // one per pipeline array
+  std::vector<std::unique_ptr<MaterializedLoop>> stages_;
+  common::AlignedStorage arena_;
+};
+
+}  // namespace casc::exec

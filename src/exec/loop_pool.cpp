@@ -26,6 +26,25 @@ LoopLease::~LoopLease() {
   }
 }
 
+PipelineLease& PipelineLease::operator=(PipelineLease&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr && pipeline_ != nullptr) {
+      pool_->release_pipeline(key_, std::move(pipeline_));
+    }
+    pool_ = std::exchange(other.pool_, nullptr);
+    key_ = std::move(other.key_);
+    pipeline_ = std::move(other.pipeline_);
+    reused_ = other.reused_;
+  }
+  return *this;
+}
+
+PipelineLease::~PipelineLease() {
+  if (pool_ != nullptr && pipeline_ != nullptr) {
+    pool_->release_pipeline(key_, std::move(pipeline_));
+  }
+}
+
 LoopPool::LoopPool(std::size_t max_idle_per_key, std::size_t max_idle_total)
     : max_idle_per_key_(max_idle_per_key), max_idle_total_(max_idle_total) {
   CASC_CHECK(max_idle_per_key >= 1, "LoopPool: max_idle_per_key must be >= 1");
@@ -35,10 +54,11 @@ LoopPool::LoopPool(std::size_t max_idle_per_key, std::size_t max_idle_total)
 LoopLease LoopPool::acquire(const loopir::LoopSpec& spec, const std::string& key) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = idle_.find(key);
-    if (it != idle_.end() && !it->second.empty()) {
-      std::unique_ptr<MaterializedLoop> loop = std::move(it->second.back());
-      it->second.pop_back();
+    Bucket<MaterializedLoop>& bucket = idle_[key];
+    bucket.last_leased = ++clock_;
+    if (!bucket.idle.empty()) {
+      std::unique_ptr<MaterializedLoop> loop = std::move(bucket.idle.back());
+      bucket.idle.pop_back();
       --idle_count_;
       ++hits_;
       return LoopLease(this, key, std::move(loop), /*reused=*/true);
@@ -54,15 +74,94 @@ LoopLease LoopPool::acquire(const loopir::LoopSpec& spec, const std::string& key
   return LoopLease(this, key, std::move(loop), /*reused=*/false);
 }
 
+PipelineLease LoopPool::acquire_pipeline(const loopir::PipelineSpec& spec,
+                                         const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Bucket<MaterializedPipeline>& bucket = idle_pipelines_[key];
+    bucket.last_leased = ++clock_;
+    if (!bucket.idle.empty()) {
+      std::unique_ptr<MaterializedPipeline> pipeline =
+          std::move(bucket.idle.back());
+      bucket.idle.pop_back();
+      --idle_count_;
+      ++hits_;
+      return PipelineLease(this, key, std::move(pipeline), /*reused=*/true);
+    }
+  }
+  auto pipeline = std::make_unique<MaterializedPipeline>(spec);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+  }
+  return PipelineLease(this, key, std::move(pipeline), /*reused=*/false);
+}
+
+bool LoopPool::evict_lru_locked() {
+  std::uint64_t oldest = 0;
+  Bucket<MaterializedLoop>* loop_victim = nullptr;
+  Bucket<MaterializedPipeline>* pipeline_victim = nullptr;
+  for (auto& [key, bucket] : idle_) {
+    if (bucket.idle.empty()) continue;
+    if (loop_victim == nullptr || bucket.last_leased < oldest) {
+      loop_victim = &bucket;
+      oldest = bucket.last_leased;
+    }
+  }
+  for (auto& [key, bucket] : idle_pipelines_) {
+    if (bucket.idle.empty()) continue;
+    if ((loop_victim == nullptr && pipeline_victim == nullptr) ||
+        bucket.last_leased < oldest) {
+      pipeline_victim = &bucket;
+      loop_victim = nullptr;
+      oldest = bucket.last_leased;
+    }
+  }
+  if (loop_victim != nullptr) {
+    loop_victim->idle.pop_back();
+  } else if (pipeline_victim != nullptr) {
+    pipeline_victim->idle.pop_back();
+  } else {
+    return false;
+  }
+  --idle_count_;
+  ++evicted_;
+  return true;
+}
+
 void LoopPool::release(const std::string& key,
                        std::unique_ptr<MaterializedLoop> loop) {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<std::unique_ptr<MaterializedLoop>>& bucket = idle_[key];
-  if (bucket.size() >= max_idle_per_key_ || idle_count_ >= max_idle_total_) {
+  Bucket<MaterializedLoop>& bucket = idle_[key];
+  if (bucket.idle.size() >= max_idle_per_key_) {
     ++discarded_;
     return;  // `loop` is destroyed here, outside any hot path
   }
-  bucket.push_back(std::move(loop));
+  // At the total cap, make room by evicting the least-recently-leased idle
+  // instance: the incoming release belongs to a key leased moments ago,
+  // which is better evidence of future demand than a bucket nobody has
+  // touched since.
+  if (idle_count_ >= max_idle_total_ && !evict_lru_locked()) {
+    ++discarded_;
+    return;
+  }
+  bucket.idle.push_back(std::move(loop));
+  ++idle_count_;
+}
+
+void LoopPool::release_pipeline(const std::string& key,
+                                std::unique_ptr<MaterializedPipeline> pipeline) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket<MaterializedPipeline>& bucket = idle_pipelines_[key];
+  if (bucket.idle.size() >= max_idle_per_key_) {
+    ++discarded_;
+    return;
+  }
+  if (idle_count_ >= max_idle_total_ && !evict_lru_locked()) {
+    ++discarded_;
+    return;
+  }
+  bucket.idle.push_back(std::move(pipeline));
   ++idle_count_;
 }
 
@@ -72,8 +171,14 @@ LoopPoolStats LoopPool::stats() const {
   s.hits = hits_;
   s.misses = misses_;
   s.discarded = discarded_;
+  s.evicted = evicted_;
   s.idle = idle_count_;
-  s.distinct_keys = idle_.size();
+  std::uint64_t keys = 0;
+  for (const auto& [key, bucket] : idle_) keys += bucket.idle.empty() ? 0 : 1;
+  for (const auto& [key, bucket] : idle_pipelines_) {
+    keys += bucket.idle.empty() ? 0 : 1;
+  }
+  s.distinct_keys = keys;
   return s;
 }
 

@@ -19,22 +19,34 @@ constexpr std::uint64_t kMaxResolvedRefs = 1ull << 24;
 }  // namespace
 
 MaterializedLoop::MaterializedLoop(const loopir::LoopSpec& spec)
-    : spec_(spec), nest_(analysis::sanitized_instantiate(spec, &demoted_)) {
-  fill_arrays();
-  resolve_stream();
-}
+    : MaterializedLoop(spec, StorageBinder{}) {}
 
-void MaterializedLoop::fill_arrays() {
+MaterializedLoop::MaterializedLoop(const loopir::LoopSpec& spec,
+                                   const StorageBinder& bind)
+    : spec_(spec), nest_(analysis::sanitized_instantiate(spec, &demoted_)) {
   const std::size_t n = nest_.num_arrays();
   storage_.resize(n);
+  data_.resize(n, nullptr);
+  bound_.resize(n, false);
   for (loopir::ArrayId id = 0; id < n; ++id) {
-    storage_[id].assign(nest_.array(id).size_bytes(), std::byte{0});
+    const std::uint64_t bytes = nest_.array(id).size_bytes();
+    std::byte* external =
+        bind ? bind(nest_.array(id).name, bytes) : nullptr;
+    if (external != nullptr) {
+      data_[id] = external;
+      bound_[id] = true;
+    } else {
+      storage_[id].assign(bytes, std::byte{0});
+      data_[id] = storage_[id].data();
+    }
   }
   reset();
+  resolve_stream();
 }
 
 void MaterializedLoop::reset() {
   for (loopir::ArrayId id = 0; id < nest_.num_arrays(); ++id) {
+    if (bound_[id]) continue;
     const loopir::ArraySpec& spec = nest_.array(id);
     ArrayBytes& bytes = storage_[id];
     const std::vector<std::uint32_t>& index_values = nest_.index_values(id);
@@ -189,7 +201,7 @@ std::uint64_t MaterializedLoop::load(const ResolvedRef& ref) const noexcept {
 }
 
 void MaterializedLoop::store(const ResolvedRef& ref, std::uint64_t value) noexcept {
-  std::memcpy(storage_[ref.array].data() + ref.offset, &value,
+  std::memcpy(data_[ref.array] + ref.offset, &value,
               std::min<std::size_t>(ref.size, 8));
 }
 
@@ -197,8 +209,10 @@ std::uint64_t MaterializedLoop::rw_checksum() const {
   std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a
   for (loopir::ArrayId id = 0; id < nest_.num_arrays(); ++id) {
     if (nest_.array(id).read_only) continue;
-    for (const std::byte b : storage_[id]) {
-      hash = (hash ^ static_cast<std::uint64_t>(b)) * 0x100000001b3ull;
+    const std::byte* p = data_[id];
+    const std::uint64_t n = nest_.array(id).size_bytes();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      hash = (hash ^ static_cast<std::uint64_t>(p[i])) * 0x100000001b3ull;
     }
   }
   return hash;

@@ -1,0 +1,119 @@
+#include "casc/exec/pipeline.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "casc/common/check.hpp"
+#include "casc/common/rng.hpp"
+
+namespace casc::exec {
+
+namespace {
+
+/// Arena ceiling: 8 GB of staged stream across the whole chain.  Far above
+/// every committed spec; far below anything that could take the host down.
+constexpr std::uint64_t kMaxArenaBytes = 8ull << 30;
+
+}  // namespace
+
+MaterializedPipeline::MaterializedPipeline(const loopir::PipelineSpec& spec)
+    : spec_(spec), plan_(analysis::plan_pipeline(spec)) {
+  CASC_CHECK(!spec_.stages.empty(),
+             "pipeline '" + spec_.name + "' has no loop blocks");
+  CASC_CHECK(plan_.arena_bytes <= kMaxArenaBytes,
+             "pipeline '" + spec_.name + "' staging arena too large");
+
+  shared_.reserve(spec_.arrays.size());
+  for (const loopir::LoopSpec::ArrayDecl& decl : spec_.arrays) {
+    shared_.emplace_back(static_cast<std::size_t>(decl.elem_size) *
+                         decl.num_elems);
+  }
+  auto bind = [this](const std::string& name,
+                     std::uint64_t bytes) -> std::byte* {
+    for (std::size_t i = 0; i < spec_.arrays.size(); ++i) {
+      if (spec_.arrays[i].name == name) {
+        CASC_CHECK(bytes <= shared_[i].size(),
+                   "stage array '" + name + "' outgrows the shared storage");
+        return shared_[i].data();
+      }
+    }
+    return nullptr;  // never reached: stage specs only carry pipeline arrays
+  };
+  stages_.reserve(spec_.stages.size());
+  for (std::size_t k = 0; k < spec_.stages.size(); ++k) {
+    stages_.push_back(
+        std::make_unique<MaterializedLoop>(spec_.stage_spec(k), bind));
+  }
+  if (plan_.arena_bytes > 0) {
+    arena_ = common::AlignedStorage(plan_.arena_bytes);
+  }
+  fill_shared_arrays();
+}
+
+void MaterializedPipeline::fill_shared_arrays() {
+  for (std::size_t i = 0; i < spec_.arrays.size(); ++i) {
+    const loopir::LoopSpec::ArrayDecl& decl = spec_.arrays[i];
+    std::byte* out = shared_[i].data();
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(decl.elem_size) * decl.num_elems;
+    if (decl.pattern) {
+      // Index array: storage holds the values SOME stage's nest materialized
+      // for it.  Every stage declaring it as an index array materializes the
+      // identical sequence (same pattern/seed/param/size), so any stage
+      // serves; a chain where every user clobbers it has no pattern
+      // consumer, and the data fill below is as good a start state as any.
+      bool filled = false;
+      for (std::size_t k = 0; k < stages_.size() && !filled; ++k) {
+        const loopir::LoopNest& nest = stages_[k]->nest();
+        for (loopir::ArrayId id = 0; id < nest.num_arrays(); ++id) {
+          if (nest.array(id).name != decl.name) continue;
+          const std::vector<std::uint32_t>& values = nest.index_values(id);
+          if (values.empty()) break;
+          const std::size_t width = std::min<std::size_t>(decl.elem_size, 8);
+          for (std::size_t v = 0; v < values.size(); ++v) {
+            const std::uint64_t value = values[v];
+            std::memcpy(out + v * decl.elem_size, &value, width);
+          }
+          filled = true;
+          break;
+        }
+      }
+      if (filled) continue;
+    }
+    // Data array: deterministic pseudo-random contents keyed by the
+    // PIPELINE-level array position, so every run (and every execution path
+    // over this pipeline) sees identical operand values.
+    common::Rng rng(0xC45CADEull ^
+                    (std::uint64_t{i} + 1) * 0x9e3779b97f4a7c15ull);
+    std::uint64_t pos = 0;
+    while (pos < bytes) {
+      const std::uint64_t word = rng.next();
+      const std::size_t take = std::min<std::uint64_t>(8, bytes - pos);
+      std::memcpy(out + pos, &word, take);
+      pos += take;
+    }
+  }
+}
+
+void MaterializedPipeline::reset() { fill_shared_arrays(); }
+
+std::uint64_t MaterializedPipeline::rw_checksum() const {
+  std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a
+  for (std::size_t i = 0; i < spec_.arrays.size(); ++i) {
+    const loopir::LoopSpec::ArrayDecl& decl = spec_.arrays[i];
+    bool written = false;
+    for (const loopir::PipelineSpec::Stage& stage : spec_.stages) {
+      if (stage.writes(decl.name)) written = true;
+    }
+    if (!written) continue;
+    const std::byte* p = shared_[i].data();
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(decl.elem_size) * decl.num_elems;
+    for (std::uint64_t b = 0; b < bytes; ++b) {
+      hash = (hash ^ static_cast<std::uint64_t>(p[b])) * 0x100000001b3ull;
+    }
+  }
+  return hash;
+}
+
+}  // namespace casc::exec

@@ -1,68 +1,14 @@
 #include "casc/loopir/loop_spec.hpp"
 
-#include <charconv>
 #include <sstream>
 #include <unordered_map>
 
 #include "casc/common/check.hpp"
+#include "spec_parse_detail.hpp"
 
 namespace casc::loopir {
 
-namespace {
-
-/// Internal parse failure for one directive; the line handler converts it
-/// into a Diagnostic (and recovery continues with the next line).
-struct ParseError {
-  std::string message;
-};
-
-/// Splits a line into whitespace-separated tokens, dropping '#' comments.
-std::vector<std::string> tokenize(std::string_view line) {
-  std::vector<std::string> tokens;
-  std::string current;
-  for (char ch : line) {
-    if (ch == '#') break;
-    if (ch == ' ' || ch == '\t' || ch == '\r') {
-      if (!current.empty()) {
-        tokens.push_back(std::move(current));
-        current.clear();
-      }
-    } else {
-      current.push_back(ch);
-    }
-  }
-  if (!current.empty()) tokens.push_back(std::move(current));
-  return tokens;
-}
-
-template <typename T>
-T parse_number(const std::string& token) {
-  T value{};
-  const auto [ptr, ec] =
-      std::from_chars(token.data(), token.data() + token.size(), value);
-  if (ec != std::errc{} || ptr != token.data() + token.size()) {
-    throw ParseError{"expected a number, got '" + token + "'"};
-  }
-  return value;
-}
-
-ReduceOp parse_reduce_op(const std::string& token) {
-  if (token == "sum") return ReduceOp::kSum;
-  if (token == "min") return ReduceOp::kMin;
-  if (token == "max") return ReduceOp::kMax;
-  throw ParseError{"unknown update operator '" + token + "' (sum|min|max)"};
-}
-
-IndexPattern parse_pattern(const std::string& token) {
-  if (token == "identity") return IndexPattern::kIdentity;
-  if (token == "strided") return IndexPattern::kStrided;
-  if (token == "perm") return IndexPattern::kRandomPerm;
-  if (token == "random") return IndexPattern::kRandom;
-  if (token == "blocks") return IndexPattern::kBlockShuffle;
-  throw ParseError{"unknown index pattern '" + token + "'"};
-}
-
-}  // namespace
+using detail::ParseError;
 
 std::string to_string(IndexPattern pattern) {
   switch (pattern) {
@@ -140,25 +86,10 @@ std::string LoopSpec::to_text() const {
   os << "\n";
   os << "layout " << to_string(layout) << "\n";
   for (const ArrayDecl& decl : arrays) {
-    if (decl.pattern) {
-      os << "index " << decl.name << ' ' << decl.num_elems << ' '
-         << to_string(*decl.pattern) << ' ' << decl.seed << ' ' << decl.param << "\n";
-    } else {
-      os << "array " << decl.name << ' ' << decl.elem_size << ' ' << decl.num_elems
-         << ' ' << (decl.read_only ? "ro" : "rw") << "\n";
-    }
+    os << detail::render_array_decl(decl) << "\n";
   }
   for (const AccessDecl& acc : accesses) {
-    os << "access " << acc.array << ' ';
-    if (acc.update) {
-      os << "update " << to_string(*acc.update);
-    } else {
-      os << (acc.is_write ? "write" : "read");
-    }
-    if (acc.stride != 1) os << " stride " << acc.stride;
-    if (acc.offset != 0) os << " offset " << acc.offset;
-    if (acc.index_via) os << " via " << *acc.index_via;
-    os << "\n";
+    os << detail::render_access(acc) << "\n";
   }
   return os.str();
 }
@@ -186,15 +117,9 @@ LoopSpec LoopSpec::parse(std::string_view text, common::DiagnosticList& diags) {
         text.substr(pos, end == std::string_view::npos ? text.size() - pos : end - pos);
     pos = end == std::string_view::npos ? text.size() + 1 : end + 1;
     ++line_no;
-    const std::vector<std::string> tok = tokenize(line);
+    const std::vector<std::string> tok = detail::tokenize(line);
     if (tok.empty()) continue;
     const std::string& head = tok[0];
-    auto require = [&](std::size_t min_args, std::size_t max_args) {
-      if (tok.size() - 1 < min_args || tok.size() - 1 > max_args) {
-        throw ParseError{"'" + head + "' takes between " + std::to_string(min_args) +
-                         " and " + std::to_string(max_args) + " arguments"};
-      }
-    };
     auto declare_array = [&](ArrayDecl decl) {
       for (const ArrayDecl& existing : spec.arrays) {
         if (existing.name == decl.name) {
@@ -210,80 +135,27 @@ LoopSpec LoopSpec::parse(std::string_view text, common::DiagnosticList& diags) {
 
     try {
       if (head == "loop") {
-        require(1, 1);
+        detail::require_args(tok, 1, 1);
         spec.name = tok[1];
       } else if (head == "trip") {
-        require(1, 2);
-        spec.trip = parse_number<std::uint64_t>(tok[1]);
-        spec.step = tok.size() > 2 ? parse_number<std::uint64_t>(tok[2]) : 1;
+        detail::require_args(tok, 1, 2);
+        spec.trip = detail::parse_number<std::uint64_t>(tok[1]);
+        spec.step = tok.size() > 2 ? detail::parse_number<std::uint64_t>(tok[2]) : 1;
         saw_trip = true;
       } else if (head == "compute") {
-        require(1, 2);
-        spec.compute_cycles = parse_number<std::uint32_t>(tok[1]);
+        detail::require_args(tok, 1, 2);
+        spec.compute_cycles = detail::parse_number<std::uint32_t>(tok[1]);
         if (tok.size() > 2) {
-          spec.restructured_compute = parse_number<std::uint32_t>(tok[2]);
+          spec.restructured_compute = detail::parse_number<std::uint32_t>(tok[2]);
         }
       } else if (head == "layout") {
-        require(1, 1);
-        if (tok[1] == "conflicting") {
-          spec.layout = LayoutPolicy::kConflicting;
-        } else if (tok[1] == "staggered") {
-          spec.layout = LayoutPolicy::kStaggered;
-        } else {
-          throw ParseError{"unknown layout '" + tok[1] + "'"};
-        }
+        spec.layout = detail::parse_layout(tok);
       } else if (head == "array") {
-        require(4, 4);
-        ArrayDecl decl;
-        decl.name = tok[1];
-        decl.elem_size = parse_number<std::uint32_t>(tok[2]);
-        decl.num_elems = parse_number<std::uint64_t>(tok[3]);
-        if (tok[4] != "ro" && tok[4] != "rw") throw ParseError{"expected ro|rw"};
-        decl.read_only = tok[4] == "ro";
-        decl.line = line_no;
-        declare_array(std::move(decl));
+        declare_array(detail::parse_array_decl(tok, line_no));
       } else if (head == "index") {
-        require(3, 5);
-        ArrayDecl decl;
-        decl.name = tok[1];
-        decl.elem_size = 4;
-        decl.num_elems = parse_number<std::uint64_t>(tok[2]);
-        decl.read_only = true;
-        decl.pattern = parse_pattern(tok[3]);
-        if (tok.size() > 4) decl.seed = parse_number<std::uint64_t>(tok[4]);
-        if (tok.size() > 5) decl.param = parse_number<std::uint64_t>(tok[5]);
-        decl.line = line_no;
-        declare_array(std::move(decl));
+        declare_array(detail::parse_index_decl(tok, line_no));
       } else if (head == "access") {
-        require(2, 9);
-        AccessDecl acc;
-        acc.array = tok[1];
-        std::size_t i = 3;
-        if (tok[2] == "update") {
-          if (tok.size() < 4) throw ParseError{"'update' needs an operator (sum|min|max)"};
-          acc.update = parse_reduce_op(tok[3]);
-          i = 4;
-        } else if (tok[2] == "read" || tok[2] == "write") {
-          acc.is_write = tok[2] == "write";
-        } else {
-          throw ParseError{"expected read|write|update"};
-        }
-        acc.line = line_no;
-        while (i < tok.size()) {
-          if (tok[i] == "stride" && i + 1 < tok.size()) {
-            acc.stride = parse_number<std::int64_t>(tok[i + 1]);
-            i += 2;
-          } else if (tok[i] == "offset" && i + 1 < tok.size()) {
-            acc.offset = parse_number<std::int64_t>(tok[i + 1]);
-            i += 2;
-          } else if (tok[i] == "via" && i + 1 < tok.size()) {
-            acc.index_via = tok[i + 1];
-            i += 2;
-          } else {
-            throw ParseError{"unexpected token '" + tok[i] + "'"};
-          }
-        }
-        spec.accesses.push_back(std::move(acc));
+        spec.accesses.push_back(detail::parse_access(tok, line_no));
       } else {
         throw ParseError{"unknown directive '" + head + "'"};
       }

@@ -1,0 +1,178 @@
+// Internal helpers shared by the LoopSpec and PipelineSpec parsers — one
+// tokenizer and one reading of each directive shape, so both text formats
+// stay line-compatible (an `access`/`array`/`index` line means exactly the
+// same thing inside a loop spec and inside a pipeline).  Not installed; the
+// public surface is loop_spec.hpp / pipeline_spec.hpp.
+#pragma once
+
+#include <charconv>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "casc/loopir/loop_spec.hpp"
+
+namespace casc::loopir::detail {
+
+/// Internal parse failure for one directive; the line handler converts it
+/// into a Diagnostic (and recovery continues with the next line).
+struct ParseError {
+  std::string message;
+};
+
+/// Splits a line into whitespace-separated tokens, dropping '#' comments.
+inline std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : line) {
+    if (ch == '#') break;
+    if (ch == ' ' || ch == '\t' || ch == '\r') {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(ch);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+template <typename T>
+T parse_number(const std::string& token) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    throw ParseError{"expected a number, got '" + token + "'"};
+  }
+  return value;
+}
+
+inline ReduceOp parse_reduce_op(const std::string& token) {
+  if (token == "sum") return ReduceOp::kSum;
+  if (token == "min") return ReduceOp::kMin;
+  if (token == "max") return ReduceOp::kMax;
+  throw ParseError{"unknown update operator '" + token + "' (sum|min|max)"};
+}
+
+inline IndexPattern parse_pattern(const std::string& token) {
+  if (token == "identity") return IndexPattern::kIdentity;
+  if (token == "strided") return IndexPattern::kStrided;
+  if (token == "perm") return IndexPattern::kRandomPerm;
+  if (token == "random") return IndexPattern::kRandom;
+  if (token == "blocks") return IndexPattern::kBlockShuffle;
+  throw ParseError{"unknown index pattern '" + token + "'"};
+}
+
+/// Argument-count check for one directive (tok[0] is the directive itself).
+inline void require_args(const std::vector<std::string>& tok,
+                         std::size_t min_args, std::size_t max_args) {
+  if (tok.size() - 1 < min_args || tok.size() - 1 > max_args) {
+    throw ParseError{"'" + tok[0] + "' takes between " +
+                     std::to_string(min_args) + " and " +
+                     std::to_string(max_args) + " arguments"};
+  }
+}
+
+inline LayoutPolicy parse_layout(const std::vector<std::string>& tok) {
+  require_args(tok, 1, 1);
+  if (tok[1] == "conflicting") return LayoutPolicy::kConflicting;
+  if (tok[1] == "staggered") return LayoutPolicy::kStaggered;
+  throw ParseError{"unknown layout '" + tok[1] + "'"};
+}
+
+/// Reads an `array <name> <elem_size> <num_elems> ro|rw` directive.
+inline LoopSpec::ArrayDecl parse_array_decl(const std::vector<std::string>& tok,
+                                            int line_no) {
+  require_args(tok, 4, 4);
+  LoopSpec::ArrayDecl decl;
+  decl.name = tok[1];
+  decl.elem_size = parse_number<std::uint32_t>(tok[2]);
+  decl.num_elems = parse_number<std::uint64_t>(tok[3]);
+  if (tok[4] != "ro" && tok[4] != "rw") throw ParseError{"expected ro|rw"};
+  decl.read_only = tok[4] == "ro";
+  decl.line = line_no;
+  return decl;
+}
+
+/// Reads an `index <name> <num_elems> <pattern> [seed] [param]` directive.
+inline LoopSpec::ArrayDecl parse_index_decl(const std::vector<std::string>& tok,
+                                            int line_no) {
+  require_args(tok, 3, 5);
+  LoopSpec::ArrayDecl decl;
+  decl.name = tok[1];
+  decl.elem_size = 4;
+  decl.num_elems = parse_number<std::uint64_t>(tok[2]);
+  decl.read_only = true;
+  decl.pattern = parse_pattern(tok[3]);
+  if (tok.size() > 4) decl.seed = parse_number<std::uint64_t>(tok[4]);
+  if (tok.size() > 5) decl.param = parse_number<std::uint64_t>(tok[5]);
+  decl.line = line_no;
+  return decl;
+}
+
+/// Reads an `access <array> read|write|update ...` directive.
+inline LoopSpec::AccessDecl parse_access(const std::vector<std::string>& tok,
+                                         int line_no) {
+  require_args(tok, 2, 9);
+  LoopSpec::AccessDecl acc;
+  acc.array = tok[1];
+  std::size_t i = 3;
+  if (tok[2] == "update") {
+    if (tok.size() < 4) throw ParseError{"'update' needs an operator (sum|min|max)"};
+    acc.update = parse_reduce_op(tok[3]);
+    i = 4;
+  } else if (tok[2] == "read" || tok[2] == "write") {
+    acc.is_write = tok[2] == "write";
+  } else {
+    throw ParseError{"expected read|write|update"};
+  }
+  acc.line = line_no;
+  while (i < tok.size()) {
+    if (tok[i] == "stride" && i + 1 < tok.size()) {
+      acc.stride = parse_number<std::int64_t>(tok[i + 1]);
+      i += 2;
+    } else if (tok[i] == "offset" && i + 1 < tok.size()) {
+      acc.offset = parse_number<std::int64_t>(tok[i + 1]);
+      i += 2;
+    } else if (tok[i] == "via" && i + 1 < tok.size()) {
+      acc.index_via = tok[i + 1];
+      i += 2;
+    } else {
+      throw ParseError{"unexpected token '" + tok[i] + "'"};
+    }
+  }
+  return acc;
+}
+
+/// Renders one ArrayDecl back into its directive line (no trailing newline).
+inline std::string render_array_decl(const LoopSpec::ArrayDecl& decl) {
+  std::string out;
+  if (decl.pattern) {
+    out = "index " + decl.name + ' ' + std::to_string(decl.num_elems) + ' ' +
+          to_string(*decl.pattern) + ' ' + std::to_string(decl.seed) + ' ' +
+          std::to_string(decl.param);
+  } else {
+    out = "array " + decl.name + ' ' + std::to_string(decl.elem_size) + ' ' +
+          std::to_string(decl.num_elems) + (decl.read_only ? " ro" : " rw");
+  }
+  return out;
+}
+
+/// Renders one AccessDecl back into its directive line (no trailing newline).
+inline std::string render_access(const LoopSpec::AccessDecl& acc) {
+  std::string out = "access " + acc.array + ' ';
+  if (acc.update) {
+    out += "update " + to_string(*acc.update);
+  } else {
+    out += acc.is_write ? "write" : "read";
+  }
+  if (acc.stride != 1) out += " stride " + std::to_string(acc.stride);
+  if (acc.offset != 0) out += " offset " + std::to_string(acc.offset);
+  if (acc.index_via) out += " via " + *acc.index_via;
+  return out;
+}
+
+}  // namespace casc::loopir::detail

@@ -14,6 +14,7 @@
 #include "casc/common/diagnostic.hpp"
 #include "casc/exec/bridge.hpp"
 #include "casc/exec/loop_pool.hpp"
+#include "casc/loopir/pipeline_spec.hpp"
 #include "casc/rt/executor.hpp"
 #include "casc/rt/fault_injection.hpp"
 
@@ -264,6 +265,20 @@ void SvcServer::handle_submit(const std::shared_ptr<Connection>& conn,
     const common::Diagnostic* first = diags.first_error();
     reply_error(req.job, first ? first->rule : "svc-bad-header",
                 first ? first->message : "unusable job header");
+    return;
+  }
+
+  // Pipeline chains are a batch-side feature (cascsim / bench run them whole
+  // against the plan-placed arena); the service schedules single-loop jobs.
+  // Detect the directive BEFORE LoopSpec::parse so the client hears which
+  // FEATURE is unsupported, not a bogus "unknown directive" syntax error.
+  if (loopir::is_pipeline_text(req.spec_text)) {
+    reply_error(req.job, "svc-spec-unsupported",
+                "spec is a pipeline chain (directive 'pipeline'); cascading "
+                "it requires chain scheduling (one executor spanning the "
+                "stages plus a plan-placed staging arena), which this "
+                "service does not run yet — submit the stages as "
+                "independent loop jobs instead");
     return;
   }
 

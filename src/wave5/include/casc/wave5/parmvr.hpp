@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "casc/loopir/loop_nest.hpp"
+#include "casc/loopir/pipeline_spec.hpp"
 
 namespace casc::wave5 {
 
@@ -37,5 +38,17 @@ loopir::LoopNest make_parmvr_loop(int id, unsigned scale = 1);
 
 /// All 15 loops in order.
 std::vector<loopir::LoopNest> make_parmvr(unsigned scale = 1);
+
+/// One PARMVR invocation ("call 12" of the ~5000) as a loop CHAIN: the 15
+/// phases of a particle push — charge sweep, per-component field gathers,
+/// velocity/position pushes, sorted gathers, smoothing, deposit — over ONE
+/// shared particle-arrays namespace, so loop k's writes are loop k+1's
+/// operand values.  The gather phases are the point: adjacent components
+/// read the IDENTICAL gathered field stream (same index array, same
+/// operands, different write target), which the cross-loop survival planner
+/// proves reusable — the first component gathers, the siblings replay its
+/// staged stream.  This is the flagship pipeline bench subject
+/// (bench_rt_pipeline: one pipeline vs 15 independent cascades).
+loopir::PipelineSpec make_parmvr_pipeline(unsigned scale = 1);
 
 }  // namespace casc::wave5

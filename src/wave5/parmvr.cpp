@@ -310,4 +310,92 @@ std::vector<LoopNest> make_parmvr(unsigned scale) {
   return loops;
 }
 
+loopir::PipelineSpec make_parmvr_pipeline(unsigned scale) {
+  CASC_CHECK(scale >= 1, "scale must be at least 1");
+  const std::uint64_t n = scaled(128 * 1024, scale);
+
+  loopir::PipelineSpec p;
+  p.name = "parmvr_call12";
+  p.layout = LayoutPolicy::kConflicting;
+
+  auto data = [&](const char* name, bool read_only) {
+    loopir::LoopSpec::ArrayDecl d;
+    d.name = name;
+    d.elem_size = 8;
+    d.num_elems = n;
+    d.read_only = read_only;
+    p.arrays.push_back(d);
+  };
+  auto index = [&](const char* name, std::uint64_t seed) {
+    loopir::LoopSpec::ArrayDecl d;
+    d.name = name;
+    d.elem_size = 4;
+    d.num_elems = n;
+    d.read_only = true;
+    d.pattern = IndexPattern::kRandomPerm;
+    d.seed = seed;
+    p.arrays.push_back(d);
+  };
+  // Source-term and weight streams (never written in one call)...
+  data("Q", true);
+  data("W", true);
+  data("EF", true);
+  data("B0", true);
+  // ...the particle->cell map and the sorted-order permutation...
+  index("CELL", 5);
+  index("IJ", 3);
+  // ...and the per-particle state the chain advances.
+  for (const char* name : {"VX", "VY", "VZ", "PX", "PY", "PZ", "RHO", "CUR", "SC"}) {
+    data(name, false);
+  }
+
+  struct Access {
+    const char* array;
+    bool write;
+    std::int64_t offset = 0;
+    const char* via = nullptr;
+  };
+  auto stage = [&](const char* name, std::uint32_t cycles,
+                   std::optional<std::uint32_t> restructured,
+                   std::initializer_list<Access> accesses) {
+    loopir::PipelineSpec::Stage s;
+    s.name = name;
+    s.trip = n;
+    s.compute_cycles = cycles;
+    s.restructured_compute = restructured;
+    for (const Access& a : accesses) {
+      loopir::LoopSpec::AccessDecl acc;
+      acc.array = a.array;
+      acc.is_write = a.write;
+      acc.offset = a.offset;
+      if (a.via != nullptr) acc.index_via = a.via;
+      s.accesses.push_back(std::move(acc));
+    }
+    p.stages.push_back(std::move(s));
+  };
+
+  constexpr bool kR = false, kW = true;
+  // The three field-gather components (and the two sorted gathers, and the
+  // two tail gathers) read IDENTICAL staged streams and differ only in the
+  // write target — the engineered survival pairs the planner must prove.
+  stage("charge_sweep", 25, {}, {{"Q", kR}, {"SC", kW}});
+  stage("weight_blend", 65, {}, {{"Q", kR}, {"W", kR}, {"SC", kW}});
+  stage("field_gather_x", 75, 60, {{"EF", kR, 0, "CELL"}, {"W", kR}, {"VX", kW}});
+  stage("field_gather_y", 75, 60, {{"EF", kR, 0, "CELL"}, {"W", kR}, {"VY", kW}});
+  stage("field_gather_z", 75, 60, {{"EF", kR, 0, "CELL"}, {"W", kR}, {"VZ", kW}});
+  stage("push_x", 60, {}, {{"VX", kR}, {"B0", kR}, {"PX", kW}});
+  stage("push_y", 60, {}, {{"VY", kR}, {"B0", kR}, {"PY", kW}});
+  stage("push_z", 60, {}, {{"VZ", kR}, {"B0", kR}, {"PZ", kW}});
+  stage("sorted_gather_q", 95, 75, {{"Q", kR, 0, "IJ"}, {"W", kR}, {"SC", kW}});
+  stage("sorted_gather_cur", 95, 75, {{"Q", kR, 0, "IJ"}, {"W", kR}, {"CUR", kW}});
+  stage("smooth_rho", 90, {},
+        {{"SC", kR, -1}, {"SC", kR, 0}, {"SC", kR, 1}, {"B0", kR}, {"RHO", kW}});
+  stage("current_blend", 70, {}, {{"CUR", kR}, {"B0", kR}, {"CUR", kW}});
+  stage("tail_gather_a", 110, 90, {{"EF", kR, 0, "CELL"}, {"Q", kR}, {"PX", kW}});
+  stage("tail_gather_b", 110, 90, {{"EF", kR, 0, "CELL"}, {"Q", kR}, {"PY", kW}});
+  stage("deposit_sweep", 70, {},
+        {{"RHO", kR}, {"CUR", kR}, {"SC", kR}, {"SC", kW}});
+  return p;
+}
+
 }  // namespace casc::wave5

@@ -1,0 +1,349 @@
+// Pipelines end to end: PipelineSpec parsing (collecting rules), the
+// cross-loop survival/placement plan, and the three execution paths —
+// sequential reference, pipelined cascade (one executor, plan-placed arena,
+// staged-stream reuse), independent cascades — which must agree bit for bit
+// on every spec, every helper mode, every worker count, and every chunk
+// geometry.  Reuse is proof-gated: the committed index-clobber spec pins the
+// fallback-to-restaging path.
+#include <cstdint>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "casc/analysis/pipeline_plan.hpp"
+#include "casc/exec/bridge.hpp"
+#include "casc/exec/pipeline.hpp"
+#include "casc/loopir/pipeline_spec.hpp"
+#include "casc/rt/executor.hpp"
+#include "casc/wave5/parmvr.hpp"
+
+namespace {
+
+using namespace casc;
+
+std::string load_text(const std::string& file) {
+  const std::string path = std::string(CASC_TEST_SPEC_DIR) + "/" + file;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+loopir::PipelineSpec load_pipeline(const std::string& file) {
+  return loopir::PipelineSpec::parse(load_text(file));
+}
+
+const std::vector<std::string> kPipelineSpecs = {
+    "pipeline_reuse.casc", "pipeline_index_clobber.casc",
+    "pipeline_mixed.casc"};
+
+// ---- parsing ---------------------------------------------------------------
+
+TEST(PipelineSpecParse, RoundTripsThroughText) {
+  for (const std::string& file : kPipelineSpecs) {
+    const loopir::PipelineSpec spec = load_pipeline(file);
+    const loopir::PipelineSpec again = loopir::PipelineSpec::parse(spec.to_text());
+    EXPECT_EQ(spec.to_text(), again.to_text()) << file;
+    EXPECT_EQ(spec.stages.size(), again.stages.size()) << file;
+  }
+}
+
+TEST(PipelineSpecParse, DetectsPipelineText) {
+  EXPECT_TRUE(loopir::is_pipeline_text("# chain\npipeline p\n"));
+  EXPECT_FALSE(loopir::is_pipeline_text("loop l\ntrip 8\n"));
+  EXPECT_FALSE(loopir::is_pipeline_text(""));
+}
+
+TEST(PipelineSpecParse, CollectsRuleViolations) {
+  const char* text = R"(pipeline bad
+array a 8 64 ro
+index ij 64 perm 3
+loop one
+trip 64
+access a write
+access missing read
+access a read via ij
+access ij write
+endloop
+loop one
+trip 32
+access a read
+endloop
+)";
+  common::DiagnosticList diags;
+  const loopir::PipelineSpec spec = loopir::PipelineSpec::parse(text, diags);
+  EXPECT_FALSE(diags.ok());
+  std::set<std::string> rules;
+  for (const common::Diagnostic& d : diags.items()) rules.insert(d.rule);
+  EXPECT_TRUE(rules.count("pipeline-write-ro"));    // write to ro array a
+  EXPECT_TRUE(rules.count("undeclared-array"));     // access missing
+  EXPECT_TRUE(rules.count("pipeline-write-via"));   // writes ij AND gathers via
+  EXPECT_TRUE(rules.count("duplicate-loop"));       // two blocks named one
+  EXPECT_EQ(spec.stages.size(), 2u);  // best-effort spec still carries both
+}
+
+TEST(PipelineSpecParse, ArraysAreDeclaredAtPipelineScopeOnly) {
+  const char* text = R"(pipeline scoped
+array a 8 64 ro
+loop one
+trip 64
+array b 8 64 rw
+access a read
+endloop
+)";
+  common::DiagnosticList diags;
+  (void)loopir::PipelineSpec::parse(text, diags);
+  EXPECT_FALSE(diags.ok());
+  bool found = false;
+  for (const common::Diagnostic& d : diags.items()) {
+    if (d.message.find("pipeline scope") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PipelineSpecParse, StageSpecsCarryHonestClaims) {
+  const loopir::PipelineSpec spec = load_pipeline("pipeline_index_clobber.casc");
+  // Stage 1 (rebuild_index) writes ij: its lowered spec must declare ij as a
+  // plain rw array (no pattern), while the gather stages keep the pattern.
+  const loopir::LoopSpec clobber = spec.stage_spec(1);
+  const loopir::LoopSpec gather = spec.stage_spec(0);
+  bool checked_clobber = false, checked_gather = false;
+  for (const loopir::LoopSpec::ArrayDecl& d : clobber.arrays) {
+    if (d.name == "ij") {
+      EXPECT_FALSE(d.read_only);
+      EXPECT_FALSE(d.pattern.has_value());
+      checked_clobber = true;
+    }
+  }
+  for (const loopir::LoopSpec::ArrayDecl& d : gather.arrays) {
+    if (d.name == "ij") {
+      EXPECT_TRUE(d.read_only);
+      EXPECT_TRUE(d.pattern.has_value());
+      checked_gather = true;
+    }
+  }
+  EXPECT_TRUE(checked_clobber);
+  EXPECT_TRUE(checked_gather);
+  // Only referenced arrays are carried: the clobber stage never touches a.
+  for (const loopir::LoopSpec::ArrayDecl& d : clobber.arrays) {
+    EXPECT_NE(d.name, "a");
+  }
+}
+
+// ---- the survival/placement plan -------------------------------------------
+
+TEST(PipelinePlan, ProvesIdenticalGatherPairReusable) {
+  const analysis::PipelinePlan plan =
+      analysis::plan_pipeline(load_pipeline("pipeline_reuse.casc"));
+  ASSERT_EQ(plan.pairs.size(), 1u);
+  EXPECT_TRUE(plan.pairs[0].full_reuse);
+  EXPECT_EQ(plan.stages_reusing(), 1u);
+  // The reuse run shares one region: same offset, gathered by stage 0.
+  EXPECT_EQ(plan.stages[1].region_of, 0u);
+  EXPECT_EQ(plan.stages[0].region_offset, plan.stages[1].region_offset);
+  EXPECT_GT(plan.stages[0].staged_bytes, 0u);
+  // Three staged slots per iteration: ij index-load, a gather, w affine.
+  ASSERT_EQ(plan.stages[0].staged_signature.size(), 3u);
+  EXPECT_TRUE(plan.stages[0].staged_signature[0].is_index_load);
+  EXPECT_EQ(plan.stages[0].staged_signature[1].via, "ij");
+}
+
+TEST(PipelinePlan, RefusesReuseAcrossIndexClobber) {
+  const analysis::PipelinePlan plan =
+      analysis::plan_pipeline(load_pipeline("pipeline_index_clobber.casc"));
+  ASSERT_EQ(plan.pairs.size(), 2u);
+  EXPECT_FALSE(plan.pairs[0].full_reuse);
+  EXPECT_FALSE(plan.pairs[1].full_reuse);
+  EXPECT_EQ(plan.stages_reusing(), 0u);
+  // The staged ij stream dies because the successor writes it; the staged a
+  // stream dies because its routing index is rewritten.
+  bool ij_written = false, a_rerouted = false;
+  for (const analysis::ArraySurvival& s : plan.pairs[0].arrays) {
+    if (s.array == "ij") {
+      EXPECT_EQ(s.reason, "written-by-successor");
+      ij_written = true;
+    }
+    if (s.array == "a") {
+      EXPECT_EQ(s.reason, "index-array-written");
+      a_rerouted = true;
+    }
+  }
+  EXPECT_TRUE(ij_written);
+  EXPECT_TRUE(a_rerouted);
+}
+
+TEST(PipelinePlan, CoversVerdictRangeOnMixedChain) {
+  const analysis::PipelinePlan plan =
+      analysis::plan_pipeline(load_pipeline("pipeline_mixed.casc"));
+  ASSERT_EQ(plan.pairs.size(), 3u);
+  EXPECT_EQ(plan.pairs[0].reason, "nothing-staged");
+  EXPECT_TRUE(plan.pairs[1].full_reuse);
+  EXPECT_EQ(plan.pairs[2].reason, "trip-geometry-differs");
+  // Regions with disjoint live ranges share arena bytes: the arena is the
+  // largest region, not the sum.
+  std::uint64_t max_region = 0;
+  for (const analysis::StagePlan& s : plan.stages) {
+    max_region = std::max(max_region, s.region_bytes);
+  }
+  EXPECT_EQ(plan.arena_bytes, max_region);
+}
+
+TEST(PipelinePlan, RendersDeterministicJson) {
+  const analysis::PipelinePlan plan =
+      analysis::plan_pipeline(load_pipeline("pipeline_mixed.casc"));
+  const std::string a = plan.render_json();
+  const std::string b = plan.render_json();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"stages_reusing\": 1"), std::string::npos);
+  EXPECT_NE(a.find("\"full_reuse\": true"), std::string::npos);
+  EXPECT_NE(a.find("trip-geometry-differs"), std::string::npos);
+}
+
+TEST(PipelinePlan, ParmvrCall12HasEngineeredReuseRuns) {
+  const loopir::PipelineSpec spec = wave5::make_parmvr_pipeline(/*scale=*/64);
+  ASSERT_EQ(spec.stages.size(), 15u);
+  const analysis::PipelinePlan plan = analysis::plan_pipeline(spec);
+  // Field-gather x/y/z, the sorted-gather pair, and the tail-gather pair.
+  const std::set<std::size_t> expected = {2, 3, 8, 12};
+  for (const analysis::PairPlan& p : plan.pairs) {
+    EXPECT_EQ(p.full_reuse, expected.count(p.from) > 0)
+        << "pair " << p.from << "->" << p.to << " (" << p.reason << ")";
+  }
+  EXPECT_EQ(plan.stages_reusing(), 4u);
+  EXPECT_EQ(plan.stages[3].region_of, 2u);
+  EXPECT_EQ(plan.stages[4].region_of, 2u);
+  EXPECT_EQ(plan.stages[9].region_of, 8u);
+  EXPECT_EQ(plan.stages[13].region_of, 12u);
+}
+
+// ---- execution: three paths, one digest ------------------------------------
+
+void expect_three_way_identity(const loopir::PipelineSpec& spec,
+                               std::uint64_t expected_reused) {
+  exec::MaterializedPipeline pipe(spec);
+  const exec::PipelineResult ref = exec::run_pipeline_reference(pipe);
+  ASSERT_EQ(ref.stages.size(), spec.stages.size());
+
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    rt::ExecutorConfig cfg;
+    cfg.num_threads = threads;
+    rt::CascadeExecutor executor(cfg);
+    for (const exec::HelperMode mode :
+         {exec::HelperMode::kNone, exec::HelperMode::kPrefetch,
+          exec::HelperMode::kRestructure}) {
+      exec::RtOptions opt;
+      opt.helper = mode;
+      const exec::PipelineResult got =
+          exec::run_pipeline_cascaded(pipe, executor, opt);
+      EXPECT_EQ(got.chain_digest, ref.chain_digest)
+          << spec.name << " threads=" << threads
+          << " mode=" << static_cast<int>(mode);
+      EXPECT_EQ(got.rw_checksum, ref.rw_checksum)
+          << spec.name << " threads=" << threads
+          << " mode=" << static_cast<int>(mode);
+      for (std::size_t k = 0; k < got.stages.size(); ++k) {
+        EXPECT_EQ(got.stages[k].result.digest, ref.stages[k].result.digest)
+            << spec.name << " stage " << k;
+      }
+      if (mode == exec::HelperMode::kRestructure && !got.degraded()) {
+        EXPECT_EQ(got.stages_reused, expected_reused)
+            << spec.name << " threads=" << threads;
+      } else {
+        EXPECT_EQ(got.stages_reused, 0u) << spec.name;
+      }
+
+      const exec::PipelineResult ind =
+          exec::run_pipeline_independent(pipe, threads, opt);
+      EXPECT_EQ(ind.chain_digest, ref.chain_digest) << spec.name;
+      EXPECT_EQ(ind.rw_checksum, ref.rw_checksum) << spec.name;
+      EXPECT_EQ(ind.stages_reused, 0u);
+    }
+  }
+}
+
+TEST(PipelineExec, ReusePairAgreesAcrossAllPaths) {
+  expect_three_way_identity(load_pipeline("pipeline_reuse.casc"),
+                            /*expected_reused=*/1);
+}
+
+TEST(PipelineExec, IndexClobberFallsBackAndStaysIdentical) {
+  expect_three_way_identity(load_pipeline("pipeline_index_clobber.casc"),
+                            /*expected_reused=*/0);
+}
+
+TEST(PipelineExec, MixedChainAgreesAcrossAllPaths) {
+  expect_three_way_identity(load_pipeline("pipeline_mixed.casc"),
+                            /*expected_reused=*/1);
+}
+
+TEST(PipelineExec, ParmvrCall12AgreesAcrossAllPaths) {
+  expect_three_way_identity(wave5::make_parmvr_pipeline(/*scale=*/64),
+                            /*expected_reused=*/4);
+}
+
+TEST(PipelineExec, ReuseFlagsNameTheReplayingStages) {
+  exec::MaterializedPipeline pipe(load_pipeline("pipeline_reuse.casc"));
+  rt::ExecutorConfig cfg;
+  cfg.num_threads = 2;
+  rt::CascadeExecutor executor(cfg);
+  const exec::PipelineResult got = exec::run_pipeline_cascaded(pipe, executor);
+  ASSERT_EQ(got.stages.size(), 2u);
+  if (!got.degraded()) {
+    EXPECT_FALSE(got.stages[0].reused_staging);
+    EXPECT_TRUE(got.stages[1].reused_staging);
+    // The replaying stage ran no gather of its own but executed against the
+    // committed chunks of its predecessor.
+    EXPECT_EQ(got.stages[1].result.staged_chunks,
+              got.stages[0].result.staged_chunks);
+  }
+}
+
+TEST(PipelineExec, ChunkPlanPermutationsLeaveResultsStable) {
+  // Digest and checksum are chunk-geometry-independent: any iters_per_chunk
+  // (including ones that break the reuse stages' alignment with the gather)
+  // yields the bit-identical chain result.
+  const loopir::PipelineSpec spec = load_pipeline("pipeline_mixed.casc");
+  exec::MaterializedPipeline pipe(spec);
+  const exec::PipelineResult ref = exec::run_pipeline_reference(pipe);
+  rt::ExecutorConfig cfg;
+  cfg.num_threads = 4;
+  rt::CascadeExecutor executor(cfg);
+  for (const std::uint64_t ipc : {0ull, 64ull, 100ull, 512ull, 5000ull}) {
+    exec::RtOptions opt;
+    opt.iters_per_chunk = ipc;
+    const exec::PipelineResult got =
+        exec::run_pipeline_cascaded(pipe, executor, opt);
+    EXPECT_EQ(got.chain_digest, ref.chain_digest) << "ipc=" << ipc;
+    EXPECT_EQ(got.rw_checksum, ref.rw_checksum) << "ipc=" << ipc;
+  }
+}
+
+TEST(PipelineExec, SharedArenaAliasesOnlyWithinReuseRuns) {
+  exec::MaterializedPipeline pipe(load_pipeline("pipeline_reuse.casc"));
+  ASSERT_EQ(pipe.num_stages(), 2u);
+  EXPECT_TRUE(pipe.reuses_previous(1));
+  EXPECT_EQ(pipe.region(0), pipe.region(1));  // the reuse IS the aliasing
+
+  exec::MaterializedPipeline clobber(
+      load_pipeline("pipeline_index_clobber.casc"));
+  EXPECT_FALSE(clobber.reuses_previous(1));
+  EXPECT_FALSE(clobber.reuses_previous(2));
+}
+
+TEST(PipelineExec, RepeatedRunsAreDeterministic) {
+  exec::MaterializedPipeline pipe(load_pipeline("pipeline_reuse.casc"));
+  rt::ExecutorConfig cfg;
+  cfg.num_threads = 2;
+  rt::CascadeExecutor executor(cfg);
+  const exec::PipelineResult a = exec::run_pipeline_cascaded(pipe, executor);
+  const exec::PipelineResult b = exec::run_pipeline_cascaded(pipe, executor);
+  EXPECT_EQ(a.chain_digest, b.chain_digest);
+  EXPECT_EQ(a.rw_checksum, b.rw_checksum);
+}
+
+}  // namespace

@@ -304,6 +304,58 @@ access hist update sum via bidx
   server.stop();
 }
 
+// A pipeline spec is refused with the precise capability diagnostic naming
+// the pipeline feature — detected BEFORE single-loop parsing, so the client
+// never sees a bogus "unknown directive" syntax error — and the server keeps
+// serving afterwards.
+TEST(SvcServer, PipelineSpecDrawsPreciseUnsupportedError) {
+  svc::SvcConfig cfg;
+  cfg.socket_path = test_socket("pipeline");
+  svc::SvcServer server(std::move(cfg));
+  server.start();
+
+  constexpr const char* kChain = R"(pipeline svc_chain
+array y 8 512 rw
+array a 8 512 ro
+loop fill
+trip 512
+compute 2 1
+access a read
+access y write
+endloop
+loop sum
+trip 512
+compute 2 1
+access y read
+access y write stride 1 offset 0
+endloop
+)";
+  {
+    svc::SvcClient client;
+    ASSERT_TRUE(client.connect(server.socket_path()));
+    ASSERT_TRUE(client.send_submit(submit_for("alice", 1, kChain)));
+    const svc::Reply reply = client.read_reply();
+    ASSERT_EQ(reply.kind, svc::Reply::Kind::kError);
+    EXPECT_EQ(reply.error.rule, "svc-spec-unsupported");
+    EXPECT_EQ(reply.error.job, 1u);
+    EXPECT_NE(reply.error.message.find("pipeline"), std::string::npos);
+    EXPECT_NE(reply.error.message.find("chain scheduling"), std::string::npos);
+    EXPECT_NE(reply.error.message.find("independent loop jobs"),
+              std::string::npos);
+  }
+  // Plain specs still run after the refusal.
+  {
+    const auto ref_b = reference_for(kSpecB);
+    svc::SvcClient client;
+    ASSERT_TRUE(client.connect(server.socket_path()));
+    ASSERT_TRUE(client.send_submit(submit_for("alice", 2, kSpecB)));
+    const svc::Reply reply = client.read_reply();
+    ASSERT_EQ(reply.kind, svc::Reply::Kind::kResult);
+    EXPECT_EQ(reply.result.digest, ref_b.first);
+  }
+  server.stop();
+}
+
 TEST(SvcServer, BackpressureRepliesWhenQueueIsFull) {
   // A gate in before_execute wedges the only shard so the bounded queue
   // fills deterministically.

@@ -23,12 +23,16 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "casc/analysis/pipeline_plan.hpp"
 #include "casc/analysis/verifier.hpp"
 #include "casc/cli/args.hpp"
+#include "casc/loopir/pipeline_spec.hpp"
+#include "casc/telemetry/json.hpp"
 
 namespace {
 
@@ -62,6 +66,98 @@ std::vector<std::string> split_commas(const std::string& list) {
 std::string basename_of(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
   return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// The exit verdict for one analysis report (loop spec or pipeline stage).
+/// With --certify the certificate has the final word.
+bool report_failed(const casc::analysis::AnalysisReport& report,
+                   const casc::analysis::AnalyzeOptions& opt, bool strict) {
+  if (opt.certify && report.certificate) {
+    const std::string& v = report.certificate->verdict;
+    return v != "certified-disjoint" && v != "requires-privatization";
+  }
+  return !report.ok() || (strict && report.diags.warnings() > 0);
+}
+
+/// One linted pipeline file: the collecting parse, the per-stage analysis
+/// reports (each stage lowered to its honest-claim LoopSpec), and the
+/// cross-loop survival/placement plan.
+struct PipelineLint {
+  casc::loopir::PipelineSpec spec;
+  casc::common::DiagnosticList parse_diags;
+  std::vector<casc::analysis::AnalysisReport> stage_reports;
+  std::optional<casc::analysis::PipelinePlan> plan;
+  bool failed = false;
+};
+
+PipelineLint lint_pipeline(const std::string& text,
+                           const casc::analysis::AnalyzeOptions& opt,
+                           bool strict) {
+  PipelineLint lint;
+  lint.spec = casc::loopir::PipelineSpec::parse(text, lint.parse_diags);
+  lint.failed = !lint.parse_diags.ok();
+  if (lint.failed) return lint;
+  lint.plan = casc::analysis::plan_pipeline(lint.spec);
+  for (std::size_t k = 0; k < lint.spec.stages.size(); ++k) {
+    casc::analysis::AnalysisReport report =
+        casc::analysis::analyze(lint.spec.stage_spec(k), opt);
+    if (report_failed(report, opt, strict)) lint.failed = true;
+    lint.stage_reports.push_back(std::move(report));
+  }
+  return lint;
+}
+
+void render_pipeline_text(const PipelineLint& lint, std::ostream& out) {
+  for (const casc::common::Diagnostic& d : lint.parse_diags.items()) {
+    out << casc::common::render_text(d) << '\n';
+  }
+  if (lint.plan) out << lint.plan->render_text();
+  for (std::size_t k = 0; k < lint.stage_reports.size(); ++k) {
+    out << "-- stage " << lint.spec.stages[k].name << " --\n"
+        << casc::analysis::render_text(lint.stage_reports[k]);
+  }
+}
+
+/// Emits the stage report documents followed by one pipeline-plan document
+/// (the golden-tested artifact).  Caller manages the surrounding array and
+/// separators via `first`.
+void render_pipeline_json(const PipelineLint& lint, const std::string& source,
+                          std::ostream& out, bool& first) {
+  for (std::size_t k = 0; k < lint.stage_reports.size(); ++k) {
+    if (!first) out << ",\n";
+    casc::analysis::render_json(lint.stage_reports[k], out,
+                                source + "#" + lint.spec.stages[k].name);
+    first = false;
+  }
+  if (!first) out << ",\n";
+  casc::telemetry::JsonWriter w(out, 2);
+  w.begin_object();
+  w.key("tool");
+  w.value("casclint");
+  w.key("version");
+  w.value(1);
+  w.key("source");
+  w.value(source);
+  w.key("kind");
+  w.value("pipeline-plan");
+  w.key("ok");
+  w.value(!lint.failed);
+  w.key("parse_errors");
+  w.value(static_cast<std::uint64_t>(lint.parse_diags.errors()));
+  w.key("diagnostics");
+  w.begin_array();
+  for (const casc::common::Diagnostic& d : lint.parse_diags.items()) {
+    w.value(casc::common::render_text(d));
+  }
+  w.end_array();
+  w.key("plan");
+  if (lint.plan) {
+    lint.plan->render_json(w);
+  } else {
+    w.null();
+  }
+  w.end_object();
+  first = false;
 }
 
 }  // namespace
@@ -118,6 +214,27 @@ int main(int argc, char** argv) {
     }
     std::ostringstream text;
     text << in.rdbuf();
+    // Pipeline chains: lint every stage (each lowered to its honest-claim
+    // LoopSpec) and print the cross-loop survival/placement plan — the
+    // golden-tested artifact of casc::analysis::plan_pipeline.
+    if (casc::loopir::is_pipeline_text(text.str())) {
+      PipelineLint lint;
+      try {
+        lint = lint_pipeline(text.str(), opt, args.has("strict"));
+      } catch (const std::exception& e) {
+        std::cerr << "casclint: " << path << ": " << e.what() << '\n';
+        return 2;
+      }
+      if (lint.failed) exit_code = 1;
+      if (format == "text") {
+        out << path << ":\n";
+        render_pipeline_text(lint, out);
+        out << '\n';
+      } else {
+        render_pipeline_json(lint, basename_of(path), out, first);
+      }
+      continue;
+    }
     casc::analysis::AnalysisReport report;
     try {
       report = casc::analysis::analyze_text(text.str(), opt);
@@ -128,15 +245,7 @@ int main(int argc, char** argv) {
     // With --certify the exit status follows the certificate: a spec whose
     // staged bytes are provably write-free (or whose only obstacle is a
     // privatizable reduction) passes even when the strict lint refuses it.
-    bool failed;
-    if (opt.certify && report.certificate) {
-      const std::string& v = report.certificate->verdict;
-      failed = v != "certified-disjoint" && v != "requires-privatization";
-    } else {
-      failed =
-          !report.ok() || (args.has("strict") && report.diags.warnings() > 0);
-    }
-    if (failed) exit_code = 1;
+    if (report_failed(report, opt, args.has("strict"))) exit_code = 1;
     if (format == "text") {
       out << path << ":\n" << casc::analysis::render_text(report) << '\n';
     } else {

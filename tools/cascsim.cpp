@@ -24,7 +24,9 @@
 #include "casc/common/check.hpp"
 #include "casc/common/diagnostic.hpp"
 #include "casc/exec/bridge.hpp"
+#include "casc/exec/pipeline.hpp"
 #include "casc/loopir/loop_spec.hpp"
+#include "casc/loopir/pipeline_spec.hpp"
 #include "casc/report/ascii_plot.hpp"
 #include "casc/report/table.hpp"
 #include "casc/rt/executor.hpp"
@@ -47,7 +49,8 @@ const std::vector<cli::OptionSpec> kSpecs = {
     {"machine", "ppro|r10000|future:N", "machine model", "ppro"},
     {"procs", "N", "processor count (0 = machine default)", "0"},
     {"loop", "parmvr[:id]|synth:dense|synth:sparse|file:PATH|trace:PATH",
-     "workload (--backend=rt takes file:PATH[,PATH...])", "parmvr"},
+     "workload; file:PATH takes loop specs or pipeline chains "
+     "(--backend=rt takes file:PATH[,PATH...])", "parmvr"},
     {"dump-trace", "PATH", "capture the (single) loop's trace to a file and exit", ""},
     {"scale", "N", "divide PARMVR footprints by N", "1"},
     {"helper", "none|prefetch|restructure|auto", "helper strategy", "restructure"},
@@ -118,16 +121,29 @@ sim::MachineConfig make_machine(const cli::Args& args) {
   return cfg;
 }
 
-/// Reads and parses one .casc spec, reporting every problem as a Diagnostic.
-loopir::LoopSpec load_spec_file(const std::string& path) {
+/// Reads one spec file whole, or exits 2 with a Diagnostic.
+std::string read_spec_text(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) {
     usage_error("cli-spec-unreadable", "cannot open loop spec '" + path + "'");
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Reads and parses one .casc spec, reporting every problem as a Diagnostic.
+loopir::LoopSpec load_spec_file(const std::string& path) {
   common::DiagnosticList diags;
-  loopir::LoopSpec spec = loopir::LoopSpec::parse(buffer.str(), diags);
+  loopir::LoopSpec spec = loopir::LoopSpec::parse(read_spec_text(path), diags);
+  if (!diags.ok()) throw UsageError(std::move(diags));
+  return spec;
+}
+
+/// Parses pipeline text with collected diagnostics, or exits 2.
+loopir::PipelineSpec parse_pipeline(const std::string& text) {
+  common::DiagnosticList diags;
+  loopir::PipelineSpec spec = loopir::PipelineSpec::parse(text, diags);
   if (!diags.ok()) throw UsageError(std::move(diags));
   return spec;
 }
@@ -211,6 +227,186 @@ void run_threecs(const std::vector<loopir::LoopNest>& loops,
   table.print(std::cout);
 }
 
+/// --backend=sim with a pipeline chain: every stage runs on ONE persistent
+/// simulated machine (continue_*), so stage k's cache lines are warm for
+/// stage k+1 — versus the independent baseline, a fresh machine per stage.
+int run_sim_pipeline(const loopir::PipelineSpec& spec, const cli::Args& args,
+                     const sim::MachineConfig& cfg,
+                     const cascade::CascadeOptions& opt) {
+  for (const char* mode : {"threecs", "dump-trace", "sweep"}) {
+    if (args.has(mode)) {
+      usage_error("cli-pipeline-mode",
+                  std::string("--") + mode +
+                      " works on single-loop workloads; pipeline chains "
+                      "support the plain run and --calls only");
+    }
+  }
+  std::vector<loopir::LoopNest> nests;
+  nests.reserve(spec.stages.size());
+  for (std::size_t k = 0; k < spec.stages.size(); ++k) {
+    nests.push_back(spec.stage_spec(k).instantiate());
+  }
+
+  const unsigned calls =
+      static_cast<unsigned>(std::max<std::uint64_t>(1, args.get_u64("calls")));
+  if (calls > 1) {
+    // Repeated chains reuse the sequence machinery: the stage list is one
+    // call, the persistent machine carries cache state across calls.
+    cascade::CascadeSimulator sim(cfg);
+    const auto seq = cascade::run_sequence_sequential(sim, nests, calls, opt.start_state);
+    const auto casc_seq = cascade::run_sequence_cascaded(sim, nests, calls, opt);
+    report::Table table({"Call", "Sequential cycles", "Cascaded cycles", "Speedup"});
+    table.set_title(cfg.name + ": pipeline " + spec.name + ", " +
+                    std::to_string(calls) + " repeated calls");
+    for (unsigned c = 1; c <= calls; ++c) {
+      table.add_row({std::to_string(c), report::fmt_count(seq.call(c)),
+                     report::fmt_count(casc_seq.call(c)),
+                     report::fmt_double(static_cast<double>(seq.call(c)) /
+                                        static_cast<double>(casc_seq.call(c)))});
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
+  cascade::CascadeSimulator seq_sim(cfg);
+  cascade::CascadeSimulator chain_sim(cfg);
+  report::Table table({"Stage", "Iters", "Seq cycles", "Chained cycles",
+                       "Independent cycles", "Speedup", "Chain gain"});
+  table.set_title(cfg.name + ": pipeline " + spec.name + " (" +
+                  cascade::to_string(opt.helper) + ", " +
+                  report::fmt_bytes(opt.chunk_bytes) + " chunks)");
+  std::uint64_t seq_total = 0, chain_total = 0, indep_total = 0;
+  for (std::size_t k = 0; k < nests.size(); ++k) {
+    const auto seq = k == 0 ? seq_sim.run_sequential(nests[k], opt.start_state)
+                            : seq_sim.continue_sequential(nests[k]);
+    const auto chained = k == 0 ? chain_sim.run_cascaded(nests[k], opt)
+                                : chain_sim.continue_cascaded(nests[k], opt);
+    cascade::CascadeSimulator fresh(cfg);
+    const auto indep = fresh.run_cascaded(nests[k], opt);
+    seq_total += seq.total_cycles;
+    chain_total += chained.total_cycles;
+    indep_total += indep.total_cycles;
+    table.add_row({spec.stages[k].name,
+                   report::fmt_count(nests[k].num_iterations()),
+                   report::fmt_count(seq.total_cycles),
+                   report::fmt_count(chained.total_cycles),
+                   report::fmt_count(indep.total_cycles),
+                   report::fmt_double(static_cast<double>(seq.total_cycles) /
+                                      static_cast<double>(chained.total_cycles)),
+                   report::fmt_double(static_cast<double>(indep.total_cycles) /
+                                      static_cast<double>(chained.total_cycles))});
+  }
+  table.add_row({"whole chain", "", report::fmt_count(seq_total),
+                 report::fmt_count(chain_total), report::fmt_count(indep_total),
+                 report::fmt_double(static_cast<double>(seq_total) /
+                                    static_cast<double>(chain_total)),
+                 report::fmt_double(static_cast<double>(indep_total) /
+                                    static_cast<double>(chain_total))});
+  table.print(std::cout);
+  return 0;
+}
+
+/// --backend=rt with a pipeline chain: predicted per stage on one persistent
+/// simulated machine, measured per stage on the real runtime via the
+/// plan-placed arena path, and the whole chain cross-validated bit for bit
+/// against both the sequential reference and the independent-cascades
+/// baseline.  Returns false on any digest divergence.
+bool run_rt_pipeline(const std::string& text, const sim::MachineConfig& cfg,
+                     const cascade::CascadeOptions& sim_opt,
+                     const exec::RtOptions& rt_opt,
+                     rt::CascadeExecutor& executor,
+                     telemetry::BenchReporter& reporter) {
+  const loopir::PipelineSpec spec = parse_pipeline(text);
+  exec::MaterializedPipeline pipe(spec);
+  const std::size_t n = pipe.num_stages();
+
+  // Predicted: the chain on one persistent machine vs a fresh machine per
+  // stage (the same contrast the rt measurement draws).
+  cascade::CascadeSimulator seq_sim(cfg);
+  cascade::CascadeSimulator chain_sim(cfg);
+  std::vector<std::uint64_t> pred_seq(n), pred_chain(n);
+  std::uint64_t pred_seq_total = 0, pred_chain_total = 0, pred_indep_total = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const loopir::LoopNest& nest = pipe.stage(k).nest();
+    pred_seq[k] = (k == 0 ? seq_sim.run_sequential(nest, sim_opt.start_state)
+                          : seq_sim.continue_sequential(nest))
+                      .total_cycles;
+    pred_chain[k] = (k == 0 ? chain_sim.run_cascaded(nest, sim_opt)
+                            : chain_sim.continue_cascaded(nest, sim_opt))
+                        .total_cycles;
+    cascade::CascadeSimulator fresh(cfg);
+    pred_indep_total += fresh.run_cascaded(nest, sim_opt).total_cycles;
+    pred_seq_total += pred_seq[k];
+    pred_chain_total += pred_chain[k];
+  }
+
+  // Measured: sequential reference, the pipelined cascade (one executor, one
+  // arena), and the independent-cascades baseline (fresh executor per stage).
+  exec::PipelineResult ref = exec::run_pipeline_reference(pipe);
+  exec::PipelineResult chain = exec::run_pipeline_cascaded(pipe, executor, rt_opt);
+  exec::PipelineResult indep =
+      exec::run_pipeline_independent(pipe, executor.num_threads(), rt_opt);
+
+  const bool match = chain.chain_digest == ref.chain_digest &&
+                     chain.rw_checksum == ref.rw_checksum &&
+                     indep.chain_digest == ref.chain_digest &&
+                     indep.rw_checksum == ref.rw_checksum;
+
+  report::Table table({"Stage", "Iters", "Predicted speedup", "Measured speedup",
+                       "Staged", "Staging", "Digest"});
+  table.set_title("pipeline " + spec.name + ": predicted (sim: " + cfg.name +
+                  ") vs measured (rt: " + std::to_string(executor.num_threads()) +
+                  " threads, " + cascade::to_string(sim_opt.helper) + ", " +
+                  report::fmt_bytes(sim_opt.chunk_bytes) + " chunks)");
+  for (std::size_t k = 0; k < n; ++k) {
+    const exec::PipelineStageResult& st = chain.stages[k];
+    const bool stage_match = st.result.digest == ref.stages[k].result.digest;
+    table.add_row(
+        {st.name, report::fmt_count(st.result.total_iters),
+         report::fmt_double(static_cast<double>(pred_seq[k]) /
+                            static_cast<double>(pred_chain[k])),
+         report::fmt_double(st.result.seconds > 0.0
+                                ? ref.stages[k].result.seconds / st.result.seconds
+                                : 0.0),
+         report::fmt_count(st.result.staged_chunks),
+         st.reused_staging ? "replay" : "gather",
+         stage_match ? "match" : "MISMATCH"});
+    if (st.result.preflight_refused) {
+      std::cout << "note: " << st.name
+                << ": restructure refused by preflight, helper degraded: "
+                << st.result.preflight_diag << "\n";
+    }
+  }
+  table.add_row({"whole chain", "",
+                 report::fmt_double(static_cast<double>(pred_seq_total) /
+                                    static_cast<double>(pred_chain_total)),
+                 report::fmt_double(chain.seconds > 0.0 ? ref.seconds / chain.seconds
+                                                        : 0.0),
+                 report::fmt_count(chain.stages_reused), "reused stages",
+                 match ? "match" : "MISMATCH"});
+  table.print(std::cout);
+  std::cout << "pipeline vs independent cascades: "
+            << report::fmt_double(chain.seconds > 0.0 ? indep.seconds / chain.seconds
+                                                      : 0.0)
+            << "x measured, "
+            << report::fmt_double(static_cast<double>(pred_indep_total) /
+                                  static_cast<double>(pred_chain_total))
+            << "x predicted\n";
+
+  reporter.add_metric(spec.name + ".predicted_speedup",
+                      static_cast<double>(pred_seq_total) /
+                          static_cast<double>(pred_chain_total));
+  reporter.add_metric(spec.name + ".measured_speedup",
+                      chain.seconds > 0.0 ? ref.seconds / chain.seconds : 0.0);
+  reporter.add_metric(spec.name + ".pipeline_vs_independent",
+                      chain.seconds > 0.0 ? indep.seconds / chain.seconds : 0.0);
+  reporter.add_metric(spec.name + ".stages_reused",
+                      static_cast<double>(chain.stages_reused));
+  reporter.add_metric(spec.name + ".digest_match", match ? 1.0 : 0.0);
+  reporter.add_wall_ns(static_cast<std::int64_t>(chain.seconds * 1e9));
+  return match;
+}
+
 /// --backend=rt: materialize each spec, predict with the simulator, measure
 /// on the real threaded runtime, and cross-validate bit for bit.
 int run_backend_rt(const cli::Args& args) {
@@ -281,7 +477,20 @@ int run_backend_rt(const cli::Args& args) {
   bool all_match = true;
   std::uint64_t loop_index = 0;
   for (const std::string& path : paths) {
-    const loopir::LoopSpec spec = load_spec_file(path);
+    const std::string text = read_spec_text(path);
+    // Pipeline chains print their own predicted-vs-measured table.  Chaos
+    // stays off for chains: reuse is already health-gated, and the seeded
+    // fault schedules are derived per single-loop chunk geometry.
+    if (loopir::is_pipeline_text(text)) {
+      all_match =
+          run_rt_pipeline(text, cfg, sim_opt, rt_opt, executor, reporter) &&
+          all_match;
+      ++loop_index;
+      continue;
+    }
+    common::DiagnosticList parse_diags;
+    const loopir::LoopSpec spec = loopir::LoopSpec::parse(text, parse_diags);
+    if (!parse_diags.ok()) throw UsageError(std::move(parse_diags));
     exec::MaterializedLoop loop_mat(spec);
     const std::string& name = loop_mat.nest().name();
 
@@ -414,6 +623,15 @@ int run_modes(const cli::Args& args, telemetry::TraceWriter* trace) {
                                       static_cast<double>(casc_result.total_cycles))});
     table.print(std::cout);
     return 0;
+  }
+
+  // Pipeline chains get the chained-vs-independent treatment; a chain is a
+  // whole workload, so it bypasses the single-loop modes below.
+  if (args.get("loop").rfind("file:", 0) == 0) {
+    const std::string text = read_spec_text(args.get("loop").substr(5));
+    if (loopir::is_pipeline_text(text)) {
+      return run_sim_pipeline(parse_pipeline(text), args, cfg, opt);
+    }
   }
 
   const std::vector<loopir::LoopNest> loops = make_loops(args);

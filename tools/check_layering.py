@@ -9,7 +9,10 @@ The refactored dependency order is strictly one-directional:
 
 The two backends share ONLY the core/analysis layers: src/cascade/ must not
 include casc/rt/ headers and src/runtime/ must not include casc/cascade/
-headers — the bridge between them is casc::exec.  This script parses every
+headers — the bridge between them is casc::exec.  Pipeline chains follow the
+same order: loopir owns PipelineSpec, analysis owns the survival/placement
+plan (plan_pipeline), exec owns MaterializedPipeline and the arena runner,
+and svc/tools sit on top.  This script parses every
 #include "casc/..." in src/ and fails (exit 1) on any edge that violates the
 per-layer forbidden lists below.
 
@@ -38,6 +41,13 @@ FORBIDDEN: dict[str, list[str]] = {
     "src/trace/": ["casc/analysis/", "casc/cascade/", "casc/rt/",
                    "casc/exec/", "casc/svc/"],
     "src/analysis/": ["casc/cascade/", "casc/rt/", "casc/exec/", "casc/svc/"],
+    # Workload factories sit directly on loopir: they build LoopNests and
+    # PipelineSpecs (wave5's call-12 chain) but never touch the analysis
+    # passes or either backend.
+    "src/wave5/": ["casc/core/", "casc/trace/", "casc/analysis/",
+                   "casc/cascade/", "casc/rt/", "casc/exec/", "casc/svc/"],
+    "src/synth/": ["casc/core/", "casc/trace/", "casc/analysis/",
+                   "casc/cascade/", "casc/rt/", "casc/exec/", "casc/svc/"],
     # The two backends: no cross-inclusion outside the shared core.
     "src/cascade/": ["casc/rt/", "casc/exec/", "casc/svc/"],
     "src/runtime/": ["casc/cascade/", "casc/analysis/", "casc/trace/",
